@@ -1,0 +1,94 @@
+"""Ablation: Multi-Paxos (batch prepare) vs canonical two-RTT Paxos.
+
+§2.1/§7: "The canonical Paxos takes at least two roundtrips to commit a
+value. An important optimization in practice is Multi-Paxos." The
+leader path amortizes the prepare phase across all instances; this
+ablation quantifies the latency and message-count cost of not doing so,
+in both environments.
+"""
+
+import pytest
+
+from repro.core import Value, classic_paxos, fresh_value_id, rs_paxos
+from repro.net import LAN, WAN, LinkSpec, build_network, server_names
+from repro.rpc import RpcEndpoint
+from repro.sim import Simulator
+from repro.storage import SSD, Disk, WriteAheadLog
+from repro.core import PaxosNode
+
+
+def make_group(config, link, seed=0):
+    sim = Simulator(seed=seed)
+    names = server_names(config.n)
+    net = build_network(sim, names, link)
+    peers = dict(enumerate(names))
+    nodes = [
+        PaxosNode(
+            sim, RpcEndpoint(sim, net, name),
+            WriteAheadLog(sim, Disk(sim, SSD, f"{name}.d"), name=f"{name}.w"),
+            config, node_id=i, peers=peers, rpc_timeout=10.0,
+        )
+        for i, name in enumerate(names)
+    ]
+    return sim, net, nodes
+
+
+def _commit_latencies(link, mode, n_values=10):
+    sim, net, nodes = make_group(rs_paxos(5, 1), link)
+    latencies = []
+    if mode == "leader":
+        ok = []
+        nodes[0].become_leader(lambda s: ok.append(s))
+        sim.run(until=5.0)
+        assert ok == [True]
+
+    def next_one(i=0):
+        if i >= n_values:
+            return
+        start = sim.now
+        value = Value(fresh_value_id(0), 4096)
+
+        def done(inst, v):
+            latencies.append(sim.now - start)
+            next_one(i + 1)
+
+        if mode == "leader":
+            nodes[0].propose(value, done)
+        else:
+            nodes[0].propose_canonical(value, done)
+
+    next_one()
+    sim.run(until=sim.now + 120.0)
+    assert len(latencies) == n_values
+    return sum(latencies) / len(latencies), net.messages_sent
+
+
+def test_multipaxos_halves_wan_commit_latency(once, benchmark):
+    def experiment():
+        return {
+            mode: _commit_latencies(WAN, mode) for mode in ("leader", "canonical")
+        }
+
+    out = once(benchmark, experiment)
+    leader_lat, _ = out["leader"]
+    canon_lat, _ = out["canonical"]
+    # One WAN RTT ~100 ms; canonical pays ~2 RTTs per value.
+    ratio = canon_lat / leader_lat
+    assert 1.6 < ratio < 2.6, ratio
+    print()
+    print(f"  WAN commit latency: leader={leader_lat * 1e3:.1f}ms "
+          f"canonical={canon_lat * 1e3:.1f}ms ({ratio:.2f}x)")
+
+
+def test_multipaxos_reduces_messages(once, benchmark):
+    def experiment():
+        return {
+            mode: _commit_latencies(LAN, mode)[1]
+            for mode in ("leader", "canonical")
+        }
+
+    out = once(benchmark, experiment)
+    # Canonical: prepare(N) + promise(N) extra per value.
+    assert out["canonical"] > out["leader"] * 1.5
+    print()
+    print(f"  wire messages for 10 commits: {out}")

@@ -1,0 +1,94 @@
+"""Ablation: group size N and fault-tolerance target F.
+
+§6.1 motivates N=5: "The benefits of RS-Paxos is more obvious as the
+number of replicas increase ... If the size is very small, for example
+a 3-replica Paxos, RS-Paxos has no win over Paxos because it has to set
+X=1". This sweep quantifies that: redundancy rate, per-write network
+bytes, and measured large-write throughput across N.
+"""
+
+import pytest
+
+from repro.core import (
+    classic_paxos,
+    network_bytes_per_write,
+    rs_paxos,
+)
+from repro.erasure import CodingConfig
+from repro.kvstore import build_cluster
+from repro.workload import ClosedLoopDriver, fixed_size_writes
+
+MB = 1024 * 1024
+
+
+def test_three_replica_rs_paxos_equals_paxos(benchmark):
+    rs = benchmark(rs_paxos, 3, 1)
+    px = classic_paxos(3)
+    assert rs.coding == px.coding == CodingConfig(1, 3)
+    assert rs.quorums.x == 1
+
+
+@pytest.mark.parametrize("n,f", [(5, 1), (7, 2), (9, 3), (9, 1)])
+def test_redundancy_improves_with_n(benchmark, n, f):
+    cfg = benchmark(rs_paxos, n, f)
+    # Redundancy rate r = N / X < full-replication N / 1.
+    assert cfg.coding.redundancy_rate < n
+    # Bytes on the wire per write shrink accordingly.
+    rs_bytes = network_bytes_per_write(n, 3 * MB, cfg.coding)
+    px_bytes = network_bytes_per_write(n, 3 * MB, CodingConfig(1, n))
+    assert rs_bytes < px_bytes / (cfg.x / 1.5)
+
+
+def _throughput(config, seed=0):
+    cluster = build_cluster(
+        config, num_clients=8, num_groups=4, seed=seed,
+        rpc_timeout=30.0, client_timeout=60.0,
+    )
+    cluster.start()
+    cluster.run(until=0.5)
+    spec = fixed_size_writes(2 * MB)
+    drivers = [
+        ClosedLoopDriver(cluster.sim, cl, spec, stream=f"d{i}")
+        for i, cl in enumerate(cluster.clients)
+    ]
+    for d in drivers:
+        d.start()
+    start = cluster.sim.now + 1.0
+    cluster.run(until=start + 3.0)
+    return cluster.metrics.throughput("write").mbps(start, start + 3.0)
+
+
+def test_rs_paxos_gain_grows_with_n(once, benchmark):
+    """Measured: the RS/classic throughput ratio increases from N=3
+    (no gain) through N=5 to N=7."""
+
+    def experiment():
+        ratios = {}
+        for n, f in ((3, 1), (5, 1), (7, 2)):
+            rs = _throughput(rs_paxos(n, f))
+            px = _throughput(classic_paxos(n))
+            ratios[n] = rs / px
+        return ratios
+
+    ratios = once(benchmark, experiment)
+    assert ratios[3] == pytest.approx(1.0, rel=0.1)  # X=1: no win
+    assert ratios[5] > 1.8
+    assert ratios[7] > ratios[5] * 0.95  # keeps growing (or holds)
+    print()
+    print(f"  RS/classic large-write throughput ratio by N: "
+          f"{ {n: round(r, 2) for n, r in ratios.items()} }")
+
+
+def test_f_trades_against_x(once, benchmark):
+    """At fixed N=9, raising F shrinks X and with it the saving."""
+
+    def experiment():
+        return {f: _throughput(rs_paxos(9, f)) for f in (1, 2, 3)}
+
+    out = once(benchmark, experiment)
+    # X = 7, 5, 3: throughput decreases as F rises.
+    assert out[1] >= out[2] >= out[3] * 0.95
+    print()
+    print("  N=9 throughput by F: "
+          f"{ {f: round(v) for f, v in out.items()} } Mbps "
+          f"(X = {[rs_paxos(9, f).x for f in (1, 2, 3)]})")

@@ -1,0 +1,92 @@
+"""Figure 5: write latency vs value size (local cluster + wide area).
+
+Shape assertions (§6.2.1):
+
+- local, small (<= 64 KB): flush-dominated; SSD within ~10 ms, HDD
+  slower; RS-Paxos ~= Paxos.
+- local, large (>= 256 KB): RS-Paxos 20-50 % lower.
+- wide area: equal at small sizes; RS-Paxos saves > 50 ms at 16 MB.
+"""
+
+import pytest
+
+from repro.bench import Setup, measure_write_latency
+from repro.bench.experiments import fig5
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def _point(protocol, env, disk, size):
+    return measure_write_latency(
+        Setup(protocol=protocol, env=env, disk=disk), size, samples=8
+    )
+
+
+def test_fig5a_local_cluster(once, benchmark):
+    def experiment():
+        out = {}
+        for proto in ("paxos", "rs-paxos"):
+            for disk in ("hdd", "ssd"):
+                for size in (4 * KB, 256 * KB, 4 * MB):
+                    out[(proto, disk, size)] = _point(proto, "lan", disk, size)
+        return out
+
+    out = once(benchmark, experiment)
+
+    # Small writes: flush-dominated; SSD commits within ~10 ms.
+    assert out[("paxos", "ssd", 4 * KB)].mean_ms < 10
+    assert out[("rs-paxos", "ssd", 4 * KB)].mean_ms < 10
+    # HDD small writes dominated by the ~10 ms per-op flush.
+    assert out[("paxos", "hdd", 4 * KB)].mean_ms > 10
+    # RS-Paxos ~= Paxos at small sizes (within 20%).
+    small_ratio = (
+        out[("rs-paxos", "ssd", 4 * KB)].mean_ms
+        / out[("paxos", "ssd", 4 * KB)].mean_ms
+    )
+    assert 0.8 < small_ratio < 1.2
+    # Large writes: RS-Paxos 20-50%+ lower latency.
+    for disk in ("hdd", "ssd"):
+        for size in (256 * KB, 4 * MB):
+            rs = out[("rs-paxos", disk, size)].mean_ms
+            px = out[("paxos", disk, size)].mean_ms
+            assert rs < px * 0.8, (disk, size, rs, px)
+
+    print()
+    for k, p in out.items():
+        print(f"  {k}: {p.mean_ms:.2f} ms")
+
+
+def test_fig5b_wide_area(once, benchmark):
+    def experiment():
+        out = {}
+        for proto in ("paxos", "rs-paxos"):
+            for size in (4 * KB, 16 * MB):
+                out[(proto, size)] = _point(proto, "wan", "ssd", size)
+        return out
+
+    out = once(benchmark, experiment)
+    # Small sizes: network RTT dominates; both protocols equal (±10%).
+    small_ratio = out[("rs-paxos", 4 * KB)].mean_ms / out[("paxos", 4 * KB)].mean_ms
+    assert 0.9 < small_ratio < 1.1
+    # RTT floor: one-way delay is 50 ± 10 ms.
+    assert out[("paxos", 4 * KB)].mean_ms > 40
+    # 16 MB: RS-Paxos saves more than 50 ms (§6.2.1).
+    saving = out[("paxos", 16 * MB)].mean_ms - out[("rs-paxos", 16 * MB)].mean_ms
+    assert saving > 50, saving
+
+    print()
+    for k, p in out.items():
+        print(f"  {k}: {p.mean_ms:.2f} ms")
+
+
+def test_fig5_full_quick_tables(once, benchmark):
+    """Regenerate both panels with the quick sweep and print them."""
+    results = once(benchmark, fig5.run, True)
+    print()
+    print(fig5.render(results))
+    # Every curve exists with all its points.
+    for env in ("lan", "wan"):
+        assert len(results[env]) == 4
+        for label, points in results[env].items():
+            assert all(p.samples > 0 for p in points), label

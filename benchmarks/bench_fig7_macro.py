@@ -1,0 +1,119 @@
+"""Figure 7: COSBench-style dynamic workloads.
+
+Shape assertions (§6.3):
+
+- read performance of RS-Paxos ~= Paxos (identical fast-read path);
+- LARGE-WRITE: RS-Paxos much better on both disks;
+- SMALL objects: SSD much better than HDD; for LARGE objects the gap
+  narrows (bandwidth-bound).
+"""
+
+import pytest
+
+from repro.bench import Setup, measure_macro_throughput
+from repro.workload import large_read, large_write, small_read, small_write
+
+
+def _run(protocol, disk, spec_fn, num_keys, clients=16, env="lan"):
+    spec = spec_fn(num_keys=num_keys)
+    return measure_macro_throughput(
+        Setup(protocol=protocol, env=env, disk=disk, num_clients=clients),
+        spec, duration=3.0, warmup=1.0,
+    )
+
+
+def test_fig7a_reads_identical(once, benchmark):
+    """§6.3: "the read performance of RS-Paxos is almost identical to
+    Paxos" — checked on a pure-read stream (same fast-read path). The
+    90/10 SMALL-READ mix is additionally allowed a modest RS-Paxos edge
+    because its 10% write traffic is cheaper and frees shared NIC/disk.
+    """
+    from repro.workload import SMALL, WorkloadSpec
+
+    def pure_read(num_keys=60):
+        return WorkloadSpec("PURE-READ", 1.0, SMALL, num_keys,
+                            prepopulate=num_keys)
+
+    def experiment():
+        return {
+            ("pure", proto): _run(proto, "ssd", pure_read, num_keys=60)
+            for proto in ("paxos", "rs-paxos")
+        } | {
+            ("mix", proto): _run(proto, "ssd", small_read, num_keys=60)
+            for proto in ("paxos", "rs-paxos")
+        }
+
+    out = once(benchmark, experiment)
+    pure_ratio = out[("pure", "rs-paxos")].mbps / out[("pure", "paxos")].mbps
+    assert 0.9 < pure_ratio < 1.1, pure_ratio
+    mix_ratio = out[("mix", "rs-paxos")].mbps / out[("mix", "paxos")].mbps
+    assert 0.75 < mix_ratio < 1.5, mix_ratio
+    print()
+    for k, v in out.items():
+        print(f"  {k}: {v.mbps:.0f} Mbps (reads {v.read_mbps:.0f})")
+
+
+def test_fig7a_large_write_rs_wins(once, benchmark):
+    def experiment():
+        return {
+            (proto, disk): _run(proto, disk, large_write, num_keys=12, clients=8)
+            for proto in ("paxos", "rs-paxos")
+            for disk in ("hdd", "ssd")
+        }
+
+    out = once(benchmark, experiment)
+    for disk in ("hdd", "ssd"):
+        ratio = out[("rs-paxos", disk)].mbps / out[("paxos", disk)].mbps
+        assert ratio > 1.5, (disk, ratio)
+    print()
+    for k, v in out.items():
+        print(f"  LARGE-WRITE {k}: {v.mbps:.0f} Mbps")
+
+
+def test_fig7a_small_objects_ssd_beats_hdd(once, benchmark):
+    def experiment():
+        return {
+            disk: _run("rs-paxos", disk, small_write, num_keys=60)
+            for disk in ("hdd", "ssd")
+        }
+
+    out = once(benchmark, experiment)
+    assert out["ssd"].mbps > out["hdd"].mbps * 2
+    print()
+    for k, v in out.items():
+        print(f"  SMALL-WRITE rs-paxos.{k}: {v.mbps:.0f} Mbps")
+
+
+def test_fig7a_small_write_rs_gain_mainly_on_ssd(once, benchmark):
+    """§6.3: RS-Paxos "performs better in SMALL-WRITE workload, for
+    SSD" — the HDD is IOPS-bound either way."""
+
+    def experiment():
+        return {
+            (proto, disk): _run(proto, disk, small_write, num_keys=60)
+            for proto in ("paxos", "rs-paxos")
+            for disk in ("hdd", "ssd")
+        }
+
+    out = once(benchmark, experiment)
+    gain_ssd = out[("rs-paxos", "ssd")].mbps / out[("paxos", "ssd")].mbps
+    gain_hdd = out[("rs-paxos", "hdd")].mbps / out[("paxos", "hdd")].mbps
+    assert gain_ssd > gain_hdd * 0.95
+    assert gain_ssd > 1.1
+    print()
+    print(f"  SMALL-WRITE gain: ssd={gain_ssd:.2f}x hdd={gain_hdd:.2f}x")
+
+
+def test_fig7b_wide_area_large_write(once, benchmark):
+    def experiment():
+        return {
+            proto: _run(proto, "ssd", large_write, num_keys=12,
+                        clients=16, env="wan")
+            for proto in ("paxos", "rs-paxos")
+        }
+
+    out = once(benchmark, experiment)
+    assert out["rs-paxos"].mbps > out["paxos"].mbps * 1.5
+    print()
+    for k, v in out.items():
+        print(f"  WAN LARGE-WRITE {k}: {v.mbps:.0f} Mbps")

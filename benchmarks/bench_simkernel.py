@@ -1,0 +1,61 @@
+"""Simulation-kernel wall-clock benchmarks.
+
+These bound the harness itself: events/second through the kernel and
+end-to-end simulated writes/second through a full cluster, so
+regressions in the testbed (not the protocol) are visible.
+"""
+
+import pytest
+
+from repro.bench import Setup, make_cluster
+from repro.sim import FifoResource, Simulator
+from repro.workload import ClosedLoopDriver, fixed_size_writes
+
+
+def test_event_loop_throughput(benchmark):
+    def run_events():
+        sim = Simulator()
+
+        def chain(n):
+            if n > 0:
+                sim.call_after(0.001, lambda: chain(n - 1))
+
+        for _ in range(100):
+            chain(100)
+        sim.run()
+        return sim.events_processed
+
+    processed = benchmark(run_events)
+    assert processed == 10_000
+
+
+def test_fifo_resource_throughput(benchmark):
+    def run_jobs():
+        sim = Simulator()
+        res = FifoResource(sim)
+        for _ in range(5_000):
+            res.submit(0.001, lambda: None)
+        sim.run()
+        return res.jobs_served
+
+    served = benchmark(run_jobs)
+    assert served == 5_000
+
+
+def test_cluster_write_op_rate(once, benchmark):
+    """Simulated 4 KB writes through a full 5-node RS-Paxos cluster."""
+
+    def run_cluster():
+        cluster = make_cluster(Setup(num_clients=8, num_groups=4))
+        spec = fixed_size_writes(4096)
+        drivers = [
+            ClosedLoopDriver(cluster.sim, cl, spec, stream=f"d{i}")
+            for i, cl in enumerate(cluster.clients)
+        ]
+        for d in drivers:
+            d.start()
+        cluster.run(until=cluster.sim.now + 2.0)
+        return cluster.metrics.throughput("write").count
+
+    ops = once(benchmark, run_cluster)
+    assert ops > 100

@@ -1,0 +1,33 @@
+"""Table 1: configuration space at N = 7 — exact regeneration."""
+
+from repro.bench.experiments import table1
+from repro.core import enumerate_configs
+
+PAPER_ROWS = [
+    (4, 4, 1, 3),
+    (5, 3, 1, 2),
+    (5, 4, 2, 2),
+    (5, 5, 3, 2),
+    (6, 2, 1, 1),
+    (6, 3, 2, 1),
+    (6, 4, 3, 1),
+    (6, 5, 4, 1),
+    (6, 6, 5, 1),
+]
+
+
+def test_table1_regenerates_exactly(benchmark):
+    rows = benchmark(enumerate_configs, 7)
+    assert [r.as_tuple() for r in rows] == PAPER_ROWS
+    highlighted = {r.as_tuple() for r in rows if r.max_x_for_f}
+    assert highlighted == {(4, 4, 1, 3), (5, 5, 3, 2), (6, 6, 5, 1)}
+    print()
+    print(table1.render(rows))
+
+
+def test_enumeration_scales(benchmark):
+    rows = benchmark(enumerate_configs, 31)
+    # Sanity: every row satisfies the §3.2 identities.
+    for r in rows:
+        assert r.q_r + r.q_w - r.x == 31
+        assert r.f == min(r.q_r, r.q_w) - r.x

@@ -1,0 +1,20 @@
+"""Shared fixtures for the benchmark harness.
+
+Heavy experiments (full simulated cluster runs) are timed with
+``benchmark.pedantic(rounds=1)`` — the wall-clock number reported is
+"time to regenerate this figure", and the assertions check the paper's
+shapes on the simulated metrics.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once():
+    return run_once

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: a replicated KV store on RS-Paxos in ~40 lines.
+
+Builds the paper's headline deployment — 5 replicas, quorum 4,
+θ(3, 5) coding — on the simulated local cluster, writes and reads a few
+values, and prints the network/storage savings versus classic Paxos.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import rs_paxos
+from repro.kvstore import build_cluster
+
+
+def main() -> None:
+    # 1. Protocol: RS-Paxos at N=5 tolerating F=1 (=> QR=QW=4, X=3).
+    config = rs_paxos(5, 1)
+    print(f"protocol: N={config.n} QR={config.q_r} QW={config.q_w} "
+          f"X={config.x} F={config.f} coding={config.coding}")
+
+    # 2. A full simulated deployment: 5 servers, 1 client, LAN, SSD.
+    cluster = build_cluster(config, num_clients=1, num_groups=4, seed=42)
+    cluster.start()
+    cluster.run(until=1.0)  # leader election settles
+    client = cluster.clients[0]
+
+    # 3. Write some values (real bytes, so the codec actually runs).
+    payloads = {f"user:{i}": (f"profile-data-{i}" * 50).encode() for i in range(5)}
+    for key, data in payloads.items():
+        client.put(key, len(data), data=data,
+                   on_done=lambda ok, k=key: print(f"  put {k}: {'ok' if ok else 'FAILED'}"))
+    cluster.run(until=cluster.sim.now + 2.0)
+
+    # 4. Read them back (fast reads from the leaseholder).
+    for key, data in payloads.items():
+        client.get(key, on_done=lambda ok, size, k=key, d=data:
+                   print(f"  get {k}: {size} bytes "
+                         f"({'match' if size == len(d) else 'MISMATCH'})"))
+    cluster.run(until=cluster.sim.now + 2.0)
+
+    # 5. The point of the paper: cost accounting.
+    total_payload = sum(len(d) for d in payloads.values())
+    stored = sum(s.store.stored_bytes() for s in cluster.servers)
+    print(f"\nclient payload written : {total_payload:>8} B")
+    print(f"bytes stored cluster-wide: {stored:>8} B "
+          f"(redundancy {stored / total_payload:.2f}x; "
+          f"full-copy Paxos would be ~5.00x)")
+    print(f"write latency (mean)    : "
+          f"{cluster.metrics.latency('write').mean() * 1e3:.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

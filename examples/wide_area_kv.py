@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Wide-area replication demo (§6.1's WAN deployment).
+
+Deploys the KV store over the emulated wide area (500 Mbps links,
+50 ± 10 ms one-way delay — the paper's netem settings) and compares
+Paxos and RS-Paxos write latency across value sizes, reproducing the
+Figure 5b story: identical at small sizes, RS-Paxos saving >50 ms for
+multi-megabyte values.
+
+Run:  python examples/wide_area_kv.py
+"""
+
+from repro.bench import Setup, measure_write_latency
+from repro.bench.report import format_size, ratio_note
+
+SIZES = [4 * 1024, 256 * 1024, 4 * 1024 * 1024, 16 * 1024 * 1024]
+
+
+def main() -> None:
+    print("wide-area write latency (server-side, client RTT excluded)\n")
+    print(f"  {'size':>6}  {'Paxos':>10}  {'RS-Paxos':>10}  {'saving':>9}")
+    for size in SIZES:
+        points = {}
+        for proto in ("paxos", "rs-paxos"):
+            p = measure_write_latency(
+                Setup(protocol=proto, env="wan", disk="ssd"), size, samples=6
+            )
+            points[proto] = p.mean_ms
+        saving = points["paxos"] - points["rs-paxos"]
+        print(f"  {format_size(size):>6}  {points['paxos']:>8.1f}ms"
+              f"  {points['rs-paxos']:>8.1f}ms  {saving:>7.1f}ms")
+    print("\nAs in the paper: the 100±20 ms RTT dominates small writes;")
+    print("for large values RS-Paxos ships 1/3-size shares and wins big.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""RS-Paxos reproduction (HPDC'14, Mu et al.).
+
+A from-scratch Python implementation of erasure-coded Paxos state
+machine replication, every substrate it depends on, the replicated
+key-value store of the paper's §4, and a benchmark harness regenerating
+the paper's full evaluation. See README.md / DESIGN.md / EXPERIMENTS.md.
+
+Subpackages
+-----------
+- :mod:`repro.erasure` — GF(2^8) Reed-Solomon codec.
+- :mod:`repro.sim` — deterministic discrete-event kernel.
+- :mod:`repro.net` — simulated asynchronous network (LAN/WAN presets).
+- :mod:`repro.rpc` — request/reply, retransmission, batching, muxing.
+- :mod:`repro.storage` — HDD/SSD models, WAL, local KV store.
+- :mod:`repro.core` — Paxos / RS-Paxos / (unsafe) naive EC-Paxos.
+- :mod:`repro.kvstore` — the replicated KV store.
+- :mod:`repro.workload` — micro + COSBench-style macro workloads.
+- :mod:`repro.bench` — §6 experiment harness (``python -m repro.bench``).
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,39 @@
+"""Benchmark harness: setups, runners, reporting (paper §6).
+
+Public API:
+
+- :class:`Setup`, :func:`make_cluster` — §6.1 configurations.
+- :func:`measure_write_latency` (Fig. 5), :func:`measure_write_throughput`
+  (Fig. 6), :func:`measure_macro_throughput` (Fig. 7),
+  :func:`measure_failover` (Fig. 8).
+- :mod:`repro.bench.experiments` — one module per table/figure.
+- :mod:`repro.bench.report` — paper-style text output.
+"""
+
+from .runner import (
+    FailoverTimeline,
+    LatencyPoint,
+    MacroPoint,
+    ThroughputPoint,
+    measure_failover,
+    measure_macro_throughput,
+    measure_write_latency,
+    measure_write_throughput,
+)
+from .setups import DISKS, ENVS, PROTOCOLS, Setup, make_cluster
+
+__all__ = [
+    "DISKS",
+    "ENVS",
+    "FailoverTimeline",
+    "LatencyPoint",
+    "MacroPoint",
+    "PROTOCOLS",
+    "Setup",
+    "ThroughputPoint",
+    "make_cluster",
+    "measure_failover",
+    "measure_macro_throughput",
+    "measure_write_latency",
+    "measure_write_throughput",
+]

@@ -1,0 +1,61 @@
+"""Command-line entry: regenerate paper tables/figures.
+
+Usage::
+
+    python -m repro.bench list
+    python -m repro.bench table1
+    python -m repro.bench fig5 [--full]
+    python -m repro.bench all  [--full]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import cpu_cost, fig5, fig6, fig7, fig8, table1
+
+EXPERIMENTS = {
+    "table1": ("Table 1: quorum configurations at N=7", table1),
+    "fig5": ("Figure 5: write latency vs size", fig5),
+    "fig6": ("Figure 6: write throughput vs size", fig6),
+    "fig7": ("Figure 7: COSBench-style macro workloads", fig7),
+    "fig8": ("Figure 8: failover timelines", fig8),
+    "cpu": ("§6.2.3: CPU cost of coding", cpu_cost),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=list(EXPERIMENTS) + ["all", "list"],
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="full sweeps/durations instead of the quick defaults",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, (desc, _) in EXPERIMENTS.items():
+            print(f"  {name:<8} {desc}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        desc, module = EXPERIMENTS[name]
+        print(f"\n###### {desc} ######")
+        if name == "table1":
+            module.main()
+        else:
+            module.main(quick=not args.full)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""One module per table/figure of the paper's evaluation (§6).
+
+Each module exposes ``run(quick=True)`` returning structured results
+and ``main()`` printing them in the paper's terms. The ``quick``
+parameter trades sweep density / duration for wall-clock time; the
+shapes the paper reports hold in both modes.
+
+- :mod:`.table1` — Table 1, configuration space at N=7.
+- :mod:`.fig5` — Fig. 5, write latency vs size (local + wide area).
+- :mod:`.fig6` — Fig. 6, write throughput vs size.
+- :mod:`.fig7` — Fig. 7, COSBench-style macro workloads.
+- :mod:`.fig8` — Fig. 8, failover timelines.
+- :mod:`.cpu_cost` — §6.2.3, CPU cost accounting.
+"""
+
+from . import cpu_cost, fig5, fig6, fig7, fig8, table1
+
+__all__ = ["cpu_cost", "fig5", "fig6", "fig7", "fig8", "table1"]

@@ -1,0 +1,66 @@
+"""Figure 5: micro-benchmark average write latency vs value size.
+
+Panels: (a) local cluster, (b) wide area; curves Paxos/RS-Paxos x
+HDD/SSD. The paper's observed shapes (§6.2.1):
+
+- small writes are flush-dominated: SSD commits within ~10 ms, HDD in
+  tens of ms, and RS-Paxos ~= Paxos;
+- >= 256 KB on the local cluster RS-Paxos is 20-50 % lower;
+- wide area: identical at small sizes; RS-Paxos saves >50 ms at the
+  largest sizes.
+"""
+
+from __future__ import annotations
+
+from ...workload import MICRO_SIZES
+from ..report import format_size, table
+from ..runner import LatencyPoint, measure_write_latency
+from ..setups import Setup
+
+QUICK_SIZES = [1024, 16 * 1024, 256 * 1024, 1024 * 1024, 4 * 1024 * 1024]
+
+
+def curves(env: str, quick: bool = True) -> dict[str, list[LatencyPoint]]:
+    """All four curves of one panel: label -> points by size."""
+    sizes = QUICK_SIZES if quick else MICRO_SIZES
+    samples = 8 if quick else 20
+    out: dict[str, list[LatencyPoint]] = {}
+    for protocol in ("paxos", "rs-paxos"):
+        for disk in ("hdd", "ssd"):
+            setup = Setup(protocol=protocol, env=env, disk=disk)
+            points = [
+                measure_write_latency(setup, size, samples=samples)
+                for size in sizes
+            ]
+            out[setup.label] = points
+    return out
+
+
+def run(quick: bool = True) -> dict[str, dict[str, list[LatencyPoint]]]:
+    return {env: curves(env, quick) for env in ("lan", "wan")}
+
+
+def render(results: dict[str, dict[str, list[LatencyPoint]]]) -> str:
+    blocks = []
+    panel = {"lan": "Figure 5a: latency, local cluster",
+             "wan": "Figure 5b: latency, wide area"}
+    for env, data in results.items():
+        labels = list(data)
+        sizes = [p.size for p in data[labels[0]]]
+        rows = []
+        for i, size in enumerate(sizes):
+            rows.append(
+                [format_size(size)]
+                + [f"{data[lbl][i].mean_ms:.1f}" for lbl in labels]
+            )
+        blocks.append(table(panel[env], ["size"] + labels + ["(ms)"],
+                            [r + [""] for r in rows]))
+    return "\n\n".join(blocks)
+
+
+def main(quick: bool = True) -> None:
+    print(render(run(quick)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Figure 6: micro-benchmark maximum write throughput vs value size.
+
+Panels: (a) local cluster, (b) wide area. The §6.2.2 shapes:
+
+- small writes are disk-bound (sharply so on HDD); RS-Paxos no better;
+- the HDD crossover where RS-Paxos pulls ahead sits around 64 KB; on
+  SSD it moves down to 4-16 KB;
+- for large writes RS-Paxos sustains ~2.5x Paxos.
+"""
+
+from __future__ import annotations
+
+from ...workload import MICRO_SIZES
+from ..report import format_size, table
+from ..runner import ThroughputPoint, measure_write_throughput
+from ..setups import Setup
+
+QUICK_SIZES = [4 * 1024, 64 * 1024, 1024 * 1024, 4 * 1024 * 1024]
+
+
+def _clients(env: str, size: int) -> int:
+    """Enough closed-loop clients to saturate at this size/latency."""
+    if env == "wan":
+        return 96 if size <= 256 * 1024 else 32
+    return 24 if size <= 256 * 1024 else 8
+
+
+def curves(env: str, quick: bool = True) -> dict[str, list[ThroughputPoint]]:
+    sizes = QUICK_SIZES if quick else MICRO_SIZES
+    duration = 3.0 if quick else 8.0
+    warmup = 1.0 if env == "lan" else 3.0
+    out: dict[str, list[ThroughputPoint]] = {}
+    for protocol in ("paxos", "rs-paxos"):
+        for disk in ("hdd", "ssd"):
+            points = []
+            for size in sizes:
+                setup = Setup(
+                    protocol=protocol, env=env, disk=disk,
+                    num_clients=_clients(env, size),
+                )
+                points.append(
+                    measure_write_throughput(
+                        setup, size, duration=duration, warmup=warmup
+                    )
+                )
+            out[setup.label] = points
+    return out
+
+
+def run(quick: bool = True) -> dict[str, dict[str, list[ThroughputPoint]]]:
+    return {env: curves(env, quick) for env in ("lan", "wan")}
+
+
+def render(results: dict[str, dict[str, list[ThroughputPoint]]]) -> str:
+    blocks = []
+    panel = {"lan": "Figure 6a: write throughput, local cluster",
+             "wan": "Figure 6b: write throughput, wide area"}
+    for env, data in results.items():
+        labels = list(data)
+        sizes = [p.size for p in data[labels[0]]]
+        rows = []
+        for i, size in enumerate(sizes):
+            rows.append(
+                [format_size(size)]
+                + [f"{data[lbl][i].mbps:.0f}" for lbl in labels]
+            )
+        blocks.append(
+            table(panel[env] + " (Mbps)", ["size"] + labels, rows)
+        )
+    return "\n\n".join(blocks)
+
+
+def main(quick: bool = True) -> None:
+    print(render(run(quick)))
+
+
+if __name__ == "__main__":
+    main()

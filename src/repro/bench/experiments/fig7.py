@@ -1,0 +1,78 @@
+"""Figure 7: throughput under COSBench-style dynamic workloads.
+
+Panels: (a) local cluster, (b) wide area; bars for the four workloads
+{SMALL, LARGE} x {READ, WRITE} per setup. The §6.3 shapes:
+
+- reads: RS-Paxos ~= Paxos everywhere (same fast-read path);
+- LARGE-WRITE: RS-Paxos well ahead on both disks;
+- SMALL-WRITE: RS-Paxos ahead on SSD; on HDD both IOPS-bound;
+- SSD >> HDD for small objects, HDD ~ SSD for large (bandwidth-bound).
+"""
+
+from __future__ import annotations
+
+from ...workload import MACRO_WORKLOADS
+from ..report import table
+from ..runner import MacroPoint, measure_macro_throughput
+from ..setups import Setup
+
+WORKLOAD_ORDER = ["SMALL-READ", "SMALL-WRITE", "LARGE-READ", "LARGE-WRITE"]
+
+
+def _clients(env: str, workload: str) -> int:
+    small = workload.startswith("SMALL")
+    if env == "wan":
+        return 96 if small else 32
+    return 24 if small else 8
+
+
+def _num_keys(workload: str, quick: bool) -> int:
+    if workload.startswith("LARGE"):
+        return 12 if quick else 50
+    return 60 if quick else 200
+
+
+def panel(env: str, quick: bool = True) -> dict[str, dict[str, MacroPoint]]:
+    duration = 3.0 if quick else 8.0
+    warmup = 1.0 if env == "lan" else 3.0
+    out: dict[str, dict[str, MacroPoint]] = {}
+    for protocol in ("paxos", "rs-paxos"):
+        for disk in ("hdd", "ssd"):
+            per_wl = {}
+            for wl in WORKLOAD_ORDER:
+                spec = MACRO_WORKLOADS[wl](num_keys=_num_keys(wl, quick))
+                setup = Setup(
+                    protocol=protocol, env=env, disk=disk,
+                    num_clients=_clients(env, wl),
+                )
+                per_wl[wl] = measure_macro_throughput(
+                    setup, spec, duration=duration, warmup=warmup
+                )
+            out[setup.label] = per_wl
+    return out
+
+
+def run(quick: bool = True) -> dict[str, dict[str, dict[str, MacroPoint]]]:
+    return {env: panel(env, quick) for env in ("lan", "wan")}
+
+
+def render(results) -> str:
+    blocks = []
+    names = {"lan": "Figure 7a: macro workloads, local cluster",
+             "wan": "Figure 7b: macro workloads, wide area"}
+    for env, data in results.items():
+        labels = list(data)
+        rows = [
+            [wl] + [f"{data[lbl][wl].mbps:.0f}" for lbl in labels]
+            for wl in WORKLOAD_ORDER
+        ]
+        blocks.append(table(names[env] + " (Mbps)", ["workload"] + labels, rows))
+    return "\n\n".join(blocks)
+
+
+def main(quick: bool = True) -> None:
+    print(render(run(quick)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Paper-style text reporting for experiment results."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_size(nbytes: int) -> str:
+    """1024 -> "1K", 16777216 -> "16M" (the paper's axis labels)."""
+    if nbytes >= 1024 * 1024 and nbytes % (1024 * 1024) == 0:
+        return f"{nbytes // (1024 * 1024)}M"
+    if nbytes >= 1024 and nbytes % 1024 == 0:
+        return f"{nbytes // 1024}K"
+    return f"{nbytes}B"
+
+
+def table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    widths: Sequence[int] | None = None,
+) -> str:
+    """Render a fixed-width text table."""
+    rows = [tuple(str(c) for c in r) for r in rows]
+    if widths is None:
+        widths = [
+            max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+            for i, h in enumerate(headers)
+        ]
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    lines = [f"== {title} ==", fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(r) for r in rows)
+    return "\n".join(lines)
+
+
+def series(
+    title: str, xs: Sequence[object], ys: Sequence[float], unit: str = "Mbps"
+) -> str:
+    """Render an (x, y) series as the paper's figures would list it."""
+    lines = [f"== {title} ({unit}) =="]
+    lines.extend(f"  {x}: {y:.2f}" for x, y in zip(xs, ys))
+    return "\n".join(lines)
+
+
+def ratio_note(label_a: str, a: float, label_b: str, b: float) -> str:
+    """A one-line comparison (e.g. "RS-Paxos/Paxos = 2.6x")."""
+    if b == 0:
+        return f"{label_a}/{label_b} = inf"
+    return f"{label_a}/{label_b} = {a / b:.2f}x"

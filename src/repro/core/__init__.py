@@ -1,0 +1,126 @@
+"""The (RS-)Paxos protocol core — the paper's contribution.
+
+One implementation drives all three protocols:
+
+- ``classic_paxos(n)`` — majority quorums, full copies (X = 1);
+- ``rs_paxos(n, f)`` — the paper's erasure-coded Paxos with
+  ``QR + QW - X = N`` (§3.2);
+- ``naive_ec_paxos(n, allow_unsafe=True)`` — the incorrect §2.3
+  strawman, kept to demonstrate the Figure 2 safety violation.
+
+Layering: pure state machines (:mod:`~repro.core.acceptor`,
+:mod:`~repro.core.proposer`) are transport-free and directly unit
+testable; :class:`PaxosNode` binds them to the simulated network, WAL
+and codec costs.
+"""
+
+from .acceptor import Acceptor, AcceptorInstance, AcceptorState
+from .ballot import NULL_BALLOT, Ballot
+from .lease import Lease, LeaseConfig, LocalClock
+from .messages import (
+    META_BYTES,
+    Accept,
+    Accepted,
+    Commit,
+    Nack,
+    Prepare,
+    Promise,
+)
+from .node import (
+    ChosenRecord,
+    ConsistencyViolation,
+    NodeStats,
+    PaxosNode,
+    is_noop,
+    noop_value,
+)
+from .proposer import (
+    Candidate,
+    PromiseTracker,
+    ScanResult,
+    VoteTracker,
+    scan_instance,
+    scan_promises,
+)
+from .protocol import (
+    ProtocolConfig,
+    UnsafeProtocolConfig,
+    classic_paxos,
+    naive_ec_paxos,
+    rs_paxos,
+    rs_paxos_custom,
+)
+from .quorum import (
+    ConfigRow,
+    QuorumSystem,
+    disk_bytes_per_write,
+    enumerate_configs,
+    network_bytes_per_write,
+)
+from .value import (
+    CodedShare,
+    Value,
+    decode_value,
+    encode_one_share,
+    encode_value,
+    fresh_value_id,
+)
+from .view import (
+    MigrationKind,
+    View,
+    ViewChange,
+    classify_migration,
+    migration_bytes,
+)
+
+__all__ = [
+    "Accept",
+    "Accepted",
+    "Acceptor",
+    "AcceptorInstance",
+    "AcceptorState",
+    "Ballot",
+    "Candidate",
+    "ChosenRecord",
+    "CodedShare",
+    "Commit",
+    "ConfigRow",
+    "ConsistencyViolation",
+    "Lease",
+    "LeaseConfig",
+    "LocalClock",
+    "META_BYTES",
+    "MigrationKind",
+    "NULL_BALLOT",
+    "Nack",
+    "NodeStats",
+    "PaxosNode",
+    "Prepare",
+    "Promise",
+    "PromiseTracker",
+    "ProtocolConfig",
+    "QuorumSystem",
+    "ScanResult",
+    "UnsafeProtocolConfig",
+    "Value",
+    "View",
+    "ViewChange",
+    "VoteTracker",
+    "classic_paxos",
+    "classify_migration",
+    "decode_value",
+    "disk_bytes_per_write",
+    "encode_one_share",
+    "encode_value",
+    "enumerate_configs",
+    "fresh_value_id",
+    "is_noop",
+    "migration_bytes",
+    "naive_ec_paxos",
+    "network_bytes_per_write",
+    "noop_value",
+    "rs_paxos",
+    "rs_paxos_custom",
+    "scan_instance",
+    "scan_promises",
+]

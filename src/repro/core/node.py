@@ -1,0 +1,630 @@
+"""A full (RS-)Paxos replica: acceptor + leader/proposer + learner.
+
+One :class:`PaxosNode` per server per Paxos group. It binds the pure
+state machines (:mod:`.acceptor`, :mod:`.proposer`) to the simulated
+substrate: RPC endpoint (network costs), write-ahead log (disk costs)
+and a modeled codec CPU cost.
+
+Leader path (Multi-Paxos, §5):
+
+1. :meth:`become_leader` runs one batch prepare covering all instances
+   >= the first locally-unchosen one; on a read quorum of promises it
+   runs the phase-1(c) scan and re-drives every unfinished instance it
+   learned about (recovered values re-proposed, gaps filled with
+   no-ops).
+2. :meth:`propose` allocates the next instance, encodes the value under
+   θ(X, N), sends each acceptor *its* coded share, and reports the
+   value chosen on QW accepted votes.
+3. Commit notifications are bundled and flushed off the critical path
+   every ``commit_interval`` (§5 optimization 2).
+
+Durability: acceptor handlers append to the WAL and reply only from the
+flush-completion callback (§4.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Union
+
+from ..rpc import Batch, RpcEndpoint
+from ..sim import NULL_TRACER, Simulator, Tracer
+from ..storage import WriteAheadLog
+from .acceptor import Acceptor, AcceptorInstance
+from .ballot import NULL_BALLOT, Ballot
+from .messages import (
+    META_BYTES,
+    Accept,
+    Accepted,
+    Commit,
+    Nack,
+    Prepare,
+    Promise,
+)
+from .proposer import PromiseTracker, VoteTracker, scan_promises
+from .protocol import ProtocolConfig, UnsafeProtocolConfig
+from .value import (
+    CodedShare,
+    Value,
+    decode_value,
+    encode_one_share,
+    encode_value,
+    fresh_value_id,
+)
+
+AnyConfig = Union[ProtocolConfig, UnsafeProtocolConfig]
+
+
+def noop_value(instance: int) -> Value:
+    """Gap-filling no-op proposal used during leader takeover."""
+    return Value(value_id=f"noop.{instance}", size=0, data=None)
+
+
+def is_noop(value_id: str) -> bool:
+    return value_id.startswith("noop.")
+
+
+@dataclass(slots=True)
+class ChosenRecord:
+    """What this node knows about a decided instance."""
+
+    value_id: str
+    ballot: Ballot
+    value: Value | None = None  # full value (leader / decoded)
+    share: CodedShare | None = None  # this node's coded share
+
+
+@dataclass
+class NodeStats:
+    """Cost accounting for the evaluation (§6.2.3 CPU; byte counters
+    come from the network/disk layers)."""
+
+    encode_ops: int = 0
+    decode_ops: int = 0
+    cpu_seconds: float = 0.0
+    proposals: int = 0
+    chosen: int = 0
+    preemptions: int = 0
+
+
+class PaxosNode:
+    """One replica of one Paxos group."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        endpoint: RpcEndpoint,
+        wal: WriteAheadLog,
+        config: AnyConfig,
+        node_id: int,
+        peers: dict[int, str],
+        rpc_timeout: float = 0.25,
+        commit_interval: float = 0.005,
+        codec_bw: float = 2e9,
+        tracer: Tracer = NULL_TRACER,
+    ):
+        if node_id not in peers:
+            raise ValueError("peers must include this node")
+        if len(peers) != config.n:
+            raise ValueError(f"group size {len(peers)} != configured N={config.n}")
+        self.sim = sim
+        self.endpoint = endpoint
+        self.wal = wal
+        self.config = config
+        self.node_id = node_id
+        self.peers = dict(peers)
+        self.rpc_timeout = rpc_timeout
+        self.commit_interval = commit_interval
+        self.codec_bw = codec_bw
+        self.tracer = tracer
+        self.stats = NodeStats()
+
+        self.acceptor = Acceptor(node_id)
+        self.chosen: dict[int, ChosenRecord] = {}
+        self.next_instance = 0
+        self.apply_cursor = 0
+
+        # Leader state.
+        self.is_leader = False
+        self.leader_ballot: Ballot | None = None
+        self._max_ballot_seen: Ballot = NULL_BALLOT
+        self._votes: dict[int, VoteTracker] = {}
+        self._inflight: dict[int, Value] = {}
+        self._decide_cbs: dict[int, Callable[[int, Value], None]] = {}
+        self._pending_commits: list[Commit] = []
+        self._commit_timer = None
+        self._down = False
+
+        # Hooks for the KV layer.
+        self.on_apply: Callable[[int, ChosenRecord], None] | None = None
+        self.on_preempted: Callable[[Ballot], None] | None = None
+
+        endpoint.on_request_async(Prepare, self._handle_prepare)
+        endpoint.on_request_async(Accept, self._handle_accept)
+        endpoint.on(Commit, self._handle_commit)
+
+    # ------------------------------------------------------------------
+    # crash / recovery
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Lose all volatile state. Durable state stays in the WAL."""
+        self._down = True
+        self.wal.crash()
+        self.acceptor = Acceptor(self.node_id)
+        self.chosen.clear()
+        self._votes.clear()
+        self._inflight.clear()
+        self._decide_cbs.clear()
+        self._pending_commits.clear()
+        self.is_leader = False
+        self.leader_ballot = None
+        self._max_ballot_seen = NULL_BALLOT
+        self.next_instance = 0
+        self.apply_cursor = 0
+
+    def recover(self) -> None:
+        """Rebuild acceptor state from the durable WAL (§4.5)."""
+        self._down = False
+        for rec in self.wal.recover():
+            kind = rec.payload[0]
+            if kind == "promise":
+                _, ballot = rec.payload
+                self.acceptor.state.floor = max(self.acceptor.state.floor, ballot)
+                self._max_ballot_seen = max(self._max_ballot_seen, ballot)
+            elif kind == "accept":
+                _, instance, ballot, share = rec.payload
+                st = self.acceptor.state.instances.get(instance)
+                if st is None:
+                    st = AcceptorInstance()
+                    self.acceptor.state.instances[instance] = st
+                if st.accepted_ballot is None or ballot >= st.accepted_ballot:
+                    st.promised = max(st.promised, ballot)
+                    st.accepted_ballot = ballot
+                    st.accepted_share = share
+                self._max_ballot_seen = max(self._max_ballot_seen, ballot)
+            elif kind == "chosen":
+                _, instance, ballot, value_id = rec.payload
+                self._learn(instance, ballot, value_id, value=None)
+
+    # ------------------------------------------------------------------
+    # acceptor handlers
+    # ------------------------------------------------------------------
+
+    def _handle_prepare(self, msg: Prepare, src: str, respond) -> None:
+        if self._down:
+            return
+        self._max_ballot_seen = max(self._max_ballot_seen, msg.ballot)
+        reply, durable = self.acceptor.on_prepare(msg)
+        if isinstance(reply, Nack):
+            respond(reply, reply.wire_bytes)
+            return
+        self.tracer.emit(
+            self.sim.now, "paxos",
+            f"{self.endpoint.name} promise {msg.ballot} from_inst={msg.from_instance}",
+        )
+        self.wal.append(
+            ("promise", msg.ballot), durable,
+            lambda: respond(reply, reply.wire_bytes),
+        )
+
+    def _handle_accept(self, msg: Accept, src: str, respond) -> None:
+        if self._down:
+            return
+        self._max_ballot_seen = max(self._max_ballot_seen, msg.ballot)
+        reply, durable = self.acceptor.on_accept(msg)
+        if isinstance(reply, Nack):
+            respond(reply, reply.wire_bytes)
+            return
+        self.tracer.emit(
+            self.sim.now, "paxos",
+            f"{self.endpoint.name} accepted inst={msg.instance} "
+            f"{msg.ballot} {msg.share.value_id} share#{msg.share.index}",
+        )
+        self.wal.append(
+            ("accept", msg.instance, msg.ballot, msg.share), durable,
+            lambda: respond(reply, reply.wire_bytes),
+        )
+
+    def _handle_commit(self, msg: Commit, src: str) -> None:
+        if self._down:
+            return
+        self._learn(msg.instance, msg.ballot, msg.value_id, value=None)
+
+    # ------------------------------------------------------------------
+    # leader: batch prepare
+    # ------------------------------------------------------------------
+
+    def become_leader(self, on_ready: Callable[[bool], None]) -> None:
+        """Run phase 1 for all instances >= the first unchosen one.
+
+        Calls ``on_ready(True)`` once a read quorum has promised and all
+        previously started instances have been re-driven; ``on_ready(False)``
+        if preempted by a higher ballot (the caller may retry; the next
+        attempt will use a ballot above everything seen).
+        """
+        if self._down:
+            on_ready(False)
+            return
+        ballot = Ballot(self._max_ballot_seen.round + 1, self.node_id)
+        self._max_ballot_seen = ballot
+        from_instance = self._first_unchosen()
+        msg = Prepare(ballot=ballot, from_instance=from_instance)
+        tracker = PromiseTracker(ballot=ballot, quorum=self.config.q_r)
+        finished = False
+        self.tracer.emit(
+            self.sim.now, "paxos",
+            f"{self.endpoint.name} batch-prepare {ballot} from_inst={from_instance}",
+        )
+
+        def on_reply(acceptor_id: int, reply) -> None:
+            nonlocal finished
+            if finished or self._down:
+                return
+            if isinstance(reply, Nack):
+                finished = True
+                self._max_ballot_seen = max(self._max_ballot_seen, reply.promised)
+                self.stats.preemptions += 1
+                on_ready(False)
+                return
+            if isinstance(reply, Promise) and tracker.record(acceptor_id, reply):
+                finished = True
+                self._finish_prepare(ballot, from_instance, tracker, on_ready)
+
+        for node_id, host in self.peers.items():
+            self.endpoint.request(
+                host, msg, msg.wire_bytes,
+                on_reply=lambda r, nid=node_id: on_reply(nid, r),
+                timeout=self.rpc_timeout, retries=-1,
+            )
+
+    def _finish_prepare(
+        self,
+        ballot: Ballot,
+        from_instance: int,
+        tracker: PromiseTracker,
+        on_ready: Callable[[bool], None],
+    ) -> None:
+        self.is_leader = True
+        self.leader_ballot = ballot
+        results = scan_promises(list(tracker.promises.values()))
+        max_started = max(results, default=from_instance - 1)
+        self.next_instance = max(self._first_unchosen(), max_started + 1)
+        # Re-drive every unfinished instance visible in the promises.
+        for inst in range(from_instance, max_started + 1):
+            if inst in self.chosen:
+                continue
+            scan = results.get(inst)
+            if scan is not None and scan.must_repropose is not None:
+                value = scan.must_repropose.value
+            else:
+                # Nothing recoverable: free choice. A real client value
+                # may be lost here if it was never chosen; the no-op
+                # makes the log contiguous (its client will retry).
+                value = noop_value(inst)
+            if scan is not None and scan.unrecoverable:
+                self.tracer.emit(
+                    self.sim.now, "paxos",
+                    f"{self.endpoint.name} inst={inst} unrecoverable "
+                    f"accepted values {scan.unrecoverable} -> free choice",
+                )
+            self._run_accept_round(inst, value, lambda i, v: None)
+        self.tracer.emit(
+            self.sim.now, "paxos", f"{self.endpoint.name} leader ready {ballot}"
+        )
+        on_ready(True)
+
+    def _first_unchosen(self) -> int:
+        inst = self.apply_cursor
+        while inst in self.chosen:
+            inst += 1
+        return inst
+
+    # ------------------------------------------------------------------
+    # leader: accept rounds
+    # ------------------------------------------------------------------
+
+    def propose(
+        self, value: Value, on_decided: Callable[[int, Value], None]
+    ) -> int:
+        """Propose a client value in the next free instance.
+
+        Requires leadership (batch prepare done). Returns the instance
+        id. ``on_decided(instance, value)`` fires when chosen.
+        """
+        if not self.is_leader or self.leader_ballot is None:
+            raise RuntimeError("propose() requires leadership; call become_leader")
+        instance = self.next_instance
+        self.next_instance += 1
+        self.stats.proposals += 1
+        self._run_accept_round(instance, value, on_decided)
+        return instance
+
+    def propose_canonical(
+        self,
+        value: Value,
+        on_decided: Callable[[int, Value], None],
+        _retries: int = 8,
+    ) -> int:
+        """Propose without standing leadership: the unoptimized §2.1
+        flow — a fresh prepare round, then the accept round, costing
+        two round trips and an extra acceptor flush per value.
+
+        Exists for the Multi-Paxos ablation and for ad-hoc proposers;
+        the KV store always uses the leader path.
+        """
+        instance = self.next_instance
+        self.next_instance += 1
+        self._propose_canonical_at(instance, value, on_decided, _retries)
+        return instance
+
+    def _propose_canonical_at(
+        self, instance: int, value: Value, on_decided, retries: int
+    ) -> None:
+        if self._down:
+            return
+        ballot = Ballot(self._max_ballot_seen.round + 1, self.node_id)
+        self._max_ballot_seen = ballot
+        msg = Prepare(ballot=ballot, from_instance=instance)
+        tracker = PromiseTracker(ballot=ballot, quorum=self.config.q_r)
+        state = {"resolved": False}
+
+        def on_reply(acceptor_id: int, reply) -> None:
+            if state["resolved"] or self._down:
+                return
+            if isinstance(reply, Nack):
+                state["resolved"] = True
+                self._max_ballot_seen = max(self._max_ballot_seen, reply.promised)
+                if retries > 0:
+                    self._propose_canonical_at(
+                        instance, value, on_decided, retries - 1
+                    )
+                return
+            if isinstance(reply, Promise) and tracker.record(acceptor_id, reply):
+                state["resolved"] = True
+                results = scan_promises(list(tracker.promises.values()))
+                scan = results.get(instance)
+                chosen_value = value
+                if scan is not None and scan.must_repropose is not None:
+                    chosen_value = scan.must_repropose.value
+                self._run_accept_round(
+                    instance, chosen_value, on_decided, ballot=ballot
+                )
+
+        for node_id, host in self.peers.items():
+            self.endpoint.request(
+                host, msg, msg.wire_bytes,
+                on_reply=lambda r, nid=node_id: on_reply(nid, r),
+                timeout=self.rpc_timeout, retries=-1,
+            )
+
+    def _run_accept_round(
+        self,
+        instance: int,
+        value: Value,
+        on_decided: Callable[[int, Value], None],
+        ballot: Ballot | None = None,
+    ) -> None:
+        if ballot is None:
+            ballot = self.leader_ballot
+        assert ballot is not None
+        self._inflight[instance] = value
+        self._decide_cbs[instance] = on_decided
+        # Modeled encode CPU cost: the value is split and parity rows
+        # computed before any accept can leave the host.
+        delay = self._charge_codec(value.size if self.config.is_erasure_coded else 0)
+        self.stats.encode_ops += 1
+        self.sim.call_after(
+            delay, lambda: self._send_accepts(instance, ballot, value)
+        )
+
+    def _charge_codec(self, nbytes: int) -> float:
+        if nbytes <= 0:
+            return 0.0
+        seconds = nbytes / self.codec_bw
+        self.stats.cpu_seconds += seconds
+        return seconds
+
+    def _send_accepts(self, instance: int, ballot: Ballot, value: Value) -> None:
+        if self._down:
+            return
+        if self.leader_ballot is not None and ballot != self.leader_ballot:
+            return  # stale leader round (canonical rounds pass through)
+        members = tuple(sorted(self.peers))
+        shares = encode_value(value, self.config.coding, members)
+        tracker = VoteTracker(
+            instance=instance, ballot=ballot,
+            value_id=value.value_id, quorum=self.config.q_w,
+        )
+        self._votes[instance] = tracker
+
+        def on_reply(reply) -> None:
+            if self._down:
+                return
+            if isinstance(reply, Nack):
+                self._preempted(reply.promised)
+                return
+            if isinstance(reply, Accepted) and tracker.record(reply):
+                self._on_chosen_at_leader(instance, ballot, value)
+
+        for rank, node_id in enumerate(members):
+            msg = Accept(instance=instance, ballot=ballot, share=shares[rank])
+            self.endpoint.request(
+                self.peers[node_id], msg, msg.wire_bytes,
+                on_reply=on_reply,
+                timeout=self.rpc_timeout, retries=-1,
+            )
+
+    def _preempted(self, higher: Ballot) -> None:
+        if not self.is_leader:
+            return
+        self._max_ballot_seen = max(self._max_ballot_seen, higher)
+        self.is_leader = False
+        self.leader_ballot = None
+        self.stats.preemptions += 1
+        self.tracer.emit(
+            self.sim.now, "paxos", f"{self.endpoint.name} preempted by {higher}"
+        )
+        if self.on_preempted is not None:
+            self.on_preempted(higher)
+
+    def _on_chosen_at_leader(self, instance: int, ballot: Ballot, value: Value) -> None:
+        self.stats.chosen += 1
+        self._inflight.pop(instance, None)
+        cb = self._decide_cbs.pop(instance, None)
+        self._learn(instance, ballot, value.value_id, value=value)
+        # Bundle the commit notification off the critical path (§5).
+        self._pending_commits.append(
+            Commit(instance=instance, ballot=ballot, value_id=value.value_id)
+        )
+        if self._commit_timer is None:
+            self._commit_timer = self.sim.call_after(
+                self.commit_interval, self._flush_commits
+            )
+        if cb is not None:
+            cb(instance, value)
+
+    def _flush_commits(self) -> None:
+        self._commit_timer = None
+        commits, self._pending_commits = self._pending_commits, []
+        if not commits or self._down:
+            return
+        payload = commits[0] if len(commits) == 1 else Batch(items=list(commits))
+        size = META_BYTES * len(commits)
+        for node_id, host in self.peers.items():
+            if node_id == self.node_id:
+                continue
+            self.endpoint.send(host, payload, size)
+
+    # ------------------------------------------------------------------
+    # learner
+    # ------------------------------------------------------------------
+
+    def _learn(
+        self, instance: int, ballot: Ballot, value_id: str, value: Value | None
+    ) -> None:
+        existing = self.chosen.get(instance)
+        if existing is not None:
+            # Consistency: a decided instance never changes its value.
+            if existing.value_id != value_id:
+                raise ConsistencyViolation(
+                    f"instance {instance} decided twice: "
+                    f"{existing.value_id!r} then {value_id!r}"
+                )
+            if value is not None and existing.value is None:
+                existing.value = value
+            return
+        share = self.acceptor.accepted_share(instance)
+        if share is not None and share.value_id != value_id:
+            share = None  # we accepted a different (losing) proposal
+        rec = ChosenRecord(value_id=value_id, ballot=ballot, value=value, share=share)
+        self.chosen[instance] = rec
+        self.tracer.emit(
+            self.sim.now, "paxos",
+            f"{self.endpoint.name} learned inst={instance} {value_id}",
+        )
+        self._advance_apply()
+
+    def _advance_apply(self) -> None:
+        while self.apply_cursor in self.chosen:
+            rec = self.chosen[self.apply_cursor]
+            if self.on_apply is not None:
+                self.on_apply(self.apply_cursor, rec)
+            self.apply_cursor += 1
+
+    # ------------------------------------------------------------------
+    # recovery reads / catch-up support
+    # ------------------------------------------------------------------
+
+    # ------------------------------------------------------------------
+    # reconfiguration (§4.6)
+    # ------------------------------------------------------------------
+
+    def apply_view(self, config: AnyConfig, peers: dict[int, str]) -> None:
+        """Switch this replica to a new view's configuration.
+
+        Caller contract (enforced by the KV layer's view-change
+        orchestration): no proposals of this node are in flight, and
+        every instance below the view-change instance is chosen and —
+        for coded data — share-placement-confirmed (the §4.6
+        optimization-2 precondition). Quorums and coding of *new*
+        instances follow the new config; old shares keep the coding
+        stamped on them and remain decodable as long as the new quorums
+        overlap >= old X survivors.
+        """
+        if self._inflight:
+            raise RuntimeError("cannot change views with proposals in flight")
+        if self.node_id not in peers:
+            raise ValueError("apply_view on a non-member; use retire()")
+        if len(peers) != config.n:
+            raise ValueError(f"{len(peers)} peers != configured N={config.n}")
+        self.config = config
+        self.peers = dict(peers)
+        self.tracer.emit(
+            self.sim.now, "paxos",
+            f"{self.endpoint.name} view -> N={config.n} QR={config.q_r} "
+            f"QW={config.q_w} X={config.x}",
+        )
+
+    def retire(self) -> None:
+        """Leave the group permanently (this node was removed from the
+        view). The node stops participating; durable state is kept so a
+        later operator can harvest it, but it never votes again."""
+        self._down = True
+        self.is_leader = False
+        self.leader_ballot = None
+
+    def install_chosen(self, instance: int, rec: ChosenRecord) -> None:
+        """Install an externally learned decision (catch-up, §4.5) and
+        advance the apply cursor. Consistency-checked like any learn."""
+        if instance in self.chosen:
+            existing = self.chosen[instance]
+            if existing.value_id != rec.value_id:
+                raise ConsistencyViolation(
+                    f"instance {instance} decided twice: "
+                    f"{existing.value_id!r} then {rec.value_id!r}"
+                )
+            return
+        self.chosen[instance] = rec
+        self._advance_apply()
+
+    def recode_share_for(self, instance: int, target_node: int) -> CodedShare | None:
+        """Re-code the chosen value of ``instance`` for a recovering
+        replica (§4.5: "the leader needs to re-code the data and send
+        the corresponding fragment").
+
+        Only possible on a node that holds the full value.
+        """
+        rec = self.chosen.get(instance)
+        if rec is None or rec.value is None:
+            return None
+        # Re-code under the coding and membership the value was
+        # originally spread with (stamped on our own share), so the
+        # fragment interoperates with the shares other replicas already
+        # hold even across view changes.
+        if rec.share is not None:
+            coding = rec.share.config
+            members = rec.share.members or tuple(sorted(self.peers))
+        else:
+            coding = self.config.coding
+            members = tuple(sorted(self.peers))
+        if target_node not in members:
+            return None
+        index = members.index(target_node)
+        self._charge_codec(rec.value.size)
+        return encode_one_share(rec.value, coding, index, members)
+
+    def decode_from_shares(self, shares: list[CodedShare]) -> Value:
+        """Reconstruct a value from gathered shares, charging CPU."""
+        value = decode_value(shares)
+        self.stats.decode_ops += 1
+        self._charge_codec(value.size)
+        return value
+
+
+class ConsistencyViolation(AssertionError):
+    """Two different values decided for one instance.
+
+    Never raised under safe configurations; the naive EC+Paxos demo
+    (§2.3 / Figure 2) triggers it.
+    """

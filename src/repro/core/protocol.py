@@ -1,0 +1,133 @@
+"""Protocol configuration: quorums + coding, safe and (deliberately) not.
+
+One implementation drives three protocols from the paper:
+
+- :func:`classic_paxos` — majority quorums, full copies (θ(1, N));
+- :func:`rs_paxos` — the paper's contribution: quorums sized so that
+  the guaranteed read/write intersection equals the coding parameter X
+  (``QR + QW - X = N``, §3.2);
+- :func:`naive_ec_paxos` — the §2.3 strawman: majority quorums with
+  θ(majority, N) coding. Its X exceeds the quorum intersection, which
+  is exactly the bug Figure 2 demonstrates. Constructing it requires
+  ``allow_unsafe=True`` so nobody ships it by accident.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..erasure import CodingConfig
+from .quorum import QuorumSystem
+
+
+@dataclass(frozen=True, slots=True)
+class ProtocolConfig:
+    """Quorum sizes and coding used by one (RS-)Paxos group."""
+
+    quorums: QuorumSystem
+    coding: CodingConfig
+
+    def __post_init__(self) -> None:
+        if self.coding.n != self.quorums.n:
+            raise ValueError(
+                f"coding N={self.coding.n} != quorum N={self.quorums.n}"
+            )
+        if not self.is_safe:
+            raise ValueError(
+                f"unsafe configuration: coding X={self.coding.x} exceeds the "
+                f"guaranteed quorum intersection {self.quorums.x} "
+                f"(QR={self.quorums.q_r}, QW={self.quorums.q_w}, "
+                f"N={self.quorums.n}); use allow_unsafe to study it"
+            )
+
+    @property
+    def n(self) -> int:
+        return self.quorums.n
+
+    @property
+    def q_r(self) -> int:
+        return self.quorums.q_r
+
+    @property
+    def q_w(self) -> int:
+        return self.quorums.q_w
+
+    @property
+    def x(self) -> int:
+        """Coding parameter (shares needed to reconstruct)."""
+        return self.coding.x
+
+    @property
+    def f(self) -> int:
+        """Tolerated failures within one configuration (no view change)."""
+        return self.quorums.f
+
+    @property
+    def is_safe(self) -> bool:
+        """True iff any read quorum surely holds >= X shares of a
+        chosen value: coding X <= QR + QW - N."""
+        return self.coding.x <= self.quorums.x
+
+    @property
+    def is_erasure_coded(self) -> bool:
+        return self.coding.x > 1
+
+
+@dataclass(frozen=True, slots=True)
+class UnsafeProtocolConfig:
+    """Like :class:`ProtocolConfig` but skips the safety validation.
+
+    Exists solely so the test suite and the Fig. 2 example can run the
+    naive combination and watch it violate consistency.
+    """
+
+    quorums: QuorumSystem
+    coding: CodingConfig
+
+    n = property(lambda self: self.quorums.n)
+    q_r = property(lambda self: self.quorums.q_r)
+    q_w = property(lambda self: self.quorums.q_w)
+    x = property(lambda self: self.coding.x)
+    f = property(lambda self: self.quorums.f)
+    is_erasure_coded = property(lambda self: self.coding.x > 1)
+
+    @property
+    def is_safe(self) -> bool:
+        return self.coding.x <= self.quorums.x
+
+
+def classic_paxos(n: int) -> ProtocolConfig:
+    """Classic (Multi-)Paxos: majority quorums, full-copy values."""
+    return ProtocolConfig(QuorumSystem.majority(n), CodingConfig(1, n))
+
+
+def rs_paxos(n: int, f: int) -> ProtocolConfig:
+    """RS-Paxos at fault-tolerance F with maximal X (§3.2).
+
+    QW = QR = N - F and X = N - 2F; e.g. the paper's headline setup is
+    ``rs_paxos(5, 1)`` -> Q=4, θ(3, 5).
+    """
+    quorums = QuorumSystem.for_fault_tolerance(n, f)
+    return ProtocolConfig(quorums, quorums.max_safe_coding())
+
+
+def rs_paxos_custom(n: int, q_r: int, q_w: int, x: int | None = None) -> ProtocolConfig:
+    """RS-Paxos with explicit quorums; X defaults to the maximum safe
+    value QR + QW - N (any Table 1 row can be built this way)."""
+    quorums = QuorumSystem(n, q_r, q_w)
+    coding_x = quorums.x if x is None else x
+    return ProtocolConfig(quorums, CodingConfig(coding_x, n))
+
+
+def naive_ec_paxos(n: int, allow_unsafe: bool = False) -> UnsafeProtocolConfig:
+    """The incorrect §2.3 combination: majority quorums, θ(majority, N).
+
+    Refuses to construct unless ``allow_unsafe=True``.
+    """
+    if not allow_unsafe:
+        raise ValueError(
+            "naive EC+Paxos is not safe (see paper §2.3 and Figure 2); "
+            "pass allow_unsafe=True to build it for demonstration"
+        )
+    maj = n // 2 + 1
+    return UnsafeProtocolConfig(QuorumSystem.majority(n), CodingConfig(maj, n))

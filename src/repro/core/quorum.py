@@ -1,0 +1,159 @@
+"""Quorum algebra of RS-Paxos (§3.2) and configuration enumeration.
+
+The two identities everything rests on:
+
+.. math::
+
+    Q_R + Q_W - X = N
+
+(any read quorum intersects any write quorum in at least X acceptors,
+so X coded shares of a possibly-chosen value are always visible), and
+
+.. math::
+
+    F = N - \\max(Q_R, Q_W) = \\min(Q_R, Q_W) - X
+
+(progress needs max(Q_R, Q_W) live acceptors; X shares must survive F
+failures among min(Q_R, Q_W) responders).
+
+Classic Paxos is the X = 1 row: majority read/write quorums and full
+copies. Table 1 of the paper enumerates the (Q_W, Q_R, X, F) space for
+N = 7; :func:`enumerate_configs` regenerates it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..erasure import CodingConfig
+
+
+@dataclass(frozen=True, slots=True)
+class QuorumSystem:
+    """A read/write quorum pair with its induced intersection X.
+
+    Invariant: ``q_r + q_w - x == n`` with ``1 <= x``. The induced
+    fault-tolerance level is :attr:`f`.
+    """
+
+    n: int
+    q_r: int
+    q_w: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.q_r <= self.n or not 1 <= self.q_w <= self.n:
+            raise ValueError(
+                f"quorums must lie in [1, N]: N={self.n}, QR={self.q_r}, QW={self.q_w}"
+            )
+        if self.x < 1:
+            raise ValueError(
+                f"QR={self.q_r} and QW={self.q_w} do not intersect for N={self.n}"
+            )
+
+    @property
+    def x(self) -> int:
+        """Guaranteed overlap of any read quorum with any write quorum."""
+        return self.q_r + self.q_w - self.n
+
+    @property
+    def f(self) -> int:
+        """Tolerated failures: N - max(QR, QW) (== min(QR, QW) - X)."""
+        return self.n - max(self.q_r, self.q_w)
+
+    @property
+    def is_majority(self) -> bool:
+        maj = self.n // 2 + 1
+        return self.q_r == maj and self.q_w == maj
+
+    def max_safe_coding(self) -> CodingConfig:
+        """The largest-X coding these quorums can safely carry: θ(X, N)."""
+        return CodingConfig(self.x, self.n)
+
+    @classmethod
+    def majority(cls, n: int) -> "QuorumSystem":
+        """Classic Paxos quorums: QR = QW = floor(N/2) + 1."""
+        maj = n // 2 + 1
+        return cls(n, maj, maj)
+
+    @classmethod
+    def for_fault_tolerance(cls, n: int, f: int) -> "QuorumSystem":
+        """The maximum-X symmetric configuration for a target F (§3.2).
+
+        With F fixed, X is maximized by QW = QR = N - F, giving
+        X = N - 2F. Raises if F is infeasible (needs N - 2F >= 1).
+        """
+        if f < 0:
+            raise ValueError("F must be non-negative")
+        x = n - 2 * f
+        if x < 1:
+            raise ValueError(
+                f"cannot tolerate F={f} failures with N={n} under RS-Paxos "
+                f"(needs N - 2F >= 1)"
+            )
+        return cls(n, n - f, n - f)
+
+
+@dataclass(frozen=True, slots=True)
+class ConfigRow:
+    """One row of the paper's Table 1."""
+
+    n: int
+    q_w: int
+    q_r: int
+    x: int
+    f: int
+    max_x_for_f: bool  # highlighted rows: the best X at this F
+
+    def as_tuple(self) -> tuple[int, int, int, int]:
+        return (self.q_w, self.q_r, self.x, self.f)
+
+
+def enumerate_configs(n: int, min_f: int = 1) -> list[ConfigRow]:
+    """All (QW, QR, X, F) rows for ``N = n``, Table 1 style.
+
+    The paper lists rows with ``QW >= QR`` (the symmetric mirror images
+    carry no new information) and ``F >= 1``, ordered by QW then QR.
+    Rows achieving the maximum X for their F are flagged.
+    """
+    rows: list[tuple[int, int, int, int]] = []
+    for q_w in range(1, n + 1):
+        for q_r in range(1, q_w + 1):
+            x = q_r + q_w - n
+            if x < 1:
+                continue
+            f = n - max(q_r, q_w)
+            if f < min_f:
+                continue
+            rows.append((q_w, q_r, x, f))
+    best_x: dict[int, int] = {}
+    for q_w, q_r, x, f in rows:
+        best_x[f] = max(best_x.get(f, 0), x)
+    rows.sort()
+    return [
+        ConfigRow(n, q_w, q_r, x, f, max_x_for_f=(x == best_x[f]))
+        for q_w, q_r, x, f in rows
+    ]
+
+
+def network_bytes_per_write(
+    n: int, value_size: int, coding: CodingConfig, leader_holds_value: bool = True
+) -> int:
+    """Modeled accept-phase payload bytes for one write (§1, §3.2).
+
+    The leader keeps the original value and sends one coded share to
+    each of the other N-1 acceptors; classic Paxos (X = 1) degenerates
+    to N-1 full copies.
+    """
+    share = coding.share_size(value_size)
+    receivers = n - 1 if leader_holds_value else n
+    return share * receivers
+
+
+def disk_bytes_per_write(n: int, value_size: int, coding: CodingConfig) -> int:
+    """Modeled accept-phase WAL bytes across all N acceptors.
+
+    Every acceptor (leader included) flushes only its coded share
+    (§1: "Both leader and follower only need to flush the coded shares
+    into disks").
+    """
+    return coding.share_size(value_size) * n

@@ -1,0 +1,165 @@
+"""Proposal values and coded shares as the protocol sees them.
+
+Two operating modes share one representation:
+
+- **Concrete mode** (tests, examples): ``data`` holds real bytes and the
+  Reed-Solomon codec actually runs, so reconstruction correctness is
+  checked end to end.
+- **Modeled mode** (throughput experiments): ``data`` is ``None`` and
+  only sizes flow through the system; encode/decode *costs* are still
+  charged by the simulation but megabytes of payload are never
+  materialized per message (DESIGN.md §4 rule 3).
+
+The decode path enforces the ">= X distinct shares" rule in both modes,
+which is what the safety arguments (and the §2.3 counterexample) rest
+on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any
+
+from ..erasure import CodingConfig, NotEnoughShares, Share, codec_for
+
+_value_seq = itertools.count()
+
+
+def fresh_value_id(proposer: int) -> str:
+    """A globally unique value id (§3.2: proposals carry a value id)."""
+    return f"v{proposer}.{next(_value_seq)}"
+
+
+@dataclass(frozen=True, slots=True)
+class Value:
+    """A client value as proposed into the protocol.
+
+    Attributes
+    ----------
+    value_id:
+        Globally unique id identifying the value (not its content).
+    size:
+        Payload size in bytes (drives all network/disk costs).
+    data:
+        Real bytes in concrete mode; ``None`` in modeled mode.
+    meta:
+        Small *uncoded* metadata replicated verbatim with every share
+        (§4.4: "Only the value are coded into pieces" — the operation
+        type and key stay readable so followers can track which keys
+        are modified). Must be cheap to copy; its cost is covered by
+        the per-message metadata bytes.
+    """
+
+    value_id: str
+    size: int
+    data: bytes | None = None
+    meta: Any = None
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError("negative value size")
+        if self.data is not None and len(self.data) != self.size:
+            raise ValueError("size does not match data length")
+
+
+@dataclass(frozen=True, slots=True)
+class CodedShare:
+    """One coded fragment of a :class:`Value` as carried by accepts.
+
+    ``data`` is None in modeled mode. ``index`` is the share index in
+    [0, N); under θ(1, N) the share *is* the full value (classic Paxos).
+    ``meta`` is the value's uncoded metadata, replicated with every
+    share. ``members`` records the (sorted) replica ids the N shares
+    were fanned out to — share ``index`` went to ``members[index]`` —
+    so a later re-code for a specific replica lands on the right index
+    even after view changes renumbered ranks.
+    """
+
+    value_id: str
+    index: int
+    config: CodingConfig
+    value_size: int
+    data: bytes | None = None
+    meta: Any = None
+    members: tuple[int, ...] | None = None
+
+    @property
+    def size(self) -> int:
+        """Modeled share size in bytes."""
+        return self.config.share_size(self.value_size)
+
+
+def encode_value(
+    value: Value,
+    config: CodingConfig,
+    members: tuple[int, ...] | None = None,
+) -> list[CodedShare]:
+    """Encode a value into N coded shares under ``config``.
+
+    Concrete mode runs the real codec; modeled mode fabricates
+    size-only shares. ``members`` (sorted replica ids, one per share)
+    is stamped on every share for view-change-proof re-coding.
+    """
+    if value.data is None:
+        return [
+            CodedShare(value.value_id, i, config, value.size,
+                       meta=value.meta, members=members)
+            for i in range(config.n)
+        ]
+    shares = codec_for(config).encode(value.data)
+    return [
+        CodedShare(value.value_id, s.index, config, value.size, s.data,
+                   value.meta, members)
+        for s in shares
+    ]
+
+
+def encode_one_share(
+    value: Value,
+    config: CodingConfig,
+    index: int,
+    members: tuple[int, ...] | None = None,
+) -> CodedShare:
+    """Encode only share ``index`` (used for single-replica catch-up)."""
+    if value.data is None:
+        return CodedShare(value.value_id, index, config, value.size,
+                          meta=value.meta, members=members)
+    share = codec_for(config).encode_share(value.data, index)
+    return CodedShare(
+        value.value_id, index, config, value.size, share.data,
+        value.meta, members,
+    )
+
+
+def decode_value(shares: list[CodedShare]) -> Value:
+    """Reconstruct a :class:`Value` from >= X distinct coded shares.
+
+    Raises
+    ------
+    repro.erasure.NotEnoughShares
+        If fewer than X distinct indices are present — the exact
+        failure the naive combination of §2.3 cannot avoid.
+    """
+    if not shares:
+        raise NotEnoughShares("no shares given")
+    config = shares[0].config
+    value_id = shares[0].value_id
+    if any(s.value_id != value_id for s in shares):
+        raise ValueError("shares of different values cannot be combined")
+    distinct = {s.index for s in shares}
+    if len(distinct) < config.x:
+        raise NotEnoughShares(
+            f"value {value_id}: need {config.x} distinct shares, "
+            f"have {len(distinct)}"
+        )
+    size = shares[0].value_size
+    meta = shares[0].meta
+    if all(s.data is not None for s in shares):
+        raw = [
+            Share(s.index, config, s.value_size, s.data)  # type: ignore[arg-type]
+            for s in shares
+        ]
+        data = codec_for(config).decode(raw)
+        return Value(value_id, size, data, meta)
+    return Value(value_id, size, None, meta)

@@ -1,0 +1,115 @@
+"""Reconfiguration / view change (§4.6).
+
+A *view* is an epoch-numbered replica set plus the protocol
+configuration (quorums + coding) in force for instances run under it.
+View changes are themselves decided by a special Paxos instance; every
+proposal carries its epoch so quorum arithmetic always matches the view
+it runs in.
+
+The module also implements the paper's two re-coding optimizations:
+
+1. If the new coding keeps the same number of original shares X, the
+   already-distributed fragments remain valid — no re-spread needed.
+2. If every replica is known to hold its share of a chosen value
+   (``all_shares_placed``), the *effective* fault tolerance is N - X,
+   so a view whose quorum ``Q' >= X`` can adopt the data by merely
+   confirming placement rather than re-coding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from .protocol import ProtocolConfig
+
+
+class MigrationKind(Enum):
+    """How data coded under an old view moves into a new view."""
+
+    NONE = "none"  # same X and compatible members: shares stay put
+    CONFIRM_ONLY = "confirm"  # Q' >= X and shares fully placed: verify, don't move
+    RECODE = "recode"  # full re-code + re-spread through new instances
+
+
+@dataclass(frozen=True, slots=True)
+class View:
+    """An epoch-numbered configuration of one Paxos group."""
+
+    epoch: int
+    members: tuple[int, ...]  # node ids
+    config: ProtocolConfig
+
+    def __post_init__(self) -> None:
+        if self.epoch < 0:
+            raise ValueError("epoch must be non-negative")
+        if len(set(self.members)) != len(self.members):
+            raise ValueError("duplicate members")
+        if len(self.members) != self.config.n:
+            raise ValueError(
+                f"{len(self.members)} members != configured N={self.config.n}"
+            )
+
+    def successor(self, members: tuple[int, ...], config: ProtocolConfig) -> "View":
+        return View(self.epoch + 1, members, config)
+
+
+@dataclass(frozen=True, slots=True)
+class ViewChange:
+    """The payload of a view-change Paxos instance."""
+
+    new_view: View
+
+    @property
+    def wire_bytes(self) -> int:
+        return 64 + 8 * len(self.new_view.members)
+
+
+def classify_migration(
+    old: View, new: View, all_shares_placed: bool = False
+) -> MigrationKind:
+    """Which §4.6 migration strategy applies for old-view data.
+
+    Parameters
+    ----------
+    all_shares_placed:
+        True when every replica of the old view is known to hold its
+        coded share of the data in question (i.e. the value was chosen
+        *and* fully spread, not merely accepted by a quorum).
+    """
+    new_members = set(new.members)
+    shrink_or_same = new_members <= set(old.members)
+    old_x = old.config.coding.x
+    new_x = new.config.coding.x
+    # Optimization 1: identical X and no new members: each surviving
+    # replica's fragment is still a valid fragment where it sits.
+    if new_x == old_x and shrink_or_same:
+        return MigrationKind.NONE
+    # Optimization 2 (paper: "if the quorum in the new configuration is
+    # greater than the number of original shares in old configuration,
+    # i.e. Q' >= X"): when every old replica held its share and the new
+    # membership only drops replicas, any new read quorum still sees
+    # >= X old fragments — confirm placement, don't move data. A *grown*
+    # view never qualifies: its new member holds nothing.
+    if (
+        all_shares_placed
+        and shrink_or_same
+        and min(new.config.q_r, new.config.q_w) >= old_x
+    ):
+        return MigrationKind.CONFIRM_ONLY
+    return MigrationKind.RECODE
+
+
+def migration_bytes(
+    old: View, new: View, value_size: int, kind: MigrationKind
+) -> int:
+    """Modeled network bytes to migrate one value of ``value_size``.
+
+    NONE and CONFIRM_ONLY cost only control traffic (modeled as 0 data
+    bytes); RECODE costs one fresh spread of coded shares under the new
+    view (leader keeps the full value, sends N'-1 shares).
+    """
+    if kind in (MigrationKind.NONE, MigrationKind.CONFIRM_ONLY):
+        return 0
+    share = new.config.coding.share_size(value_size)
+    return share * (new.config.n - 1)

@@ -1,0 +1,36 @@
+"""Reed-Solomon erasure coding over GF(2^8).
+
+This subpackage is the repository's stand-in for Zfec (the C library
+used by the paper's prototype): a systematic MDS code where a value is
+split into X original shares plus N-X parity shares, and any X shares
+reconstruct it.
+
+Public API:
+
+- :class:`CodingConfig` — the paper's θ(X, N) configuration.
+- :class:`RSCodec`, :func:`encode`, :func:`decode` — coding itself.
+- :class:`Share` — one coded fragment.
+- :exc:`NotEnoughShares`, :exc:`ShareMismatch` — decode failures.
+"""
+
+from .config import CodingConfig
+from .rs import (
+    NotEnoughShares,
+    RSCodec,
+    Share,
+    ShareMismatch,
+    codec_for,
+    decode,
+    encode,
+)
+
+__all__ = [
+    "CodingConfig",
+    "NotEnoughShares",
+    "RSCodec",
+    "Share",
+    "ShareMismatch",
+    "codec_for",
+    "decode",
+    "encode",
+]

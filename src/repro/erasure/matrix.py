@@ -1,0 +1,72 @@
+"""Construction of systematic Reed-Solomon encoding matrices.
+
+A systematic code keeps the first ``m`` output shares identical to the
+input data shares, so the encode matrix has the form ``[I_m ; P]`` where
+``P`` is a ``k x m`` parity block. Any ``m`` rows of the full ``n x m``
+matrix must be invertible (the MDS property); we obtain such a matrix by
+starting from an ``n x m`` Vandermonde matrix (whose every ``m x m``
+submatrix is invertible because the evaluation points are distinct) and
+normalizing its top ``m x m`` block to the identity with elementary
+column operations, which preserve the MDS property.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import gf256
+
+
+def vandermonde(n: int, m: int) -> np.ndarray:
+    """The ``n x m`` Vandermonde matrix ``V[i, j] = i ** j`` over GF(2^8).
+
+    Rows are indexed by distinct evaluation points 0..n-1, so every
+    ``m x m`` submatrix is invertible as long as ``n <= 256``.
+    """
+    if not 1 <= m <= n:
+        raise ValueError(f"need 1 <= m <= n, got m={m}, n={n}")
+    if n > gf256.ORDER:
+        raise ValueError(f"at most {gf256.ORDER} shares supported, got n={n}")
+    v = np.zeros((n, m), dtype=np.uint8)
+    for i in range(n):
+        for j in range(m):
+            v[i, j] = gf256.pow_(i, j) if i else (1 if j == 0 else 0)
+    # Row 0 of i**j with i=0: [1, 0, 0, ...] by the convention 0**0 == 1.
+    return v
+
+
+def systematic_encode_matrix(n: int, m: int) -> np.ndarray:
+    """An ``n x m`` systematic MDS encode matrix over GF(2^8).
+
+    The top ``m`` rows form the identity; the remaining ``n - m`` rows
+    are parity coefficients. Any ``m`` rows of the result are linearly
+    independent.
+    """
+    v = vandermonde(n, m)
+    top_inv = gf256.mat_inv(v[:m])
+    mat = gf256.matmul(v, top_inv)
+    # Defensive: the top block must now be exactly I.
+    assert np.array_equal(mat[:m], np.eye(m, dtype=np.uint8))
+    return np.ascontiguousarray(mat)
+
+
+def decode_matrix(encode_matrix: np.ndarray, present_rows: list[int]) -> np.ndarray:
+    """Inverse of the sub-matrix selecting ``present_rows`` shares.
+
+    Multiplying the stacked present shares by this matrix reconstructs
+    the original ``m`` data shares.
+
+    Parameters
+    ----------
+    encode_matrix:
+        The full ``n x m`` systematic encode matrix.
+    present_rows:
+        Indices of exactly ``m`` distinct available shares.
+    """
+    m = encode_matrix.shape[1]
+    if len(present_rows) != m:
+        raise ValueError(f"need exactly {m} share indices, got {len(present_rows)}")
+    if len(set(present_rows)) != m:
+        raise ValueError("duplicate share indices")
+    sub = encode_matrix[np.asarray(present_rows, dtype=np.intp)]
+    return gf256.mat_inv(sub)

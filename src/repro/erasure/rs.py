@@ -1,0 +1,207 @@
+"""Systematic Reed-Solomon encoder/decoder over GF(2^8).
+
+This is the stand-in for Zfec, the C erasure-coding library used by the
+paper's prototype (Section 5). It implements a systematic MDS code: the
+first ``X`` shares are verbatim slices of the (padded) input, the
+remaining ``N - X`` shares are parity, and any ``X`` shares reconstruct
+the value.
+
+Encode matrices and decode matrices (per present-share subset) are
+cached per configuration, because a replicated KV store encodes millions
+of values under a handful of θ(X, N) configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from . import gf256, matrix
+from .config import CodingConfig
+
+
+@dataclass(frozen=True, slots=True)
+class Share:
+    """One coded share of a value.
+
+    Attributes
+    ----------
+    index:
+        Share index in [0, N); indices < X are original data slices.
+    config:
+        The θ(X, N) configuration the share was produced under.
+    value_size:
+        Original (unpadded) value length in bytes, needed to strip
+        padding on reconstruction.
+    data:
+        The share payload.
+    """
+
+    index: int
+    config: CodingConfig
+    value_size: int
+    data: bytes
+
+    @property
+    def is_original(self) -> bool:
+        """True if this share is a verbatim slice of the input."""
+        return self.index < self.config.x
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+class NotEnoughShares(ValueError):
+    """Raised when fewer than X distinct shares are offered to decode.
+
+    This is the precise failure mode the naive EC+Paxos combination of
+    Section 2.3 runs into: a chosen value whose surviving shares no
+    longer reach X cannot be reconstructed by any later proposer.
+    """
+
+
+class ShareMismatch(ValueError):
+    """Raised when offered shares disagree on config/size/length."""
+
+
+@lru_cache(maxsize=128)
+def _encode_matrix(x: int, n: int) -> np.ndarray:
+    return matrix.systematic_encode_matrix(n, x)
+
+
+@lru_cache(maxsize=4096)
+def _decode_matrix(x: int, n: int, rows: tuple[int, ...]) -> np.ndarray:
+    return matrix.decode_matrix(_encode_matrix(x, n), list(rows))
+
+
+class RSCodec:
+    """Encoder/decoder bound to one θ(X, N) configuration."""
+
+    def __init__(self, config: CodingConfig):
+        self.config = config
+        self._matrix = _encode_matrix(config.x, config.n)
+
+    # -- encode ---------------------------------------------------------
+
+    def encode(self, value: bytes) -> list[Share]:
+        """Encode ``value`` into N shares (X original + N-X parity)."""
+        cfg = self.config
+        size = len(value)
+        width = cfg.share_size(size)
+        if width == 0:
+            return [Share(i, cfg, 0, b"") for i in range(cfg.n)]
+        padded = np.zeros(cfg.x * width, dtype=np.uint8)
+        padded[:size] = np.frombuffer(value, dtype=np.uint8)
+        data = padded.reshape(cfg.x, width)
+        if cfg.x == 1:
+            # Replication fast path: every share is the value itself.
+            blob = data[0].tobytes()
+            return [Share(i, cfg, size, blob) for i in range(cfg.n)]
+        parity = gf256.matmul(self._matrix[cfg.x:], data)
+        shares = [
+            Share(i, cfg, size, data[i].tobytes()) for i in range(cfg.x)
+        ]
+        shares.extend(
+            Share(cfg.x + j, cfg, size, parity[j].tobytes())
+            for j in range(cfg.k)
+        )
+        return shares
+
+    def encode_share(self, value: bytes, index: int) -> Share:
+        """Encode only the share with the given index.
+
+        Computing one parity row costs ``X`` table-gather passes over
+        the value rather than ``N - X`` of them; the KV store uses this
+        when re-sending a single replica's share during catch-up
+        (Section 4.5).
+        """
+        cfg = self.config
+        if not 0 <= index < cfg.n:
+            raise ValueError(f"share index {index} out of range for N={cfg.n}")
+        size = len(value)
+        width = cfg.share_size(size)
+        if width == 0:
+            return Share(index, cfg, 0, b"")
+        padded = np.zeros(cfg.x * width, dtype=np.uint8)
+        padded[:size] = np.frombuffer(value, dtype=np.uint8)
+        data = padded.reshape(cfg.x, width)
+        if index < cfg.x:
+            return Share(index, cfg, size, data[index].tobytes())
+        row = self._matrix[index]
+        out = np.zeros(width, dtype=np.uint8)
+        for j in range(cfg.x):
+            gf256.addmul_vec(out, data[j], int(row[j]))
+        return Share(index, cfg, size, out.tobytes())
+
+    # -- decode ---------------------------------------------------------
+
+    def decode(self, shares: list[Share]) -> bytes:
+        """Reconstruct the original value from any >= X distinct shares.
+
+        Raises
+        ------
+        NotEnoughShares
+            If fewer than X distinct share indices are present.
+        ShareMismatch
+            If the shares disagree on configuration or sizing.
+        """
+        cfg = self.config
+        by_index: dict[int, Share] = {}
+        for s in shares:
+            if s.config != cfg:
+                raise ShareMismatch(
+                    f"share coded under {s.config}, codec is {cfg}"
+                )
+            by_index.setdefault(s.index, s)
+        if len(by_index) < cfg.x:
+            raise NotEnoughShares(
+                f"need {cfg.x} distinct shares, have {len(by_index)}"
+            )
+        picked = sorted(by_index)[: cfg.x]
+        chosen = [by_index[i] for i in picked]
+        size = chosen[0].value_size
+        width = cfg.share_size(size)
+        if any(s.value_size != size for s in chosen):
+            raise ShareMismatch("shares disagree on original value size")
+        if any(len(s.data) != width for s in chosen):
+            raise ShareMismatch("share payload length inconsistent with size")
+        if size == 0:
+            return b""
+        if cfg.x == 1:
+            return chosen[0].data[:size]
+        # Fast path: all original shares present -> plain concatenation.
+        if picked == list(range(cfg.x)):
+            return b"".join(s.data for s in chosen)[:size]
+        stacked = np.frombuffer(
+            b"".join(s.data for s in chosen), dtype=np.uint8
+        ).reshape(cfg.x, width)
+        dec = _decode_matrix(cfg.x, cfg.n, tuple(picked))
+        data = gf256.matmul(dec, stacked)
+        return data.reshape(-1).tobytes()[:size]
+
+    def can_decode(self, indices: set[int] | list[int]) -> bool:
+        """Whether a set of share indices suffices to reconstruct."""
+        return len(set(indices)) >= self.config.x
+
+
+@lru_cache(maxsize=64)
+def codec_for(config: CodingConfig) -> RSCodec:
+    """Shared codec instance for a configuration (matrices are cached)."""
+    return RSCodec(config)
+
+
+def encode(value: bytes, config: CodingConfig) -> list[Share]:
+    """Module-level convenience: encode under θ(X, N)."""
+    return codec_for(config).encode(value)
+
+
+def decode(shares: list[Share]) -> bytes:
+    """Module-level convenience: decode a list of shares.
+
+    The configuration is taken from the shares themselves.
+    """
+    if not shares:
+        raise NotEnoughShares("no shares given")
+    return codec_for(shares[0].config).decode(shares)

@@ -1,0 +1,67 @@
+"""The replicated key-value store built on (RS-)Paxos (paper §4).
+
+Public API:
+
+- :func:`build_cluster` / :class:`Cluster` — assemble a full simulated
+  deployment (§6.1 presets).
+- :class:`KVServer` — replica server: Paxos groups, local store, leader
+  leases, fast/consistent/recovery reads, crash recovery, election.
+- :class:`KVClient` — leader-caching client with redirect handling.
+- :class:`ShardMap` — static key -> Paxos-group mapping (§4.2).
+- message types in :mod:`repro.kvstore.messages`.
+"""
+
+from .client import KVClient
+from .cluster import Cluster, build_cluster
+from .messages import (
+    CatchUp,
+    CatchUpEntry,
+    CatchUpReply,
+    ClientDelete,
+    ClientGet,
+    ClientPut,
+    Command,
+    ConfirmPlacement,
+    FetchShare,
+    GetOk,
+    Heartbeat,
+    HeartbeatAck,
+    InstallShare,
+    NewView,
+    NotFound,
+    NotReady,
+    PlacementGaps,
+    PutOk,
+    Redirect,
+    ShareReply,
+)
+from .server import KVServer
+from .shard import ShardMap
+
+__all__ = [
+    "CatchUp",
+    "CatchUpEntry",
+    "CatchUpReply",
+    "ClientDelete",
+    "ClientGet",
+    "ClientPut",
+    "Cluster",
+    "Command",
+    "ConfirmPlacement",
+    "FetchShare",
+    "GetOk",
+    "Heartbeat",
+    "HeartbeatAck",
+    "InstallShare",
+    "KVClient",
+    "KVServer",
+    "NewView",
+    "NotFound",
+    "NotReady",
+    "PlacementGaps",
+    "PutOk",
+    "Redirect",
+    "ShardMap",
+    "ShareReply",
+    "build_cluster",
+]

@@ -1,0 +1,167 @@
+"""KV store client (§4.4).
+
+On startup the client knows the server list; it caches the leader it
+last saw (the paper's clients "gather the information that which
+replica is the leader ... and save this information in its local
+cache") and follows :class:`~repro.kvstore.messages.Redirect` hints.
+Requests that time out rotate to the next server, so clients ride
+through leader failures (Fig. 8).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable
+
+from ..net import Network
+from ..rpc import RpcEndpoint
+from ..sim import MetricSet, Simulator
+
+from .messages import (
+    ClientDelete,
+    ClientGet,
+    ClientPut,
+    GetOk,
+    NotFound,
+    NotReady,
+    PutOk,
+    Redirect,
+)
+
+_client_op_ids = itertools.count()
+
+
+class KVClient:
+    """A logical client issuing KV operations over the simulated net."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: Network,
+        name: str,
+        servers: list[str],
+        timeout: float = 1.0,
+        max_attempts: int = 30,
+        retry_backoff: float = 0.05,
+        metrics: MetricSet | None = None,
+        endpoint: RpcEndpoint | None = None,
+    ):
+        if not servers:
+            raise ValueError("need at least one server")
+        self.sim = sim
+        self.net = net
+        self.name = name
+        self.servers = list(servers)
+        self.timeout = timeout
+        self.max_attempts = max_attempts
+        self.retry_backoff = retry_backoff
+        self.metrics = metrics or MetricSet()
+        self.endpoint = endpoint or RpcEndpoint(sim, net, name)
+        self.leader_cache: str | None = servers[0]
+        self.ops_ok = 0
+        self.ops_failed = 0
+
+    # -- public API -------------------------------------------------------
+
+    def put(
+        self, key: str, size: int, data: bytes | None = None,
+        on_done: Callable[[bool], None] | None = None,
+    ) -> None:
+        """Write ``key``; ``on_done(ok)`` fires at commit or after the
+        retry budget is exhausted."""
+        msg = ClientPut(key, size, data)
+        self._issue(msg, msg.wire_bytes, PutOk, on_done, op="put")
+
+    def get(
+        self, key: str, mode: str = "fast",
+        on_done: Callable[[bool, int], None] | None = None,
+        server: str | None = None,
+    ) -> None:
+        """Read ``key``; ``on_done(ok, size)``.
+
+        ``mode`` is "fast", "consistent" or "snapshot" (§4.4). Snapshot
+        reads may target a specific (non-leader) ``server``.
+        """
+        msg = ClientGet(key, mode)
+
+        def adapt(ok: bool, reply=None) -> None:
+            if on_done is not None:
+                size = reply.size if ok and isinstance(reply, GetOk) else 0
+                on_done(ok, size)
+
+        self._issue(msg, msg.wire_bytes, GetOk, adapt, op="get",
+                    raw_cb=True, fixed_target=server)
+
+    def delete(
+        self, key: str, on_done: Callable[[bool], None] | None = None
+    ) -> None:
+        msg = ClientDelete(key)
+        self._issue(msg, msg.wire_bytes, PutOk, on_done, op="delete")
+
+    # -- engine -----------------------------------------------------------
+
+    def _issue(
+        self, msg, size: int, ok_type: type, on_done, op: str,
+        raw_cb: bool = False, fixed_target: str | None = None,
+    ) -> None:
+        start = self.sim.now
+        attempts = {"left": self.max_attempts}
+        rotation = itertools.cycle(self.servers)
+
+        def pick_target() -> str:
+            if fixed_target is not None:
+                return fixed_target
+            if self.leader_cache is not None:
+                return self.leader_cache
+            return next(rotation)
+
+        def finish(ok: bool, reply=None) -> None:
+            if ok:
+                self.ops_ok += 1
+                self.metrics.latency(f"client.{op}").record(self.sim.now - start)
+            else:
+                self.ops_failed += 1
+            if on_done is not None:
+                if raw_cb:
+                    on_done(ok, reply)
+                else:
+                    on_done(ok)
+
+        def attempt() -> None:
+            if attempts["left"] <= 0:
+                finish(False)
+                return
+            attempts["left"] -= 1
+            target = pick_target()
+
+            def on_reply(reply) -> None:
+                if isinstance(reply, ok_type):
+                    if fixed_target is None:
+                        self.leader_cache = target
+                    finish(True, reply)
+                elif isinstance(reply, NotFound):
+                    # Key absence is a successful read of "nothing".
+                    if fixed_target is None:
+                        self.leader_cache = target
+                    finish(False, reply)
+                elif isinstance(reply, Redirect):
+                    self.leader_cache = reply.leader_hint
+                    self.sim.call_after(self.retry_backoff, attempt)
+                elif isinstance(reply, NotReady):
+                    self.sim.call_after(self.retry_backoff * 2, attempt)
+                else:
+                    self.sim.call_after(self.retry_backoff, attempt)
+
+            def on_timeout() -> None:
+                # Server may be down: drop the cache and rotate.
+                if fixed_target is None:
+                    self.leader_cache = None
+                attempt()
+
+            self.endpoint.request(
+                target, msg, size,
+                on_reply=on_reply, timeout=self.timeout,
+                retries=0, on_timeout=on_timeout,
+            )
+
+        attempt()

@@ -1,0 +1,130 @@
+"""Cluster assembly: the §6.1 deployments in one call.
+
+Builds a full simulated deployment — N server hosts, any number of
+client hosts, the shared metric set, and the fault scheduler — for a
+given protocol configuration, link preset (LAN/WAN) and disk class
+(HDD/SSD).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core import LeaseConfig
+from ..net import (
+    FaultSchedule,
+    LinkSpec,
+    Network,
+    build_network,
+    client_names,
+    server_names,
+)
+from ..sim import MetricSet, NULL_TRACER, Simulator, Tracer
+from ..storage import DiskSpec, SSD
+from .client import KVClient
+from .server import KVServer
+from .shard import ShardMap
+
+
+@dataclass
+class Cluster:
+    """A fully wired simulated deployment."""
+
+    sim: Simulator
+    net: Network
+    servers: list[KVServer]
+    clients: list[KVClient]
+    shard_map: ShardMap
+    metrics: MetricSet
+    faults: FaultSchedule
+    tracer: Tracer = field(default_factory=lambda: NULL_TRACER)
+
+    def start(self) -> None:
+        for s in self.servers:
+            s.start()
+
+    def leader(self) -> KVServer | None:
+        for s in self.servers:
+            if s.is_leader_server and s.up:
+                return s
+        return None
+
+    def crash_server(self, idx: int) -> None:
+        self.servers[idx].crash()
+
+    def recover_server(self, idx: int) -> None:
+        self.servers[idx].recover()
+
+    def run(self, until: float) -> None:
+        self.sim.run(until=until)
+
+
+def build_cluster(
+    config,
+    num_servers: int | None = None,
+    num_clients: int = 1,
+    num_groups: int = 4,
+    link: LinkSpec | None = None,
+    disk: DiskSpec = SSD,
+    seed: int = 0,
+    lease_config: LeaseConfig | None = None,
+    group_commit_window: float = 0.002,
+    rpc_timeout: float = 0.25,
+    client_timeout: float = 2.0,
+    codec_bw: float = 2e9,
+    initial_leader: int = 0,
+    auto_reconfigure: bool = False,
+    trace: bool = False,
+) -> Cluster:
+    """Wire up a complete cluster.
+
+    ``config`` is a :class:`~repro.core.ProtocolConfig` (its N fixes the
+    server count unless overridden). Clock offsets are drawn
+    deterministically within ±δ/2 to exercise the lease drift bound.
+    """
+    n = num_servers or config.n
+    if n != config.n:
+        raise ValueError(f"server count {n} != protocol N={config.n}")
+    sim = Simulator(seed=seed)
+    tracer = Tracer() if trace else NULL_TRACER
+    snames = server_names(n)
+    cnames = client_names(num_clients)
+    net = build_network(
+        sim, snames + cnames, link or LinkSpec(delay_s=0.0001, jitter_s=0.00005),
+        tracer,
+    )
+    metrics = MetricSet()
+    shard_map = ShardMap(num_groups)
+    lease_cfg = lease_config or LeaseConfig()
+    peers = dict(enumerate(snames))
+    drift_rng = sim.rng.stream("clock.drift")
+    servers = [
+        KVServer(
+            sim, net, name, i, peers, config,
+            disk_spec=disk, shard_map=shard_map,
+            lease_config=lease_cfg,
+            clock_offset=float(
+                drift_rng.uniform(-lease_cfg.max_drift / 2, lease_cfg.max_drift / 2)
+            ),
+            group_commit_window=group_commit_window,
+            rpc_timeout=rpc_timeout,
+            codec_bw=codec_bw,
+            initial_leader=initial_leader,
+            auto_reconfigure=auto_reconfigure,
+            tracer=tracer,
+            metrics=metrics,
+        )
+        for i, name in enumerate(snames)
+    ]
+    clients = [
+        KVClient(
+            sim, net, name, snames,
+            timeout=client_timeout, metrics=metrics,
+        )
+        for name in cnames
+    ]
+    faults = FaultSchedule(sim, net)
+    return Cluster(
+        sim=sim, net=net, servers=servers, clients=clients,
+        shard_map=shard_map, metrics=metrics, faults=faults, tracer=tracer,
+    )

@@ -1,0 +1,266 @@
+"""Client-server and server-server messages of the KV store (§4.4-4.5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core import CodedShare
+
+#: Fixed request/reply metadata size in bytes.
+KV_META = 32
+
+
+# ---------------------------------------------------------------------------
+# Client -> server
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class ClientPut:
+    """Write (also covers insert, §4.4: "insert ... treated as regular
+    writes")."""
+
+    key: str
+    size: int
+    data: bytes | None = None
+
+    @property
+    def wire_bytes(self) -> int:
+        return KV_META + len(self.key) + self.size
+
+
+@dataclass(frozen=True, slots=True)
+class ClientGet:
+    """Read. ``mode`` is one of "fast" / "consistent" (§4.4)."""
+
+    key: str
+    mode: str = "fast"
+
+    @property
+    def wire_bytes(self) -> int:
+        return KV_META + len(self.key)
+
+
+@dataclass(frozen=True, slots=True)
+class ClientDelete:
+    """Delete = write(key, NULL) (§4.4)."""
+
+    key: str
+
+    @property
+    def wire_bytes(self) -> int:
+        return KV_META + len(self.key)
+
+
+# ---------------------------------------------------------------------------
+# Server -> client replies
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class PutOk:
+    key: str
+
+    @property
+    def wire_bytes(self) -> int:
+        return KV_META
+
+
+@dataclass(frozen=True, slots=True)
+class GetOk:
+    key: str
+    size: int
+    data: bytes | None = None
+
+    @property
+    def wire_bytes(self) -> int:
+        return KV_META + self.size
+
+
+@dataclass(frozen=True, slots=True)
+class NotFound:
+    key: str
+
+    @property
+    def wire_bytes(self) -> int:
+        return KV_META
+
+
+@dataclass(frozen=True, slots=True)
+class Redirect:
+    """This server is not the leader; try ``leader_hint`` (may be None
+    while leadership is unsettled)."""
+
+    leader_hint: str | None
+
+    @property
+    def wire_bytes(self) -> int:
+        return KV_META
+
+
+@dataclass(frozen=True, slots=True)
+class NotReady:
+    """Leadership transition in progress; retry shortly."""
+
+    @property
+    def wire_bytes(self) -> int:
+        return KV_META
+
+
+# ---------------------------------------------------------------------------
+# Server <-> server
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class Heartbeat:
+    """Leader lease renewal (§4.3)."""
+
+    leader_id: int
+
+    @property
+    def wire_bytes(self) -> int:
+        return KV_META
+
+
+@dataclass(frozen=True, slots=True)
+class HeartbeatAck:
+    """Follower liveness signal back to the leader; feeds the optional
+    auto-reconfiguration of §6.1 (drop a member that stays silent)."""
+
+    follower_id: int
+
+    @property
+    def wire_bytes(self) -> int:
+        return KV_META
+
+
+@dataclass(frozen=True, slots=True)
+class FetchShare:
+    """Recovery read (§4.4): ask a peer for its accepted coded share."""
+
+    group: int
+    instance: int
+    value_id: str
+
+    @property
+    def wire_bytes(self) -> int:
+        return KV_META
+
+
+@dataclass(frozen=True, slots=True)
+class ShareReply:
+    share: CodedShare | None
+
+    @property
+    def wire_bytes(self) -> int:
+        return KV_META + (self.share.size if self.share is not None else 0)
+
+
+@dataclass(frozen=True, slots=True)
+class CatchUp:
+    """Recovered server asks the leader for missed decisions (§4.5)."""
+
+    group: int
+    from_instance: int
+
+    @property
+    def wire_bytes(self) -> int:
+        return KV_META
+
+
+@dataclass(frozen=True, slots=True)
+class CatchUpEntry:
+    instance: int
+    value_id: str
+    value_size: int
+    meta: Any
+    share: CodedShare | None  # re-coded for the recovering node
+
+
+@dataclass(frozen=True, slots=True)
+class CatchUpReply:
+    group: int
+    entries: tuple[CatchUpEntry, ...] = field(default_factory=tuple)
+
+    @property
+    def wire_bytes(self) -> int:
+        return KV_META + sum(
+            KV_META + (e.share.size if e.share is not None else 0)
+            for e in self.entries
+        )
+
+
+# ---------------------------------------------------------------------------
+# Commands carried (uncoded) inside proposed values
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class Command:
+    """The uncoded metadata of a proposal: operation type + key (§4.4:
+    followers must see which keys are modified without decoding).
+
+    ``arg`` carries the payload of control commands (the new view for
+    ``op == "view"``); it is None for data operations.
+    """
+
+    op: str  # "put" | "delete" | "read" | "view"
+    key: str
+    arg: Any = None
+
+
+# ---------------------------------------------------------------------------
+# View change (§4.6)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class NewView:
+    """The §4.6 view-change payload: epoch + members + quorums/coding.
+
+    ``config`` is a ProtocolConfig; carried uncoded (control traffic).
+    """
+
+    epoch: int
+    members: tuple[int, ...]
+    config: Any
+
+    @property
+    def wire_bytes(self) -> int:
+        return KV_META + 8 * len(self.members)
+
+
+@dataclass(frozen=True, slots=True)
+class ConfirmPlacement:
+    """Leader -> survivor: report chosen put-instances below ``upto``
+    for which you hold no coded share (optimization 2's confirmation)."""
+
+    group: int
+    upto: int
+    instances: tuple[int, ...]  # the instances that must be held
+
+    @property
+    def wire_bytes(self) -> int:
+        return KV_META + 8 * len(self.instances)
+
+
+@dataclass(frozen=True, slots=True)
+class PlacementGaps:
+    group: int
+    missing: tuple[int, ...]
+
+    @property
+    def wire_bytes(self) -> int:
+        return KV_META + 8 * len(self.missing)
+
+
+@dataclass(frozen=True, slots=True)
+class InstallShare:
+    """Leader -> survivor: fill a placement gap with a re-coded share."""
+
+    group: int
+    instance: int
+    value_id: str
+    share: CodedShare
+    meta: Any
+
+    @property
+    def wire_bytes(self) -> int:
+        return KV_META + self.share.size

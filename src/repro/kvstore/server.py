@@ -1,0 +1,870 @@
+"""The replicated KV server (§4).
+
+One :class:`KVServer` per host. It owns:
+
+- one RPC endpoint + channel mux (all Paxos groups share the NIC);
+- one disk + one shared WAL (all groups share the device, §6.1);
+- one :class:`~repro.core.PaxosNode` per Paxos group (§4.2);
+- the local KV store (§4.1), leader leases (§4.3), the three read
+  paths (§4.4), crash/recovery + catch-up (§4.5) and leader election
+  driven by lease expiry (§4.5: "another Paxos instance" — here the
+  batch-prepare round of the new leader's ballot *is* that decision).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core import (
+    ChosenRecord,
+    Lease,
+    LeaseConfig,
+    LocalClock,
+    PaxosNode,
+    Value,
+    fresh_value_id,
+)
+from ..net import Network
+from ..rpc import ChannelMux, RpcEndpoint
+from ..sim import MetricSet, NULL_TRACER, Simulator, Tracer
+from ..storage import Disk, DiskSpec, LocalStore, WalView, WriteAheadLog
+from .messages import (
+    CatchUp,
+    CatchUpEntry,
+    CatchUpReply,
+    ClientDelete,
+    ClientGet,
+    ClientPut,
+    Command,
+    ConfirmPlacement,
+    FetchShare,
+    GetOk,
+    Heartbeat,
+    HeartbeatAck,
+    InstallShare,
+    NewView,
+    NotFound,
+    NotReady,
+    PlacementGaps,
+    PutOk,
+    Redirect,
+    ShareReply,
+)
+from .shard import ShardMap
+
+
+class KVServer:
+    """One replica server hosting every shard's Paxos group."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: Network,
+        name: str,
+        node_id: int,
+        peers: dict[int, str],
+        config,
+        disk_spec: DiskSpec,
+        shard_map: ShardMap,
+        lease_config: LeaseConfig | None = None,
+        clock_offset: float = 0.0,
+        group_commit_window: float = 0.002,
+        rpc_timeout: float = 0.25,
+        codec_bw: float = 2e9,
+        initial_leader: int = 0,
+        auto_reconfigure: bool = False,
+        tracer: Tracer = NULL_TRACER,
+        metrics: MetricSet | None = None,
+    ):
+        self.sim = sim
+        self.net = net
+        self.name = name
+        self.node_id = node_id
+        self.peers = dict(peers)
+        self.config = config
+        self.shard_map = shard_map
+        self.lease_config = lease_config or LeaseConfig()
+        self.tracer = tracer
+        self.metrics = metrics or MetricSet()
+
+        self.endpoint = RpcEndpoint(sim, net, name)
+        self.mux = ChannelMux(self.endpoint)
+        self.disk = Disk(sim, disk_spec, f"{name}.disk")
+        self.wal = WriteAheadLog(
+            sim, self.disk, group_commit_window=group_commit_window,
+            name=f"{name}.wal",
+        )
+        self.store = LocalStore(f"{name}.store")
+        self.clock = LocalClock(sim, clock_offset)
+        self.lease = Lease(self.clock, self.lease_config)
+
+        self.groups: list[PaxosNode] = []
+        for g in range(shard_map.num_groups):
+            node = PaxosNode(
+                sim, self.mux.channel(g), WalView(self.wal, g), config,
+                node_id=node_id, peers=peers,
+                rpc_timeout=rpc_timeout, codec_bw=codec_bw, tracer=tracer,
+            )
+            node.on_apply = self._make_apply_hook(g)
+            node.on_preempted = lambda ballot, g=g: self._on_preempted(g)
+            self.groups.append(node)
+
+        self.up = True
+        self.is_leader_server = False
+        self.current_leader: int | None = initial_leader
+        self._electing = False
+        self._hb_timer = None
+        self._monitor_timer = None
+        self.recovery_reads = 0
+        self.fast_reads = 0
+        self.consistent_reads = 0
+        self.snapshot_reads = 0
+
+        # View / reconfiguration state (§4.6).
+        self.view_epoch = 0
+        self.member_ids: set[int] = set(peers)
+        self.auto_reconfigure = auto_reconfigure
+        self.dead_after = 3.0  # silence before auto-dropping a member
+        self._view_changing = False
+        self._last_ack: dict[int, float] = {}
+        self.view_changes_completed = 0
+
+        # Client-facing handlers.
+        self.endpoint.on_request_async(ClientPut, self._on_put)
+        self.endpoint.on_request_async(ClientGet, self._on_get)
+        self.endpoint.on_request_async(ClientDelete, self._on_delete)
+        # Server-server.
+        self.endpoint.on(Heartbeat, self._on_heartbeat)
+        self.endpoint.on(HeartbeatAck, self._on_heartbeat_ack)
+        self.endpoint.on_request_async(FetchShare, self._on_fetch_share)
+        self.endpoint.on_request_async(CatchUp, self._on_catch_up)
+        self.endpoint.on_request_async(ConfirmPlacement, self._on_confirm_placement)
+        self.endpoint.on(InstallShare, self._on_install_share)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Arm lease machinery; the configured initial leader elects
+        itself immediately."""
+        self.lease.renew()  # startup grace period
+        if self.current_leader == self.node_id:
+            self._start_election()
+        self._arm_monitor()
+
+    def crash(self) -> None:
+        """Fail-stop: volatile state gone, host unreachable."""
+        self.up = False
+        self.net.crash_host(self.name)
+        for node in self.groups:
+            node.crash()
+        self.store.clear()
+        self.is_leader_server = False
+        self._electing = False
+        self._view_changing = False
+        self._last_ack.clear()
+        if self._hb_timer is not None:
+            self._hb_timer.cancel()
+            self._hb_timer = None
+        if self._monitor_timer is not None:
+            self._monitor_timer.cancel()
+            self._monitor_timer = None
+
+    def recover(self) -> None:
+        """Restart from durable state and catch up from the leader (§4.5)."""
+        self.up = True
+        self.net.recover_host(self.name)
+        for node in self.groups:
+            node.recover()
+        self.current_leader = None
+        self.lease.invalidate()
+        self.lease.renew()  # grace period before trying to elect
+        self._arm_monitor()
+        self._request_catch_up()
+
+    # ------------------------------------------------------------------
+    # leases, heartbeats, election
+    # ------------------------------------------------------------------
+
+    def _arm_monitor(self) -> None:
+        if not self.up:
+            return
+        interval = self.lease_config.heartbeat_interval
+        self._monitor_timer = self.sim.call_after(interval, self._monitor_tick)
+
+    def _monitor_tick(self) -> None:
+        if not self.up:
+            return
+        if self.is_leader_server:
+            self._send_heartbeats()
+        elif not self._electing and self.lease.vacant_for_follower():
+            # Stagger candidates in ring order after the failed leader so
+            # the next replica usually wins uncontested (§4.5).
+            last = self.current_leader if self.current_leader is not None else 0
+            rank = (self.node_id - last - 1) % len(self.peers)
+            self.sim.call_after(
+                rank * self.lease_config.heartbeat_interval * 0.5,
+                self._maybe_elect,
+            )
+            self._electing = True
+        self._arm_monitor()
+
+    def _maybe_elect(self) -> None:
+        if not self.up or self.is_leader_server:
+            return
+        if not self.lease.vacant_for_follower():
+            self._electing = False  # a leader reappeared
+            return
+        self._start_election()
+
+    def _start_election(self) -> None:
+        """Become leader of every group (batch prepare each)."""
+        self._electing = True
+        pending = {"n": len(self.groups), "failed": False}
+        self.tracer.emit(self.sim.now, "kv", f"{self.name} election start")
+
+        def one_done(ok: bool) -> None:
+            if not self.up:
+                return
+            if not ok:
+                pending["failed"] = True
+            pending["n"] -= 1
+            if pending["n"] == 0:
+                self._election_finished(not pending["failed"])
+
+        for node in self.groups:
+            node.become_leader(one_done)
+
+    def _election_finished(self, ok: bool) -> None:
+        self._electing = False
+        if not ok:
+            # Lost the race; wait for the winner's heartbeats (or the
+            # next vacancy check retries with a higher ballot).
+            self.lease.renew()
+            return
+        self.is_leader_server = True
+        self.current_leader = self.node_id
+        self.lease.renew()
+        self.tracer.emit(self.sim.now, "kv", f"{self.name} is leader")
+        self._send_heartbeats()
+
+    def _send_heartbeats(self) -> None:
+        self.lease.renew()
+        hb = Heartbeat(leader_id=self.node_id)
+        for nid in self.member_ids:
+            if nid != self.node_id:
+                self.endpoint.send(self.peers[nid], hb, hb.wire_bytes)
+        if self.auto_reconfigure:
+            self._check_dead_members()
+
+    def _check_dead_members(self) -> None:
+        """§6.1 failure-handling: a member silent for ``dead_after``
+        seconds is dropped through a view change, restoring the ability
+        to survive the *next* uncorrelated failure."""
+        if self._view_changing or len(self.member_ids) <= 3:
+            return
+        now = self.sim.now
+        for nid in sorted(self.member_ids):
+            if nid == self.node_id:
+                continue
+            last = self._last_ack.get(nid, now - self.dead_after * 0.5)
+            self._last_ack.setdefault(nid, last)
+            if now - last > self.dead_after:
+                self.reconfigure_remove(nid)
+                return
+
+    def _on_heartbeat(self, msg: Heartbeat, src: str) -> None:
+        if not self.up:
+            return
+        ack = HeartbeatAck(follower_id=self.node_id)
+        self.endpoint.send(src, ack, ack.wire_bytes)
+        if self.is_leader_server and msg.leader_id != self.node_id:
+            # Two believed leaders: the one with the newer ballot wins at
+            # the acceptors; we conservatively step down on seeing a
+            # heartbeat from a higher id round (rare; safety never rests
+            # on this).
+            pass
+        self.current_leader = msg.leader_id
+        if msg.leader_id != self.node_id:
+            self._electing = False
+            self.lease.renew()
+
+    def _on_heartbeat_ack(self, msg: HeartbeatAck, src: str) -> None:
+        if self.up:
+            self._last_ack[msg.follower_id] = self.sim.now
+
+    def _on_preempted(self, group: int) -> None:
+        if self.is_leader_server:
+            self.tracer.emit(
+                self.sim.now, "kv", f"{self.name} demoted (group {group})"
+            )
+        self.is_leader_server = False
+        self.current_leader = None
+
+    # ------------------------------------------------------------------
+    # apply hook: Paxos decisions -> local store (§4.4)
+    # ------------------------------------------------------------------
+
+    def _make_apply_hook(self, group: int) -> Callable[[int, ChosenRecord], None]:
+        def apply_(instance: int, rec: ChosenRecord) -> None:
+            meta = None
+            if rec.value is not None:
+                meta = rec.value.meta
+            elif rec.share is not None:
+                meta = rec.share.meta
+            if not isinstance(meta, Command):
+                return  # no-op filler or unknown decision: nothing to apply
+            version = instance
+            if meta.op == "put":
+                if rec.value is not None:
+                    # Full value available (leader, or decoded earlier).
+                    self.store.put(
+                        meta.key, rec.value.data, rec.value.size, version,
+                        complete=True,
+                    )
+                elif rec.share is not None and rec.share.config.x == 1:
+                    # Classic Paxos (θ(1, N)): the "share" is the full
+                    # value — followers hold complete copies.
+                    self.store.put(
+                        meta.key, rec.share.data, rec.share.value_size,
+                        version, complete=True,
+                    )
+                elif rec.share is not None:
+                    # Follower path: only the coded share is stored,
+                    # tagged incomplete (§4.4).
+                    self.store.put(
+                        meta.key, rec.share, rec.share.size, version,
+                        complete=False,
+                    )
+                else:
+                    # Chosen but no local payload at all (missed accept):
+                    # record an empty incomplete entry for catch-up.
+                    self.store.put(meta.key, None, 0, version, complete=False)
+            elif meta.op == "delete":
+                self.store.delete(meta.key, version)
+            elif meta.op == "view":
+                self._apply_view_cmd(group, meta.arg)
+            # op == "read": consistency marker, no state change.
+
+        return apply_
+
+    # ------------------------------------------------------------------
+    # client operations
+    # ------------------------------------------------------------------
+
+    def _leader_guard(self, respond) -> bool:
+        """Common not-the-leader handling; True if the caller may proceed."""
+        if not self.up:
+            return False
+        if self.is_leader_server:
+            if self._electing or self._view_changing:
+                r = NotReady()
+                respond(r, r.wire_bytes)
+                return False
+            return True
+        hint = None
+        if self.current_leader is not None:
+            hint = self.peers.get(self.current_leader)
+        r = Redirect(hint)
+        respond(r, r.wire_bytes)
+        return False
+
+    def _on_put(self, msg: ClientPut, src: str, respond) -> None:
+        if not self._leader_guard(respond):
+            return
+        start = self.sim.now
+        group = self.shard_map.group_of(msg.key)
+        node = self.groups[group]
+        value = Value(
+            fresh_value_id(self.node_id), msg.size, msg.data,
+            meta=Command("put", msg.key),
+        )
+
+        def decided(instance: int, v: Value) -> None:
+            if not self.up:
+                return
+            self.metrics.latency("write").record(self.sim.now - start)
+            self.metrics.throughput("write").record(self.sim.now, msg.size)
+            reply = PutOk(msg.key)
+            respond(reply, reply.wire_bytes)
+
+        try:
+            node.propose(value, decided)
+        except RuntimeError:
+            r = NotReady()
+            respond(r, r.wire_bytes)
+
+    def _on_delete(self, msg: ClientDelete, src: str, respond) -> None:
+        if not self._leader_guard(respond):
+            return
+        group = self.shard_map.group_of(msg.key)
+        node = self.groups[group]
+        value = Value(
+            fresh_value_id(self.node_id), 0, None, meta=Command("delete", msg.key)
+        )
+
+        def decided(instance: int, v: Value) -> None:
+            if self.up:
+                reply = PutOk(msg.key)
+                respond(reply, reply.wire_bytes)
+
+        try:
+            node.propose(value, decided)
+        except RuntimeError:
+            r = NotReady()
+            respond(r, r.wire_bytes)
+
+    def _on_get(self, msg: ClientGet, src: str, respond) -> None:
+        if msg.mode == "snapshot":
+            # Snapshot read (§4.4): served by ANY replica from its local
+            # (possibly stale) state — "recovery read can also function
+            # as snapshot read if the application requires a snapshot
+            # version from a non-leader replica". A follower holding
+            # only a coded share gathers X shares first.
+            if not self.up:
+                return
+            self.snapshot_reads += 1
+            self._serve_read(msg.key, self.sim.now, respond)
+            return
+        if not self._leader_guard(respond):
+            return
+        start = self.sim.now
+        if msg.mode == "fast":
+            # Fast read (§4.4): valid lease => serve from local storage.
+            if not self.lease.held_by_leader():
+                r = NotReady()
+                respond(r, r.wire_bytes)
+                return
+            self.fast_reads += 1
+            self._serve_read(msg.key, start, respond)
+        elif msg.mode == "consistent":
+            # Consistent read (§4.4): an explicit Paxos instance as a
+            # marker; correct regardless of lease health.
+            self.consistent_reads += 1
+            group = self.shard_map.group_of(msg.key)
+            node = self.groups[group]
+            marker = Value(
+                fresh_value_id(self.node_id), 0, None,
+                meta=Command("read", msg.key),
+            )
+
+            def decided(instance: int, v: Value) -> None:
+                if self.up:
+                    self._serve_read(msg.key, start, respond)
+
+            try:
+                node.propose(marker, decided)
+            except RuntimeError:
+                r = NotReady()
+                respond(r, r.wire_bytes)
+        else:
+            raise ValueError(f"unknown read mode {msg.mode!r}")
+
+    def _serve_read(self, key: str, start: float, respond) -> None:
+        entry = self.store.get(key)
+        if entry is None:
+            r = NotFound(key)
+            respond(r, r.wire_bytes)
+            return
+        if entry.complete:
+            self.metrics.latency("read").record(self.sim.now - start)
+            self.metrics.throughput("read").record(self.sim.now, entry.size)
+            value_size = entry.size
+            r = GetOk(key, value_size, entry.value if isinstance(entry.value, bytes) else None)
+            respond(r, r.wire_bytes)
+            return
+        # Recovery read (§4.4): this (new) leader only holds a coded
+        # share; gather >= X shares from peers, decode, then serve.
+        self._recovery_read(key, entry, start, respond)
+
+    # ------------------------------------------------------------------
+    # recovery read
+    # ------------------------------------------------------------------
+
+    def _recovery_read(self, key: str, entry, start: float, respond) -> None:
+        self.recovery_reads += 1
+        group = self.shard_map.group_of(key)
+        node = self.groups[group]
+        instance = entry.version
+        share = entry.value  # this node's coded share (may be None)
+        value_id = share.value_id if share is not None else None
+        if value_id is None:
+            rec = node.chosen.get(instance)
+            value_id = rec.value_id if rec is not None else None
+        if value_id is None:
+            r = NotFound(key)
+            respond(r, r.wire_bytes)
+            return
+
+        def on_value(value) -> None:
+            self.store.put(key, value.data, value.size, instance, complete=True)
+            rec = node.chosen.get(instance)
+            if rec is not None and rec.value is None:
+                rec.value = value
+            self.metrics.latency("read").record(self.sim.now - start)
+            self.metrics.throughput("read").record(self.sim.now, value.size)
+            r = GetOk(key, value.size, value.data)
+            respond(r, r.wire_bytes)
+
+        self._gather_shares(group, instance, value_id, share, on_value)
+
+    def _gather_shares(
+        self, group: int, instance: int, value_id: str, seed_share, on_value
+    ) -> None:
+        """Collect coded shares of a decided value from peers until it
+        is reconstructible, then call ``on_value(value)``.
+
+        The number of shares needed comes from the *shares' own* coding
+        configuration (not the group's current one): values written
+        before a view change keep their original θ(X, N) and must be
+        gathered under it.
+        """
+        node = self.groups[group]
+        shares: dict[int, object] = {}
+        if seed_share is not None:
+            shares[seed_share.index] = seed_share
+        state = {"done": False}
+
+        def needed() -> int:
+            if shares:
+                return next(iter(shares.values())).config.x
+            return node.config.coding.x
+
+        def maybe_finish() -> None:
+            if state["done"] or not shares or len(shares) < needed():
+                return
+            state["done"] = True
+            on_value(node.decode_from_shares(list(shares.values())))
+
+        def on_share(reply) -> None:
+            if state["done"] or not self.up:
+                return
+            if not isinstance(reply, ShareReply) or reply.share is None:
+                return
+            if reply.share.value_id != value_id:
+                return
+            if shares and reply.share.config != next(iter(shares.values())).config:
+                return  # never mix shares from different codings
+            shares[reply.share.index] = reply.share
+            maybe_finish()
+
+        req = FetchShare(group=group, instance=instance, value_id=value_id)
+        for nid, host in self.peers.items():
+            if nid == self.node_id:
+                continue
+            self.endpoint.request(
+                host, req, req.wire_bytes, on_reply=on_share,
+                timeout=0.5, retries=8, on_timeout=lambda: None,
+            )
+        maybe_finish()
+
+    def _on_fetch_share(self, msg: FetchShare, src: str, respond) -> None:
+        if not self.up:
+            return
+        node = self.groups[msg.group]
+        share = node.acceptor.accepted_share(msg.instance)
+        if share is not None and share.value_id != msg.value_id:
+            share = None
+        reply = ShareReply(share)
+        respond(reply, reply.wire_bytes)
+
+    # ------------------------------------------------------------------
+    # view change (§4.6 / §6.1)
+    # ------------------------------------------------------------------
+
+    def _shrunk_config(self, new_n: int):
+        """The §6.1 shrink rule: keep the fault-tolerance target F and
+        re-derive quorums/coding at the smaller N. For the paper's
+        N=5, Q=4, θ(3,5) group this yields N=4, Q=3, θ(2,4). Classic
+        Paxos shrinks to the smaller majority group."""
+        from ..core import classic_paxos, rs_paxos
+
+        if not self.config.is_erasure_coded:
+            return classic_paxos(new_n)
+        return rs_paxos(new_n, self.config.f)
+
+    def reconfigure_remove(self, dead_id: int) -> None:
+        """Drop ``dead_id`` from every Paxos group via view change.
+
+        Leader-only. Client writes are fenced (NotReady) while the
+        change runs; the §4.6 optimization-2 confirmation ensures every
+        survivor holds its coded share of every chosen value before the
+        smaller quorums take effect, so old data stays recoverable
+        without re-coding.
+        """
+        if not self.is_leader_server or self._view_changing:
+            return
+        if dead_id not in self.member_ids or dead_id == self.node_id:
+            return
+        if len(self.member_ids) <= 3:
+            return  # no meaningful smaller quorum system
+        self._view_changing = True
+        members = tuple(sorted(self.member_ids - {dead_id}))
+        new_config = self._shrunk_config(len(members))
+        self.tracer.emit(
+            self.sim.now, "kv",
+            f"{self.name} view change: drop {dead_id} -> "
+            f"N={new_config.n} Q={new_config.q_w} X={new_config.x}",
+        )
+        self._drain_then(lambda: self._confirm_then_propose(members, new_config))
+
+    def _drain_then(self, cont) -> None:
+        """Wait until no group has a proposal in flight."""
+        if not self.up:
+            return
+        if any(node._inflight for node in self.groups):
+            self.sim.call_after(0.02, lambda: self._drain_then(cont))
+            return
+        cont()
+
+    def _confirm_then_propose(self, members: tuple[int, ...], new_config) -> None:
+        """Optimization-2 confirmation, then the view-change instances."""
+        if not self.up:
+            return
+        survivors = [m for m in members if m != self.node_id]
+        pending = {"n": len(self.groups) * len(survivors)}
+        if pending["n"] == 0:
+            self._propose_view_change(members, new_config)
+            return
+
+        def one_done() -> None:
+            pending["n"] -= 1
+            if pending["n"] == 0:
+                self._propose_view_change(members, new_config)
+
+        for g, node in enumerate(self.groups):
+            need = tuple(
+                inst for inst, rec in sorted(node.chosen.items())
+                if isinstance(self._meta_of(rec), Command)
+                and self._meta_of(rec).op == "put"
+            )
+            req = ConfirmPlacement(group=g, upto=node.next_instance,
+                                   instances=need)
+            for m in survivors:
+                self.endpoint.request(
+                    self.peers[m], req, req.wire_bytes,
+                    on_reply=lambda rep, g=g, m=m, done=one_done:
+                        self._fill_gaps(g, m, rep, done),
+                    timeout=1.0, retries=5,
+                    on_timeout=one_done,  # unreachable survivor: proceed;
+                    # it will catch up through the normal §4.5 path.
+                )
+
+    @staticmethod
+    def _meta_of(rec):
+        if rec.value is not None:
+            return rec.value.meta
+        if rec.share is not None:
+            return rec.share.meta
+        return None
+
+    def _fill_gaps(self, group: int, member: int, reply, done) -> None:
+        if not self.up or not isinstance(reply, PlacementGaps):
+            done()
+            return
+        node = self.groups[group]
+        outstanding = {"n": len(reply.missing)}
+        if outstanding["n"] == 0:
+            done()
+            return
+
+        def sent_one() -> None:
+            outstanding["n"] -= 1
+            if outstanding["n"] == 0:
+                done()
+
+        for inst in reply.missing:
+            rec = node.chosen.get(inst)
+            if rec is None:
+                sent_one()
+                continue
+            self._with_value(group, inst, rec, lambda ok, inst=inst, rec=rec: (
+                self._send_install(group, member, inst, rec), sent_one()
+            ))
+
+    def _with_value(self, group: int, instance: int, rec, cont) -> None:
+        """Ensure ``rec.value`` is populated (gathering shares from
+        peers if this leader only holds a fragment), then continue."""
+        if rec.value is not None:
+            cont(True)
+            return
+
+        def on_value(value) -> None:
+            rec.value = value
+            cont(True)
+
+        self._gather_shares(group, instance, rec.value_id, rec.share, on_value)
+
+    def _send_install(self, group: int, member: int, instance: int, rec) -> None:
+        node = self.groups[group]
+        share = node.recode_share_for(instance, member)
+        if share is None:
+            return
+        msg = InstallShare(
+            group=group, instance=instance, value_id=rec.value_id,
+            share=share, meta=self._meta_of(rec),
+        )
+        self.endpoint.send(self.peers[member], msg, msg.wire_bytes)
+
+    def _propose_view_change(self, members: tuple[int, ...], new_config) -> None:
+        if not self.up:
+            return
+        nv = NewView(epoch=self.view_epoch + 1, members=members,
+                     config=new_config)
+        pending = {"n": len(self.groups)}
+
+        def decided(instance: int, v: Value) -> None:
+            pending["n"] -= 1
+            if pending["n"] == 0:
+                self._view_changing = False
+                self.view_changes_completed += 1
+                self.tracer.emit(
+                    self.sim.now, "kv", f"{self.name} view change complete"
+                )
+
+        for node in self.groups:
+            value = Value(
+                fresh_value_id(self.node_id), 0, None,
+                meta=Command("view", "", nv),
+            )
+            try:
+                node.propose(value, decided)
+            except RuntimeError:
+                # Lost leadership of this group mid-change (preempted):
+                # abandon the view change; the new leader re-runs it.
+                self._view_changing = False
+                return
+
+    def _apply_view_cmd(self, group: int, nv: NewView) -> None:
+        """Runs at every replica when the view-change instance commits."""
+        if not isinstance(nv, NewView):
+            return
+        node = self.groups[group]
+        if self.node_id in nv.members:
+            node.apply_view(
+                nv.config, {m: self.peers[m] for m in nv.members}
+            )
+        else:
+            node.retire()
+        # Server-level bookkeeping once (first group to apply wins).
+        if nv.epoch > self.view_epoch:
+            self.view_epoch = nv.epoch
+            self.member_ids = set(nv.members)
+            self.config = nv.config
+            if self.node_id not in nv.members:
+                self.is_leader_server = False
+
+    def _on_confirm_placement(self, msg: ConfirmPlacement, src: str, respond) -> None:
+        if not self.up:
+            return
+        node = self.groups[msg.group]
+        missing = tuple(
+            inst for inst in msg.instances
+            if node.acceptor.accepted_share(inst) is None
+            and not (
+                inst in node.chosen and node.chosen[inst].share is not None
+            )
+        )
+        reply = PlacementGaps(group=msg.group, missing=missing)
+        respond(reply, reply.wire_bytes)
+
+    def _on_install_share(self, msg: InstallShare, src: str) -> None:
+        if not self.up:
+            return
+        node = self.groups[msg.group]
+        rec = node.chosen.get(msg.instance)
+        if rec is not None and rec.value_id == msg.value_id and rec.share is None:
+            rec.share = msg.share
+        # Make the fragment durable like any accepted share (§4.5).
+        st = node.acceptor.state.instances.get(msg.instance)
+        if st is None or st.accepted_share is None:
+            from ..core.acceptor import AcceptorInstance
+
+            ballot = node.acceptor.state.floor
+            node.acceptor.state.instances[msg.instance] = AcceptorInstance(
+                promised=ballot, accepted_ballot=ballot,
+                accepted_share=msg.share,
+            )
+            node.wal.append(
+                ("accept", msg.instance, ballot, msg.share),
+                msg.share.size, lambda: None,
+            )
+        # Reflect it in the local store too.
+        if isinstance(msg.meta, Command) and msg.meta.op == "put":
+            self.store.put(
+                msg.meta.key, msg.share, msg.share.size, msg.instance,
+                complete=False,
+            )
+
+    # ------------------------------------------------------------------
+    # catch-up (§4.5)
+    # ------------------------------------------------------------------
+
+    def _request_catch_up(self) -> None:
+        """Ask the cluster for decisions missed while down."""
+        if not self.up:
+            return
+        # Find someone who answers; start with any peer, the leader will
+        # be discovered via redirect-like behavior (non-leaders answer
+        # with what they know; the leader re-codes shares for us).
+        for g, node in enumerate(self.groups):
+            req = CatchUp(group=g, from_instance=node.apply_cursor)
+            for nid, host in self.peers.items():
+                if nid == self.node_id:
+                    continue
+                self.endpoint.request(
+                    host, req, req.wire_bytes,
+                    on_reply=lambda rep, g=g: self._install_catch_up(rep),
+                    timeout=1.0, retries=3, on_timeout=lambda: None,
+                )
+
+    def _install_catch_up(self, reply) -> None:
+        if not self.up or not isinstance(reply, CatchUpReply):
+            return
+        node = self.groups[reply.group]
+        for e in reply.entries:
+            rec = ChosenRecord(
+                value_id=e.value_id,
+                ballot=node.acceptor.state.floor,
+                value=None,
+                share=e.share,
+            )
+            node.install_chosen(e.instance, rec)
+
+    def _on_catch_up(self, msg: CatchUp, src: str, respond) -> None:
+        if not self.up:
+            return
+        node = self.groups[msg.group]
+        src_id = next(
+            (nid for nid, host in self.peers.items() if host == src), None
+        )
+        entries = []
+        for inst in sorted(node.chosen):
+            if inst < msg.from_instance:
+                continue
+            rec = node.chosen[inst]
+            share = None
+            if src_id is not None:
+                # Leader path: re-code the fragment for the recovering
+                # node (§4.5). Falls back to our own share if we only
+                # hold a share ourselves.
+                share = node.recode_share_for(inst, src_id)
+                if share is None:
+                    share = rec.share
+            meta = None
+            if rec.value is not None:
+                meta = rec.value.meta
+            elif rec.share is not None:
+                meta = rec.share.meta
+            size = rec.value.size if rec.value is not None else (
+                rec.share.value_size if rec.share is not None else 0
+            )
+            entries.append(
+                CatchUpEntry(
+                    instance=inst, value_id=rec.value_id,
+                    value_size=size, meta=meta, share=share,
+                )
+            )
+        reply = CatchUpReply(group=msg.group, entries=tuple(entries))
+        respond(reply, reply.wire_bytes)

@@ -1,0 +1,30 @@
+"""Static key sharding (§4.2).
+
+Keys map to Paxos groups through a deterministic hash; the number of
+shards is fixed at configuration time ("the number of shards are
+statically configured ... defined by a deterministic mapping function").
+"""
+
+from __future__ import annotations
+
+import zlib
+
+
+class ShardMap:
+    """Deterministic key -> group mapping."""
+
+    def __init__(self, num_groups: int):
+        if num_groups < 1:
+            raise ValueError("need at least one group")
+        self.num_groups = num_groups
+
+    def group_of(self, key: str) -> int:
+        """The Paxos group responsible for ``key``.
+
+        crc32 is used for stability across runs and processes (Python's
+        ``hash`` is salted per process).
+        """
+        return zlib.crc32(key.encode("utf-8")) % self.num_groups
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ShardMap) and other.num_groups == self.num_groups

@@ -1,0 +1,45 @@
+"""Simulated asynchronous network.
+
+Implements the paper's partial-asynchrony message-passing model (§3.1):
+messages may be delayed, duplicated, or lost; NIC bandwidth is modeled
+with per-host serialization queues; crashes and partitions are
+first-class fault-injection primitives.
+
+Public API:
+
+- :class:`Network`, :class:`Host` — the data plane.
+- :class:`LinkSpec` and the :data:`LAN` / :data:`WAN` presets (§6.1).
+- :class:`Envelope` — message in flight (modeled sizes, no real bytes).
+- :class:`FaultSchedule` — declarative crash/partition scripts.
+- :func:`lan_cluster`, :func:`wan_cluster`, :func:`server_names` —
+  topology builders.
+"""
+
+from .faults import FaultSchedule
+from .link import LAN, LOOPBACK, WAN, LinkSpec
+from .message import HEADER_BYTES, Envelope
+from .network import Host, Network
+from .topology import (
+    build_network,
+    client_names,
+    lan_cluster,
+    server_names,
+    wan_cluster,
+)
+
+__all__ = [
+    "FaultSchedule",
+    "HEADER_BYTES",
+    "Envelope",
+    "Host",
+    "LAN",
+    "LOOPBACK",
+    "LinkSpec",
+    "Network",
+    "WAN",
+    "build_network",
+    "client_names",
+    "lan_cluster",
+    "server_names",
+    "wan_cluster",
+]

@@ -1,0 +1,52 @@
+"""Scripted fault injection.
+
+A :class:`FaultSchedule` arms crash / recovery / partition events at
+absolute simulated times, so availability experiments (Fig. 8: kill the
+leader at t=10 s and the next leader at t=20 s) are declarative.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..sim import Simulator
+from .network import Network
+
+
+class FaultSchedule:
+    """Declarative fault script bound to a network."""
+
+    def __init__(self, sim: Simulator, net: Network):
+        self.sim = sim
+        self.net = net
+        self._extra_hooks: list[Callable[[str, str], None]] = []
+
+    def on_fault(self, hook: Callable[[str, str], None]) -> None:
+        """Register ``hook(kind, host)`` called at each injected fault.
+
+        The KV-store harness uses this to also stop/restart the server
+        process co-located with the host.
+        """
+        self._extra_hooks.append(hook)
+
+    def _fire(self, kind: str, host: str) -> None:
+        if kind == "crash":
+            self.net.crash_host(host)
+        elif kind == "recover":
+            self.net.recover_host(host)
+        else:
+            raise ValueError(f"unknown fault kind {kind!r}")
+        for hook in self._extra_hooks:
+            hook(kind, host)
+
+    def crash_at(self, t: float, host: str) -> None:
+        self.sim.call_at(t, lambda: self._fire("crash", host))
+
+    def recover_at(self, t: float, host: str) -> None:
+        self.sim.call_at(t, lambda: self._fire("recover", host))
+
+    def partition_at(self, t: float, group_a: list[str], group_b: list[str]) -> None:
+        self.sim.call_at(t, lambda: self.net.partition(group_a, group_b))
+
+    def heal_at(self, t: float) -> None:
+        self.sim.call_at(t, lambda: self.net.heal())

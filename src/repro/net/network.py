@@ -1,0 +1,195 @@
+"""The simulated network: hosts, NIC queues, delivery, fault injection.
+
+Semantics follow the paper's partial-asynchrony model (§3.1): messages
+may be delayed, duplicated, or lost; a message between two live,
+unpartitioned hosts that is retransmitted repeatedly eventually gets
+through (the RPC layer owns retransmission).
+
+Crashes are modeled at the host level: a crashed host neither sends nor
+receives, and messages in flight toward it are discarded on arrival.
+Recovery restores connectivity but **not volatile state** — that is the
+job of the durable-storage layer (:mod:`repro.storage`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..sim import FifoResource, Simulator, Tracer, NULL_TRACER
+from .link import LOOPBACK, LinkSpec
+from .message import Envelope
+
+Handler = Callable[[Envelope], None]
+
+
+class Host:
+    """A network endpoint with egress/ingress NIC queues."""
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        self.egress = FifoResource(sim, f"{name}.egress")
+        self.ingress = FifoResource(sim, f"{name}.ingress")
+        self.handler: Handler | None = None
+        self.up = True
+        # Byte accounting for the cost analyses.
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def crash(self) -> None:
+        self.up = False
+
+    def recover(self) -> None:
+        self.up = True
+
+
+class Network:
+    """Registry of hosts + pairwise link specs + fault switches."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        default_link: LinkSpec,
+        tracer: Tracer = NULL_TRACER,
+    ):
+        self.sim = sim
+        self.default_link = default_link
+        self.tracer = tracer
+        self.hosts: dict[str, Host] = {}
+        self._links: dict[tuple[str, str], LinkSpec] = {}
+        self._blocked: set[tuple[str, str]] = set()
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self._msg_seq = 0
+
+    # -- topology -------------------------------------------------------
+
+    def add_host(self, name: str, handler: Handler | None = None) -> Host:
+        if name in self.hosts:
+            raise ValueError(f"duplicate host {name!r}")
+        host = Host(self.sim, name)
+        host.handler = handler
+        self.hosts[name] = host
+        return host
+
+    def set_handler(self, name: str, handler: Handler) -> None:
+        self.hosts[name].handler = handler
+
+    def set_link(self, src: str, dst: str, spec: LinkSpec) -> None:
+        """Override the link spec for the directed pair (src, dst)."""
+        self._links[(src, dst)] = spec
+
+    def link(self, src: str, dst: str) -> LinkSpec:
+        if src == dst:
+            return LOOPBACK
+        return self._links.get((src, dst), self.default_link)
+
+    # -- fault injection --------------------------------------------------
+
+    def block(self, src: str, dst: str) -> None:
+        """Partition the directed pair: messages are dropped."""
+        self._blocked.add((src, dst))
+
+    def unblock(self, src: str, dst: str) -> None:
+        self._blocked.discard((src, dst))
+
+    def partition(self, group_a: list[str], group_b: list[str]) -> None:
+        """Symmetric partition between two host groups."""
+        for a in group_a:
+            for b in group_b:
+                self.block(a, b)
+                self.block(b, a)
+
+    def heal(self) -> None:
+        """Remove all partitions."""
+        self._blocked.clear()
+
+    def crash_host(self, name: str) -> None:
+        self.hosts[name].crash()
+        self.tracer.emit(self.sim.now, "net", f"crash {name}")
+
+    def recover_host(self, name: str) -> None:
+        self.hosts[name].recover()
+        self.tracer.emit(self.sim.now, "net", f"recover {name}")
+
+    # -- data path --------------------------------------------------------
+
+    def send(self, src: str, dst: str, payload: Any, size: int) -> None:
+        """Transmit one message; delivery (if any) is asynchronous.
+
+        ``size`` is the modeled payload size in bytes; the fixed header
+        overhead is added internally.
+        """
+        if size < 0:
+            raise ValueError("negative message size")
+        sender = self.hosts[src]
+        if not sender.up:
+            return  # a crashed host sends nothing
+        self._msg_seq += 1
+        env = Envelope(src=src, dst=dst, payload=payload, size=size,
+                       msg_id=self._msg_seq)
+
+        if src == dst:
+            # Loopback: deliver at the current instant, preserving FIFO.
+            # Never touches the NIC, so it does not count as wire traffic
+            # (the paper's leader keeps its own share locally).
+            self.sim.call_soon(lambda: self._deliver(env))
+            return
+
+        self.messages_sent += 1
+        sender.bytes_sent += env.wire_size
+        spec = self.link(src, dst)
+
+        # 1. Egress serialization (shared per-host queue).
+        ser = spec.serialization_time(env.wire_size)
+        sender.egress.submit(ser, lambda: self._propagate(env, spec))
+
+    def _propagate(self, env: Envelope, spec: LinkSpec) -> None:
+        # Loss / duplication coin flips, per directed pair stream.
+        stream = f"net.loss.{env.src}->{env.dst}"
+        if self.sim.rng.choice_prob(stream, spec.loss_prob):
+            self.messages_dropped += 1
+            self.tracer.emit(self.sim.now, "net", f"lost {env.src}->{env.dst} #{env.msg_id}")
+            return
+        copies = 1
+        dup_stream = f"net.dup.{env.src}->{env.dst}"
+        if self.sim.rng.choice_prob(dup_stream, spec.dup_prob):
+            copies = 2
+        for c in range(copies):
+            delay = spec.delay_s
+            if spec.jitter_s > 0:
+                delay += self.sim.rng.uniform(
+                    f"net.jitter.{env.src}->{env.dst}", -spec.jitter_s, spec.jitter_s
+                )
+            copy = env if c == 0 else Envelope(
+                src=env.src, dst=env.dst, payload=env.payload,
+                size=env.size, msg_id=env.msg_id, dup=True,
+            )
+            self.sim.call_after(delay, lambda e=copy: self._arrive(e, spec))
+
+    def _arrive(self, env: Envelope, spec: LinkSpec) -> None:
+        receiver = self.hosts[env.dst]
+        ser = spec.serialization_time(env.wire_size)
+        receiver.ingress.submit(ser, lambda: self._deliver(env))
+
+    def _deliver(self, env: Envelope) -> None:
+        receiver = self.hosts[env.dst]
+        if not receiver.up or (env.src, env.dst) in self._blocked:
+            self.messages_dropped += 1
+            return
+        if env.src != env.dst:
+            self.messages_delivered += 1
+            receiver.bytes_received += env.wire_size
+        self.tracer.emit(
+            self.sim.now, "net",
+            f"deliver {env.src}->{env.dst} #{env.msg_id} "
+            f"{type(env.payload).__name__} {env.size}B",
+        )
+        if receiver.handler is not None:
+            receiver.handler(env)
+
+    # -- accounting -------------------------------------------------------
+
+    def total_bytes_sent(self) -> int:
+        return sum(h.bytes_sent for h in self.hosts.values())

@@ -1,0 +1,51 @@
+"""Cluster topology presets matching the paper's deployments (§6.1).
+
+Two environments are evaluated:
+
+- **Local cluster**: EC2 extra-large instances on gigabit Ethernet.
+- **Wide area**: emulated by adding 50 ± 10 ms one-way delay and capping
+  bandwidth at 500 Mbps (the paper keeps large bandwidth to mimic
+  enterprise inter-datacenter private links).
+"""
+
+from __future__ import annotations
+
+from ..sim import Simulator, Tracer, NULL_TRACER
+from .link import LAN, WAN, LinkSpec
+from .network import Network
+
+
+def build_network(
+    sim: Simulator,
+    host_names: list[str],
+    link: LinkSpec,
+    tracer: Tracer = NULL_TRACER,
+) -> Network:
+    """A full-mesh network over ``host_names`` with a uniform link spec."""
+    net = Network(sim, default_link=link, tracer=tracer)
+    for name in host_names:
+        net.add_host(name)
+    return net
+
+
+def lan_cluster(
+    sim: Simulator, host_names: list[str], tracer: Tracer = NULL_TRACER
+) -> Network:
+    """The paper's local-cluster environment: 1 Gbps, ~0.1 ms one-way."""
+    return build_network(sim, host_names, LAN, tracer)
+
+
+def wan_cluster(
+    sim: Simulator, host_names: list[str], tracer: Tracer = NULL_TRACER
+) -> Network:
+    """The paper's wide-area environment: 500 Mbps, 50 ± 10 ms one-way."""
+    return build_network(sim, host_names, WAN, tracer)
+
+
+def server_names(n: int) -> list[str]:
+    """Conventional server host names P1..Pn (paper's figures use P_i)."""
+    return [f"P{i + 1}" for i in range(n)]
+
+
+def client_names(n: int) -> list[str]:
+    return [f"C{i + 1}" for i in range(n)]

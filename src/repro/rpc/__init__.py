@@ -1,0 +1,31 @@
+"""Simulated asynchronous RPC (the paper's §5 RPC module).
+
+Public API:
+
+- :class:`RpcEndpoint` — per-host messaging facade with typed dispatch,
+  request/reply with retransmission, and IO batching.
+- :class:`Request`, :class:`Reply`, :class:`Batch` — wire wrappers.
+- :exc:`RequestTimeout`, :exc:`RpcError`.
+"""
+
+from .endpoint import (
+    Batch,
+    Reply,
+    Request,
+    RequestTimeout,
+    RpcEndpoint,
+    RpcError,
+)
+from .mux import Channel, ChannelMsg, ChannelMux
+
+__all__ = [
+    "Batch",
+    "Channel",
+    "ChannelMsg",
+    "ChannelMux",
+    "Reply",
+    "Request",
+    "RequestTimeout",
+    "RpcEndpoint",
+    "RpcError",
+]

@@ -1,0 +1,281 @@
+"""RPC endpoint: typed dispatch, request/reply, retransmission, batching.
+
+This is the simulated analogue of the paper's asynchronous TCP RPC
+module (§5). It provides:
+
+- **one-way sends** with handler dispatch by payload type;
+- **request/reply** with per-request ids, timeouts and bounded or
+  unbounded retransmission — the mechanism that turns the lossy network
+  into the paper's "a repeatedly retransmitted message eventually
+  arrives" guarantee;
+- **batching** (§7, "IO batching"): outgoing messages to the same
+  destination can be held for a small window and shipped as a single
+  wire message, amortizing the per-message header.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..net import Envelope, Network
+from ..sim import Event, Simulator
+
+_request_ids = itertools.count()
+
+
+@dataclass(slots=True)
+class Request:
+    """Wire wrapper for a request expecting a reply."""
+
+    req_id: int
+    body: Any
+
+
+@dataclass(slots=True)
+class Reply:
+    """Wire wrapper for a reply to a :class:`Request`."""
+
+    req_id: int
+    body: Any
+
+
+@dataclass(slots=True)
+class Batch:
+    """A bundle of messages shipped as one wire transfer."""
+
+    items: list[Any] = field(default_factory=list)
+
+
+class RpcError(Exception):
+    pass
+
+
+class RequestTimeout(RpcError):
+    """A request exhausted its retransmission budget."""
+
+
+@dataclass
+class _PendingRequest:
+    dst: str
+    body: Any
+    size: int
+    on_reply: Callable[[Any], None]
+    on_timeout: Callable[[], None] | None
+    timeout: float
+    retries_left: int  # -1 means unbounded
+    timer: Event | None = None
+    done: bool = False
+
+
+class RpcEndpoint:
+    """Messaging facade for one host.
+
+    Parameters
+    ----------
+    sim, net:
+        Simulation kernel and network.
+    name:
+        Host name; must already exist in the network.
+    batch_window:
+        If > 0, one-way sends are buffered per destination for this many
+        seconds (or until ``batch_max`` items) and flushed together.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: Network,
+        name: str,
+        batch_window: float = 0.0,
+        batch_max: int = 64,
+    ):
+        self.sim = sim
+        self.net = net
+        self.name = name
+        self.batch_window = batch_window
+        self.batch_max = batch_max
+        self._handlers: dict[type, Callable[[Any, str], None]] = {}
+        self._request_handlers: dict[type, Callable[[Any, str], Any]] = {}
+        self._async_request_handlers: dict[
+            type, Callable[[Any, str, Callable[[Any, int], None]], None]
+        ] = {}
+        self._pending: dict[int, _PendingRequest] = {}
+        self._batches: dict[str, list[tuple[Any, int]]] = {}
+        self._batch_timers: dict[str, Event] = {}
+        net.set_handler(name, self._on_envelope)
+        # Accounting (per-endpoint; network keeps the global totals).
+        self.requests_sent = 0
+        self.requests_timed_out = 0
+
+    # -- registration -----------------------------------------------------
+
+    def on(self, msg_type: type, handler: Callable[[Any, str], None]) -> None:
+        """Register a one-way handler: ``handler(msg, src_name)``."""
+        self._handlers[msg_type] = handler
+
+    def on_request(self, msg_type: type, handler: Callable[[Any, str], Any]) -> None:
+        """Register a request handler returning the reply body.
+
+        If the handler returns ``None``, no reply is sent (the caller's
+        retransmission/timeout logic treats it as a dropped request, so
+        handlers use explicit reply objects for negative answers).
+        """
+        self._request_handlers[msg_type] = handler
+
+    def on_request_async(
+        self,
+        msg_type: type,
+        handler: Callable[[Any, str, Callable[[Any, int], None]], None],
+    ) -> None:
+        """Register a deferred request handler.
+
+        ``handler(msg, src, respond)`` may call ``respond(body, size)``
+        at any later simulated time — e.g. after a WAL flush completes.
+        Paxos acceptors use this: state must be durable *before* the
+        reply leaves the host (§4.5).
+        """
+        self._async_request_handlers[msg_type] = handler
+
+    # -- one-way sends ------------------------------------------------------
+
+    def send(self, dst: str, body: Any, size: int) -> None:
+        """One-way message (optionally batched)."""
+        if self.batch_window <= 0 or dst == self.name:
+            self.net.send(self.name, dst, body, size)
+            return
+        queue = self._batches.setdefault(dst, [])
+        queue.append((body, size))
+        if len(queue) >= self.batch_max:
+            self._flush(dst)
+        elif dst not in self._batch_timers:
+            self._batch_timers[dst] = self.sim.call_after(
+                self.batch_window, lambda: self._flush(dst)
+            )
+
+    def _flush(self, dst: str) -> None:
+        timer = self._batch_timers.pop(dst, None)
+        if timer is not None:
+            timer.cancel()
+        queue = self._batches.pop(dst, None)
+        if not queue:
+            return
+        if len(queue) == 1:
+            body, size = queue[0]
+            self.net.send(self.name, dst, body, size)
+            return
+        batch = Batch(items=[b for b, _ in queue])
+        total = sum(s for _, s in queue)
+        self.net.send(self.name, dst, batch, total)
+
+    def flush_all(self) -> None:
+        """Force all pending batches onto the wire."""
+        for dst in list(self._batches):
+            self._flush(dst)
+
+    # -- request/reply --------------------------------------------------------
+
+    def request(
+        self,
+        dst: str,
+        body: Any,
+        size: int,
+        on_reply: Callable[[Any], None],
+        timeout: float = 0.5,
+        retries: int = -1,
+        on_timeout: Callable[[], None] | None = None,
+        reply_size: int = 0,
+    ) -> int:
+        """Send ``body`` to ``dst``; invoke ``on_reply(reply_body)`` once.
+
+        Retransmits every ``timeout`` seconds. ``retries=-1`` keeps
+        retrying forever (the liveness assumption of §3.1); a
+        non-negative value bounds retransmissions, after which
+        ``on_timeout`` fires (or :class:`RequestTimeout` is raised into
+        the void if none was given).
+
+        Returns the request id (usable with :meth:`cancel_request`).
+        """
+        req_id = next(_request_ids)
+        pending = _PendingRequest(
+            dst=dst, body=body, size=size, on_reply=on_reply,
+            on_timeout=on_timeout, timeout=timeout, retries_left=retries,
+        )
+        self._pending[req_id] = pending
+        self.requests_sent += 1
+        self._transmit(req_id, pending)
+        return req_id
+
+    def cancel_request(self, req_id: int) -> None:
+        pending = self._pending.pop(req_id, None)
+        if pending is not None:
+            pending.done = True
+            if pending.timer is not None:
+                pending.timer.cancel()
+
+    def _transmit(self, req_id: int, pending: _PendingRequest) -> None:
+        if pending.done:
+            return
+        self.net.send(self.name, pending.dst, Request(req_id, pending.body), pending.size)
+        pending.timer = self.sim.call_after(
+            pending.timeout, lambda: self._on_request_timer(req_id)
+        )
+
+    def _on_request_timer(self, req_id: int) -> None:
+        pending = self._pending.get(req_id)
+        if pending is None or pending.done:
+            return
+        if pending.retries_left == 0:
+            self._pending.pop(req_id, None)
+            pending.done = True
+            self.requests_timed_out += 1
+            if pending.on_timeout is not None:
+                pending.on_timeout()
+            return
+        if pending.retries_left > 0:
+            pending.retries_left -= 1
+        self._transmit(req_id, pending)
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _on_envelope(self, env: Envelope) -> None:
+        self._dispatch(env.payload, env.src)
+
+    def _dispatch(self, payload: Any, src: str) -> None:
+        if isinstance(payload, Batch):
+            for item in payload.items:
+                self._dispatch(item, src)
+            return
+        if isinstance(payload, Request):
+            async_handler = self._async_request_handlers.get(type(payload.body))
+            if async_handler is not None:
+                req_id = payload.req_id
+
+                def respond(body: Any, size: int = 0) -> None:
+                    self.net.send(self.name, src, Reply(req_id, body), size)
+
+                async_handler(payload.body, src, respond)
+                return
+            handler = self._request_handlers.get(type(payload.body))
+            if handler is None:
+                return
+            reply_body = handler(payload.body, src)
+            if reply_body is not None:
+                body, size = (
+                    reply_body if isinstance(reply_body, tuple) else (reply_body, 0)
+                )
+                self.net.send(self.name, src, Reply(payload.req_id, body), size)
+            return
+        if isinstance(payload, Reply):
+            pending = self._pending.pop(payload.req_id, None)
+            if pending is None or pending.done:
+                return  # duplicate or late reply
+            pending.done = True
+            if pending.timer is not None:
+                pending.timer.cancel()
+            pending.on_reply(payload.body)
+            return
+        handler = self._handlers.get(type(payload))
+        if handler is not None:
+            handler(payload, src)

@@ -1,0 +1,170 @@
+"""The discrete-event simulation kernel.
+
+A :class:`Simulator` owns a virtual clock and a binary heap of pending
+events. Everything else in the testbed — network links, disks, protocol
+timers, workload clients — schedules callbacks on this kernel. Time is
+a float in **seconds** of simulated time.
+
+Determinism is a hard requirement (DESIGN.md §4): two events scheduled
+for the same instant fire in scheduling order, enforced with a
+monotonically increasing sequence number used as the heap tie-breaker.
+Combined with the seeded RNG streams in :mod:`repro.sim.rng`, a given
+experiment seed always produces the identical trace.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class Event:
+    """Handle to a scheduled callback; supports cancellation."""
+
+    __slots__ = ("_ev",)
+
+    def __init__(self, ev: _Event):
+        self._ev = ev
+
+    @property
+    def time(self) -> float:
+        """Simulated time at which the callback fires."""
+        return self._ev.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._ev.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (idempotent).
+
+        Cancellation is O(1): the heap entry is tombstoned and skipped
+        when popped.
+        """
+        self._ev.cancelled = True
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """Event loop with a virtual clock.
+
+    Typical use::
+
+        sim = Simulator(seed=7)
+        sim.call_at(1.0, lambda: print("hello at t=1"))
+        sim.run(until=10.0)
+    """
+
+    def __init__(self, seed: int = 0):
+        self._now = 0.0
+        self._seq = 0
+        self._heap: list[_Event] = []
+        self._running = False
+        self.seed = seed
+        # Lazily-built named RNG substreams (see repro.sim.rng).
+        from .rng import RngRegistry
+
+        self.rng = RngRegistry(seed)
+        self.events_processed = 0
+
+    # -- clock ----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- scheduling -----------------------------------------------------
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run at absolute time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={when} < now={self._now}"
+            )
+        ev = _Event(when, self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        return Event(ev)
+
+    def call_after(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.call_at(self._now + delay, callback)
+
+    def call_soon(self, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at the current instant (after events
+        already queued for this instant)."""
+        return self.call_at(self._now, callback)
+
+    # -- running --------------------------------------------------------
+
+    def step(self) -> bool:
+        """Run the single next event. Returns False if the queue is empty."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self._now = ev.time
+            self.events_processed += 1
+            ev.callback()
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have been processed.
+
+        When ``until`` is given, the clock is advanced to exactly
+        ``until`` at exit (even if the queue drained earlier), so
+        metrics sampled at "end of run" are well defined.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        processed = 0
+        try:
+            while self._heap:
+                if max_events is not None and processed >= max_events:
+                    return
+                nxt = self._heap[0]
+                if nxt.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and nxt.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = nxt.time
+                self.events_processed += 1
+                processed += 1
+                nxt.callback()
+        finally:
+            if until is not None and self._now < until:
+                self._now = until
+            self._running = False
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    # -- misc -----------------------------------------------------------
+
+    def timeout_error(self, msg: str) -> "SimTimeout":
+        return SimTimeout(f"t={self._now:.6f}: {msg}")
+
+
+class SimTimeout(Exception):
+    """A simulated operation exceeded its deadline."""

@@ -1,0 +1,60 @@
+"""Structured event tracing for debugging and exact-replay tests.
+
+A :class:`Tracer` collects (time, category, detail) records. Tests use
+it to assert on protocol-level event orderings (e.g. "the value was
+chosen before P3 crashed"), and determinism tests compare full traces
+across runs with the same seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    time: float
+    category: str
+    detail: str
+    data: Any = None
+
+    def __str__(self) -> str:
+        return f"[{self.time:12.6f}] {self.category:<16} {self.detail}"
+
+
+class Tracer:
+    """Append-only trace log with category filtering."""
+
+    def __init__(self, enabled: bool = True, categories: set[str] | None = None):
+        self.enabled = enabled
+        self.categories = categories  # None = all
+        self.records: list[TraceRecord] = []
+
+    def emit(self, time: float, category: str, detail: str, data: Any = None) -> None:
+        if not self.enabled:
+            return
+        if self.categories is not None and category not in self.categories:
+            return
+        self.records.append(TraceRecord(time, category, detail, data))
+
+    def filter(self, category: str) -> list[TraceRecord]:
+        return [r for r in self.records if r.category == category]
+
+    def fingerprint(self) -> tuple:
+        """Hashable digest of the full trace, for determinism tests."""
+        return tuple((r.time, r.category, r.detail) for r in self.records)
+
+    def dump(self, categories: Iterable[str] | None = None) -> str:
+        cats = set(categories) if categories is not None else None
+        return "\n".join(
+            str(r)
+            for r in self.records
+            if cats is None or r.category in cats
+        )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+NULL_TRACER = Tracer(enabled=False)

@@ -1,0 +1,100 @@
+"""Simulated block devices.
+
+The evaluation uses two EBS volume classes (§6.1):
+
+- a regular volume at roughly **100 IOPS**, standing in for spinning
+  disks (the paper's ``.HDD`` suffix), and
+- a high-performance volume at over **4000 IOPS**, standing in for SSDs
+  (``.SSD``).
+
+The service-time model per flush is ``1/IOPS + size/bandwidth``: a fixed
+per-operation cost (seek/queue/firmware) plus transfer time. Small
+writes are IOPS-bound, large writes bandwidth-bound — which is exactly
+the crossover structure Figures 5–7 exhibit. Operations queue FIFO at
+the device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..sim import FifoResource, Simulator
+
+
+@dataclass(frozen=True, slots=True)
+class DiskSpec:
+    """Performance parameters of a simulated device.
+
+    Attributes
+    ----------
+    iops:
+        Sustainable small-operation rate; the fixed per-op cost is
+        ``1/iops`` seconds.
+    bandwidth_bps:
+        Sequential transfer rate in **bytes**/second.
+    name:
+        Label used in reports (``hdd`` / ``ssd``).
+    """
+
+    iops: float
+    bandwidth_bps: float
+    name: str = "disk"
+
+    def __post_init__(self) -> None:
+        if self.iops <= 0 or self.bandwidth_bps <= 0:
+            raise ValueError("iops and bandwidth must be positive")
+
+    def op_time(self, nbytes: int) -> float:
+        """Service time for one flush of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("negative size")
+        return 1.0 / self.iops + nbytes / self.bandwidth_bps
+
+
+#: Regular EBS volume ≈ commodity hard drive: ~100 IOPS. Sequential
+#: bandwidth ~100 MB/s (typical 2014-era magnetic/EBS-standard rates).
+HDD = DiskSpec(iops=100, bandwidth_bps=100e6, name="hdd")
+
+#: High-performance EBS volume ≈ SSD: >4000 IOPS, ~300 MB/s sequential.
+SSD = DiskSpec(iops=4000, bandwidth_bps=300e6, name="ssd")
+
+
+class Disk:
+    """One device instance attached to a server.
+
+    Writes are durable once their completion callback runs; reads are
+    modeled with the same cost formula. ``contents`` is an abstract
+    byte counter used for storage-cost accounting (real payloads live
+    in the durable state objects of the layers above).
+    """
+
+    def __init__(self, sim: Simulator, spec: DiskSpec, name: str = "disk"):
+        self.sim = sim
+        self.spec = spec
+        self.name = name
+        self._queue = FifoResource(sim, name)
+        self.bytes_written = 0
+        self.bytes_read = 0
+        self.flushes = 0
+
+    def write(self, nbytes: int, callback: Callable[[], None]) -> float:
+        """Queue a durable write; ``callback`` fires when it is on media.
+
+        Returns the completion time.
+        """
+        self.bytes_written += nbytes
+        self.flushes += 1
+        return self._queue.submit(self.spec.op_time(nbytes), callback)
+
+    def read(self, nbytes: int, callback: Callable[[], None]) -> float:
+        """Queue a read of ``nbytes``; callback fires with data 'ready'."""
+        self.bytes_read += nbytes
+        return self._queue.submit(self.spec.op_time(nbytes), callback)
+
+    @property
+    def backlog_seconds(self) -> float:
+        return self._queue.backlog
+
+    def utilization(self, since: float = 0.0) -> float:
+        return self._queue.utilization(since)

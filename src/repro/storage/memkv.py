@@ -1,0 +1,113 @@
+"""Local key-value store attached to each replica.
+
+The paper attaches "a persistent storage space ... such as LevelDB and
+Redis" (§4.1) to every server. Writes to this store are **not** fsynced
+on the request path — durability comes from the WAL committed through
+(RS-)Paxos (§4.4) — so the store itself is a plain in-memory map here.
+
+Followers hold *coded* values, not full ones; such entries are tagged
+``incomplete`` (§4.4 "the follower ... also write to its local storage,
+but tag this value as incomplete"). Deletes are writes of a tombstone
+(§4.4: "Delete operations are treated as write(key, NULL)").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+
+@dataclass(slots=True)
+class StoredValue:
+    """One versioned entry.
+
+    Attributes
+    ----------
+    value:
+        Full value bytes for complete entries; a coded
+        :class:`~repro.erasure.Share` (or None) for incomplete ones.
+    size:
+        Modeled size in bytes of what this replica actually stores.
+    complete:
+        True when ``value`` is the full client value.
+    version:
+        Paxos instance id of the write that produced this entry; lets
+        recovery find "the most recent write to that key" (§4.4).
+    tombstone:
+        True when the entry represents a delete.
+    """
+
+    value: Any
+    size: int
+    complete: bool
+    version: int
+    tombstone: bool = False
+
+
+class LocalStore:
+    """Ordered in-memory KV map with completeness tags."""
+
+    def __init__(self, name: str = "store"):
+        self.name = name
+        self._data: dict[str, StoredValue] = {}
+
+    def put(
+        self,
+        key: str,
+        value: Any,
+        size: int,
+        version: int,
+        complete: bool = True,
+        tombstone: bool = False,
+    ) -> None:
+        """Insert/overwrite ``key`` unless a newer version is present.
+
+        Version monotonicity makes replayed/duplicated applies
+        idempotent: Paxos instances apply in commit order, but recovery
+        may replay a prefix.
+        """
+        existing = self._data.get(key)
+        if existing is not None and existing.version > version:
+            return
+        self._data[key] = StoredValue(
+            value=value, size=size, complete=complete,
+            version=version, tombstone=tombstone,
+        )
+
+    def delete(self, key: str, version: int) -> None:
+        """Record a tombstone (delete = write(key, NULL), §4.4)."""
+        self.put(key, None, 0, version, complete=True, tombstone=True)
+
+    def get(self, key: str) -> StoredValue | None:
+        """The current entry, or None if never written or deleted."""
+        sv = self._data.get(key)
+        if sv is None or sv.tombstone:
+            return None
+        return sv
+
+    def get_entry(self, key: str) -> StoredValue | None:
+        """Like :meth:`get` but exposes tombstones (for recovery)."""
+        return self._data.get(key)
+
+    def keys(self) -> Iterator[str]:
+        return iter(sorted(self._data))
+
+    def incomplete_keys(self) -> list[str]:
+        """Keys whose local copy cannot serve a read without recovery."""
+        return sorted(
+            k for k, v in self._data.items() if not v.complete and not v.tombstone
+        )
+
+    def stored_bytes(self) -> int:
+        """Total modeled bytes held — the paper's storage-cost metric."""
+        return sum(v.size for v in self._data.values())
+
+    def clear(self) -> None:
+        """Volatile wipe (crash). The WAL is the durable source."""
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return sum(1 for v in self._data.values() if not v.tombstone)
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None

@@ -1,0 +1,195 @@
+"""Write-ahead log with group commit.
+
+Acceptors must persist their promised/accepted state before replying
+(§4.5: "it needs to log all these decisions into disks before sending
+out the reply"), so the WAL is on the critical path of every Paxos
+phase. Group commit (the IO-batching optimization of §7) coalesces
+appends issued within a small window into one device flush, which is
+what keeps small-write throughput from collapsing to the disk's IOPS
+ceiling.
+
+Durability model: a record is durable exactly when its flush completes;
+on crash, non-durable records are lost and durable ones survive (they
+are what :mod:`repro.kvstore.recovery` replays).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..sim import Event, Simulator
+from .disk import Disk
+
+#: Fixed on-disk overhead per WAL record (length, checksum, ids).
+RECORD_HEADER_BYTES = 32
+
+
+@dataclass(slots=True)
+class WalRecord:
+    """One durable log record."""
+
+    lsn: int
+    payload: Any
+    size: int
+
+
+@dataclass
+class _PendingAppend:
+    record: WalRecord
+    callback: Callable[[], None]
+
+
+class WriteAheadLog:
+    """Durable, append-only log on a simulated disk.
+
+    Parameters
+    ----------
+    group_commit_window:
+        Seconds to hold appends before flushing them together. ``0``
+        flushes every append individually (one device op each).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        disk: Disk,
+        group_commit_window: float = 0.0,
+        name: str = "wal",
+    ):
+        self.sim = sim
+        self.disk = disk
+        self.group_commit_window = group_commit_window
+        self.name = name
+        self._next_lsn = 0
+        self._pending: list[_PendingAppend] = []
+        self._flush_timer: Event | None = None
+        self._flushing = False  # at most one flush in flight
+        self._epoch = 0  # bumped on crash; orphans in-flight flushes
+        self.durable: list[WalRecord] = []
+        self.flushes = 0
+        self.bytes_appended = 0
+
+    def append(self, payload: Any, size: int, callback: Callable[[], None]) -> int:
+        """Append a record; ``callback`` fires once it is durable.
+
+        ``size`` is the modeled payload size in bytes. Returns the LSN.
+
+        Group commit is *adaptive* (like LevelDB/journaling filesystems):
+        at most one flush is ever in flight; appends arriving during a
+        flush accumulate and go out together as soon as the device is
+        free (plus the configured accumulation window when the device
+        was idle). This self-clocks the batch size to the device speed —
+        a slow disk gets large batches, a fast one small batches —
+        without ever queueing multiple flushes.
+        """
+        if size < 0:
+            raise ValueError("negative record size")
+        rec = WalRecord(self._next_lsn, payload, size)
+        self._next_lsn += 1
+        self.bytes_appended += size
+        self._pending.append(_PendingAppend(rec, callback))
+        self._maybe_schedule()
+        return rec.lsn
+
+    def _maybe_schedule(self) -> None:
+        if self._flushing or self._flush_timer is not None or not self._pending:
+            return
+        if self.group_commit_window <= 0:
+            self._flush()
+        else:
+            self._flush_timer = self.sim.call_after(
+                self.group_commit_window, self._flush
+            )
+
+    def _flush(self) -> None:
+        if self._flush_timer is not None:
+            self._flush_timer.cancel()
+            self._flush_timer = None
+        if self._flushing:
+            return  # the in-flight completion will reschedule
+        batch, self._pending = self._pending, []
+        if not batch:
+            return
+        nbytes = sum(p.record.size + RECORD_HEADER_BYTES for p in batch)
+        self.flushes += 1
+        self._flushing = True
+        epoch = self._epoch
+
+        def on_durable() -> None:
+            # A crash between submission and completion loses the batch:
+            # physically the device op may finish, but the host is gone
+            # before acknowledging, and we model the data as lost.
+            if epoch != self._epoch:
+                return
+            self._flushing = False
+            for p in batch:
+                self.durable.append(p.record)
+                p.callback()
+            self._maybe_schedule()
+
+        self.disk.write(nbytes, on_durable)
+
+    def flush_now(self) -> None:
+        """Force any held appends toward the device immediately."""
+        self._flush()
+
+    def crash(self) -> None:
+        """Drop volatile (not-yet-durable) appends; keep durable records.
+
+        The containing server is expected to also stop issuing new
+        appends; LSNs of lost records are never reused because the
+        counter itself is reconstructed from the durable tail on
+        recovery (see :meth:`recover`).
+        """
+        self._pending.clear()
+        self._epoch += 1
+        self._flushing = False
+        if self._flush_timer is not None:
+            self._flush_timer.cancel()
+            self._flush_timer = None
+
+    def recover(self) -> list[WalRecord]:
+        """Return the durable records, resetting the LSN cursor after
+        the last durable entry (lost LSNs are simply skipped)."""
+        if self.durable:
+            self._next_lsn = self.durable[-1].lsn + 1
+        return list(self.durable)
+
+    def __len__(self) -> int:
+        return len(self.durable)
+
+
+class WalView:
+    """A tagged slice of a shared :class:`WriteAheadLog`.
+
+    A server hosting many Paxos groups shares one physical log (one
+    disk, one group-commit stream); each group writes through its own
+    view, which tags records and filters them back out on recovery.
+    Implements the WAL surface :class:`~repro.core.PaxosNode` uses
+    (``append``, ``crash``, ``recover``, ``disk``).
+    """
+
+    def __init__(self, wal: WriteAheadLog, tag: object):
+        self._wal = wal
+        self.tag = tag
+
+    @property
+    def disk(self) -> "Disk":
+        return self._wal.disk
+
+    def append(self, payload: Any, size: int, callback: Callable[[], None]) -> int:
+        return self._wal.append((self.tag, payload), size, callback)
+
+    def crash(self) -> None:
+        # Crash semantics belong to the shared log; calling it through
+        # any view is equivalent (idempotent per crash event).
+        self._wal.crash()
+
+    def recover(self) -> list[WalRecord]:
+        """Durable records of this view only, payloads untagged."""
+        return [
+            WalRecord(rec.lsn, rec.payload[1], rec.size)
+            for rec in self._wal.recover()
+            if rec.payload[0] == self.tag
+        ]

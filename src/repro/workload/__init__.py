@@ -1,0 +1,46 @@
+"""Workload generation: §6.2 micro sizes and §6.3 COSBench-style mixes.
+
+Public API:
+
+- :class:`WorkloadSpec`, :class:`SizeRange` — declarative workloads.
+- Presets: :func:`small_read`, :func:`small_write`, :func:`large_read`,
+  :func:`large_write`, :func:`fixed_size_writes`; :data:`MICRO_SIZES`.
+- :class:`ClosedLoopDriver`, :func:`prepopulate` — execution.
+"""
+
+from .clients import ClosedLoopDriver, prepopulate
+from .spec import (
+    KB,
+    LARGE,
+    MACRO_WORKLOADS,
+    MB,
+    MICRO_SIZE_LABELS,
+    MICRO_SIZES,
+    SMALL,
+    SizeRange,
+    WorkloadSpec,
+    fixed_size_writes,
+    large_read,
+    large_write,
+    small_read,
+    small_write,
+)
+
+__all__ = [
+    "ClosedLoopDriver",
+    "KB",
+    "LARGE",
+    "MACRO_WORKLOADS",
+    "MB",
+    "MICRO_SIZES",
+    "MICRO_SIZE_LABELS",
+    "SMALL",
+    "SizeRange",
+    "WorkloadSpec",
+    "fixed_size_writes",
+    "large_read",
+    "large_write",
+    "prepopulate",
+    "small_read",
+    "small_write",
+]

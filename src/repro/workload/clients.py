@@ -1,0 +1,101 @@
+"""Closed-loop workload drivers.
+
+A :class:`ClosedLoopDriver` keeps exactly one operation outstanding per
+logical client — the paper's client model ("each client VM serves up to
+100 logical clients", all issuing synchronous requests). Offered load
+therefore scales with the number of drivers, and saturation throughput
+is reached by adding drivers.
+"""
+
+from __future__ import annotations
+
+from ..kvstore import KVClient
+from ..sim import Simulator
+from .spec import WorkloadSpec
+
+
+class ClosedLoopDriver:
+    """Drives one KVClient with a WorkloadSpec until stopped."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        client: KVClient,
+        spec: WorkloadSpec,
+        stream: str,
+        stop_at: float = float("inf"),
+    ):
+        self.sim = sim
+        self.client = client
+        self.spec = spec
+        self.stop_at = stop_at
+        self._rng = sim.rng.stream(f"workload.{stream}")
+        self.ops_issued = 0
+        self.reads_issued = 0
+        self.writes_issued = 0
+        self.running = False
+
+    def start(self) -> None:
+        self.running = True
+        self._next_op()
+
+    def stop(self) -> None:
+        self.running = False
+
+    # -- internals --------------------------------------------------------
+
+    def _pick_key(self) -> str:
+        return f"{self.spec.name}/key-{int(self._rng.integers(self.spec.num_keys))}"
+
+    def _next_op(self) -> None:
+        if not self.running or self.sim.now >= self.stop_at:
+            self.running = False
+            return
+        self.ops_issued += 1
+        if self._rng.random() < self.spec.read_fraction:
+            self.reads_issued += 1
+            self.client.get(self._pick_key(), on_done=lambda ok, size: self._done())
+        else:
+            self.writes_issued += 1
+            size = self.spec.sizes.sample(self._rng)
+            self.client.put(self._pick_key(), size, on_done=lambda ok: self._done())
+
+    def _done(self) -> None:
+        # Immediately issue the next operation (closed loop).
+        self._next_op()
+
+
+def prepopulate(
+    sim: Simulator,
+    client: KVClient,
+    spec: WorkloadSpec,
+    stream: str = "prepopulate",
+    deadline: float = 300.0,
+) -> int:
+    """Write every key in [0, spec.prepopulate) once, sequentially.
+
+    Runs the simulator until done (or ``deadline``); returns the number
+    of successful writes. Intended to be called before the measured
+    phase starts.
+    """
+    rng = sim.rng.stream(f"workload.{stream}")
+    done = {"ok": 0, "next": 0}
+
+    def write_next() -> None:
+        if done["next"] >= spec.prepopulate:
+            return
+        idx = done["next"]
+        done["next"] += 1
+        size = spec.sizes.sample(rng)
+        key = f"{spec.name}/key-{idx}"
+
+        def cb(ok: bool) -> None:
+            if ok:
+                done["ok"] += 1
+            write_next()
+
+        client.put(key, size, on_done=cb)
+
+    write_next()
+    sim.run(until=sim.now + deadline)
+    return done["ok"]

@@ -1,0 +1,116 @@
+"""Workload specifications (§6.2 micro, §6.3 COSBench-style macro).
+
+A :class:`WorkloadSpec` fully determines the operation stream a logical
+client generates: the read/write mix, the object-size distribution and
+the key population. The §6.3 presets are provided as constructors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+KB = 1024
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True, slots=True)
+class SizeRange:
+    """Log-uniform object-size distribution over [lo, hi] bytes.
+
+    Log-uniform matches object-store populations (COSBench workloads
+    span decades of sizes); a fixed size is ``SizeRange(s, s)``.
+    """
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if not 0 < self.lo <= self.hi:
+            raise ValueError("need 0 < lo <= hi")
+
+    def sample(self, rng: np.random.Generator) -> int:
+        if self.lo == self.hi:
+            return self.lo
+        return int(np.exp(rng.uniform(np.log(self.lo), np.log(self.hi))))
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadSpec:
+    """One dynamic workload.
+
+    Attributes
+    ----------
+    name:
+        Label used in reports ("SMALL-READ", ...).
+    read_fraction:
+        Probability an operation is a read (0.9 for READ-intensive,
+        0.1 for WRITE-intensive, 0.0 for pure-write micro benches).
+    sizes:
+        Object-size distribution for writes.
+    num_keys:
+        Size of the key population (uniform key choice).
+    prepopulate:
+        Number of keys written before the measured phase, so reads hit
+        existing objects.
+    """
+
+    name: str
+    read_fraction: float
+    sizes: SizeRange
+    num_keys: int = 200
+    prepopulate: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError("read_fraction must be in [0, 1]")
+        if self.num_keys < 1:
+            raise ValueError("need at least one key")
+        if self.prepopulate > self.num_keys:
+            raise ValueError("cannot prepopulate more keys than exist")
+
+
+#: §6.3 object-size dimensions.
+SMALL = SizeRange(1 * KB, 100 * KB)
+LARGE = SizeRange(1 * MB, 10 * MB)
+
+
+def small_read(num_keys: int = 200) -> WorkloadSpec:
+    """SMALL-READ: "represents a web hosting service" (§6.3)."""
+    return WorkloadSpec("SMALL-READ", 0.9, SMALL, num_keys, prepopulate=num_keys)
+
+
+def small_write(num_keys: int = 200) -> WorkloadSpec:
+    return WorkloadSpec("SMALL-WRITE", 0.1, SMALL, num_keys, prepopulate=num_keys)
+
+
+def large_read(num_keys: int = 50) -> WorkloadSpec:
+    return WorkloadSpec("LARGE-READ", 0.9, LARGE, num_keys, prepopulate=num_keys)
+
+
+def large_write(num_keys: int = 50) -> WorkloadSpec:
+    """LARGE-WRITE: "represents an enterprise backup service" (§6.3)."""
+    return WorkloadSpec("LARGE-WRITE", 0.1, LARGE, num_keys, prepopulate=num_keys)
+
+
+def fixed_size_writes(size: int, num_keys: int = 200) -> WorkloadSpec:
+    """Micro-benchmark stream: 100% writes of one size (§6.2)."""
+    return WorkloadSpec(
+        f"WRITE-{size}B", 0.0, SizeRange(size, size), num_keys
+    )
+
+
+MACRO_WORKLOADS = {
+    "SMALL-READ": small_read,
+    "SMALL-WRITE": small_write,
+    "LARGE-READ": large_read,
+    "LARGE-WRITE": large_write,
+}
+
+#: §6.2 micro-benchmark value sizes: 1 KB .. 16 MB in 4x steps.
+MICRO_SIZES = [
+    1 * KB, 4 * KB, 16 * KB, 64 * KB, 256 * KB, 1 * MB, 4 * MB, 16 * MB
+]
+
+MICRO_SIZE_LABELS = ["1K", "4K", "16K", "64K", "256K", "1M", "4M", "16M"]

@@ -1,0 +1,83 @@
+"""Tests for the bench harness: setups, report formatting, runners."""
+
+import pytest
+
+from repro.bench import Setup, make_cluster, measure_write_latency
+from repro.bench.report import format_size, ratio_note, series, table
+from repro.net import LAN, WAN
+from repro.storage import HDD, SSD
+
+
+class TestSetup:
+    def test_defaults(self):
+        s = Setup()
+        assert s.label == "RS-Paxos.SSD"
+        assert s.protocol_config().x == 3
+        assert s.link_spec() == LAN
+        assert s.disk_spec() == SSD
+
+    def test_paxos_hdd_wan(self):
+        s = Setup(protocol="paxos", env="wan", disk="hdd")
+        assert s.label == "Paxos.HDD"
+        assert s.protocol_config().x == 1
+        assert s.link_spec() == WAN
+        assert s.disk_spec() == HDD
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Setup(protocol="raft")
+        with pytest.raises(ValueError):
+            Setup(env="moon")
+        with pytest.raises(ValueError):
+            Setup(disk="tape")
+
+    def test_with_override(self):
+        s = Setup().with_(num_clients=99)
+        assert s.num_clients == 99
+        assert s.protocol == "rs-paxos"
+
+    def test_make_cluster_elects_leader(self):
+        c = make_cluster(Setup(num_clients=1, num_groups=2))
+        assert c.leader() is c.servers[0]
+
+
+class TestReport:
+    def test_format_size(self):
+        assert format_size(1024) == "1K"
+        assert format_size(16 * 1024 * 1024) == "16M"
+        assert format_size(999) == "999B"
+        assert format_size(1536) == "1536B"
+
+    def test_table(self):
+        out = table("T", ["a", "bb"], [[1, 2], [30, 40]])
+        assert "== T ==" in out
+        lines = out.splitlines()
+        assert len(lines) == 5
+
+    def test_series(self):
+        out = series("S", ["t=1", "t=2"], [1.0, 2.5])
+        assert "t=2: 2.50" in out
+
+    def test_ratio_note(self):
+        assert "2.00x" in ratio_note("a", 4.0, "b", 2.0)
+        assert "inf" in ratio_note("a", 1.0, "b", 0.0)
+
+
+class TestRunnersSmoke:
+    def test_latency_point_structure(self):
+        p = measure_write_latency(Setup(num_clients=1, num_groups=2),
+                                  4096, samples=3)
+        assert p.samples == 3
+        assert p.mean_ms > 0
+        assert p.p99_ms >= p.p50_ms * 0.99
+        assert p.setup_label == "RS-Paxos.SSD"
+
+    def test_determinism_same_seed(self):
+        a = measure_write_latency(Setup(seed=7), 65536, samples=4)
+        b = measure_write_latency(Setup(seed=7), 65536, samples=4)
+        assert a.mean_ms == b.mean_ms
+
+    def test_different_seed_jitters(self):
+        a = measure_write_latency(Setup(seed=7, env="wan"), 65536, samples=4)
+        b = measure_write_latency(Setup(seed=8, env="wan"), 65536, samples=4)
+        assert a.mean_ms != b.mean_ms

@@ -1,0 +1,27 @@
+"""Tests for the python -m repro.bench CLI."""
+
+import pytest
+
+from repro.bench.__main__ import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "max-X" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure99"])
+
+    def test_experiment_registry_complete(self):
+        # One CLI entry per table/figure of the paper + the CPU section.
+        assert set(EXPERIMENTS) == {"table1", "fig5", "fig6", "fig7", "fig8", "cpu"}

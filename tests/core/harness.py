@@ -1,0 +1,70 @@
+"""Shared mini-cluster harness for protocol-level integration tests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import PaxosNode
+from repro.net import LinkSpec, Network, build_network, server_names
+from repro.rpc import RpcEndpoint
+from repro.sim import Simulator, Tracer
+from repro.storage import SSD, Disk, DiskSpec, WriteAheadLog
+
+
+@dataclass
+class Group:
+    sim: Simulator
+    net: Network
+    nodes: list[PaxosNode]
+    tracer: Tracer
+
+    def node(self, i: int) -> PaxosNode:
+        return self.nodes[i]
+
+    def crash(self, i: int) -> None:
+        """Crash node i: host down + volatile state lost."""
+        self.net.crash_host(self.nodes[i].endpoint.name)
+        self.nodes[i].crash()
+
+    def recover(self, i: int) -> None:
+        self.net.recover_host(self.nodes[i].endpoint.name)
+        self.nodes[i].recover()
+
+
+def make_group(
+    config,
+    link: LinkSpec | None = None,
+    disk: DiskSpec = SSD,
+    seed: int = 0,
+    rpc_timeout: float = 0.1,
+    commit_interval: float = 0.001,
+) -> Group:
+    """Build an N-node Paxos group over a simulated LAN."""
+    n = config.n
+    sim = Simulator(seed=seed)
+    tracer = Tracer()
+    names = server_names(n)
+    net = build_network(sim, names, link or LinkSpec(delay_s=0.001), tracer)
+    peers = dict(enumerate(names))
+    nodes = []
+    for i, name in enumerate(names):
+        endpoint = RpcEndpoint(sim, net, name)
+        wal = WriteAheadLog(sim, Disk(sim, disk, f"{name}.disk"), name=f"{name}.wal")
+        nodes.append(
+            PaxosNode(
+                sim, endpoint, wal, config,
+                node_id=i, peers=peers,
+                rpc_timeout=rpc_timeout,
+                commit_interval=commit_interval,
+                tracer=tracer,
+            )
+        )
+    return Group(sim, net, nodes, tracer)
+
+
+def elect(group: Group, i: int, until: float | None = 5.0) -> bool:
+    """Drive node i through become_leader; returns success."""
+    outcome: list[bool] = []
+    group.nodes[i].become_leader(lambda ok: outcome.append(ok))
+    group.sim.run(until=group.sim.now + (until or 5.0))
+    return bool(outcome and outcome[0])

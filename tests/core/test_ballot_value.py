@@ -1,0 +1,121 @@
+"""Tests for ballots, values and coded-share handling."""
+
+import pytest
+
+from repro.core import (
+    NULL_BALLOT,
+    Ballot,
+    CodedShare,
+    Value,
+    decode_value,
+    encode_one_share,
+    encode_value,
+    fresh_value_id,
+)
+from repro.erasure import CodingConfig, NotEnoughShares
+
+
+class TestBallot:
+    def test_total_order(self):
+        assert Ballot(1, 0) < Ballot(2, 0)
+        assert Ballot(1, 0) < Ballot(1, 1)
+        assert Ballot(2, 0) > Ballot(1, 5)
+
+    def test_null_ballot_below_everything(self):
+        assert NULL_BALLOT < Ballot.initial(0)
+        assert NULL_BALLOT < Ballot(0, 0)
+
+    def test_next(self):
+        b = Ballot(3, 1)
+        assert b.next(2) == Ballot(4, 2)
+        assert b.next(2) > b
+
+    def test_uniqueness_across_proposers(self):
+        assert Ballot(1, 0) != Ballot(1, 1)
+
+    def test_negative_round_rejected(self):
+        with pytest.raises(ValueError):
+            Ballot(-1, 0)
+
+    def test_str(self):
+        assert str(Ballot(2, 3)) == "b(2.3)"
+
+
+class TestValue:
+    def test_fresh_ids_unique(self):
+        ids = {fresh_value_id(0) for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            Value("v", -1)
+        with pytest.raises(ValueError):
+            Value("v", 5, b"abc")
+        Value("v", 3, b"abc")  # consistent
+
+    def test_modeled_value_has_no_data(self):
+        v = Value("v", 1024)
+        assert v.data is None
+
+
+class TestEncodeDecodeValue:
+    CFG = CodingConfig(3, 5)
+
+    def test_concrete_roundtrip(self):
+        v = Value("v1", 10, b"0123456789")
+        shares = encode_value(v, self.CFG)
+        assert len(shares) == 5
+        out = decode_value(shares[2:])
+        assert out.data == v.data
+        assert out.value_id == "v1"
+
+    def test_modeled_mode_sizes_only(self):
+        v = Value("v1", 999)
+        shares = encode_value(v, self.CFG)
+        assert all(s.data is None for s in shares)
+        assert all(s.size == self.CFG.share_size(999) for s in shares)
+        out = decode_value(shares[:3])
+        assert out.size == 999 and out.data is None
+
+    def test_decode_insufficient_raises(self):
+        v = Value("v1", 300)
+        shares = encode_value(v, self.CFG)
+        with pytest.raises(NotEnoughShares):
+            decode_value(shares[:2])
+        with pytest.raises(NotEnoughShares):
+            decode_value([])
+
+    def test_decode_duplicates_dont_count(self):
+        v = Value("v1", 300)
+        s = encode_value(v, self.CFG)[0]
+        with pytest.raises(NotEnoughShares):
+            decode_value([s, s, s])
+
+    def test_mixed_value_ids_rejected(self):
+        a = encode_value(Value("a", 30, b"x" * 30), self.CFG)
+        b = encode_value(Value("b", 30, b"y" * 30), self.CFG)
+        with pytest.raises(ValueError):
+            decode_value([a[0], a[1], b[2]])
+
+    def test_encode_one_share_matches(self):
+        v = Value("v1", 31, bytes(range(31)))
+        full = encode_value(v, self.CFG)
+        for i in range(5):
+            single = encode_one_share(v, self.CFG, i)
+            assert single.data == full[i].data
+
+    def test_encode_one_share_modeled(self):
+        v = Value("v1", 31)
+        s = encode_one_share(v, self.CFG, 4)
+        assert s.data is None and s.index == 4
+
+    def test_share_size_property(self):
+        s = CodedShare("v", 0, self.CFG, value_size=100)
+        assert s.size == 34  # ceil(100/3)
+
+    def test_replication_share_is_full_value(self):
+        cfg = CodingConfig(1, 5)
+        v = Value("v1", 4, b"abcd")
+        shares = encode_value(v, cfg)
+        assert all(s.size == 4 for s in shares)
+        assert decode_value([shares[4]]).data == b"abcd"

@@ -1,0 +1,92 @@
+"""Cross-validation: the analytic cost model vs the simulated system.
+
+The paper's argument is quantitative — accept-phase bytes shrink by
+1/X — so the simulation must agree with the closed-form model of
+:mod:`repro.core.quorum` within protocol overheads.
+"""
+
+import pytest
+
+from repro.core import (
+    Value,
+    classic_paxos,
+    disk_bytes_per_write,
+    fresh_value_id,
+    network_bytes_per_write,
+    rs_paxos,
+)
+from repro.net import HEADER_BYTES
+
+from .harness import elect, make_group
+
+
+def run_one_write(config, size, seed=0):
+    group = make_group(config, seed=seed)
+    assert elect(group, 0)
+    net0 = group.net.total_bytes_sent()
+    disk0 = sum(n.wal.disk.bytes_written for n in group.nodes)
+    decided = []
+    group.node(0).propose(
+        Value(fresh_value_id(0), size),
+        lambda i, v: decided.append(i),
+    )
+    group.sim.run(until=group.sim.now + 3.0)
+    assert decided
+    return (
+        group.net.total_bytes_sent() - net0,
+        sum(n.wal.disk.bytes_written for n in group.nodes) - disk0,
+    )
+
+
+class TestNetworkModel:
+    @pytest.mark.parametrize("config_fn,size", [
+        (lambda: classic_paxos(5), 300_000),
+        (lambda: rs_paxos(5, 1), 300_000),
+        (lambda: rs_paxos(7, 2), 210_000),
+    ])
+    def test_simulated_accept_bytes_match_model(self, config_fn, size):
+        config = config_fn()
+        net_bytes, _ = run_one_write(config, size)
+        predicted = network_bytes_per_write(config.n, size, config.coding)
+        # Everything beyond accept payloads (replies, commits, headers)
+        # is bounded protocol overhead.
+        overhead = net_bytes - predicted
+        assert overhead >= 0
+        assert overhead < 40 * (HEADER_BYTES + 200) + 0.01 * predicted
+
+    def test_rs_saving_fraction(self):
+        px, _ = run_one_write(classic_paxos(5), 600_000)
+        rs, _ = run_one_write(rs_paxos(5, 1), 600_000)
+        # §1: "RS-Paxos can save over 50% of network transmission".
+        assert rs < px * 0.5
+
+
+class TestDiskModel:
+    @pytest.mark.parametrize("config_fn,size", [
+        (lambda: classic_paxos(5), 300_000),
+        (lambda: rs_paxos(5, 1), 300_000),
+    ])
+    def test_simulated_wal_bytes_match_model(self, config_fn, size):
+        config = config_fn()
+        _, disk_bytes = run_one_write(config, size)
+        predicted = disk_bytes_per_write(config.n, size, config.coding)
+        overhead = disk_bytes - predicted
+        assert overhead >= 0
+        assert overhead < 5000 + 0.01 * predicted
+
+    def test_rs_disk_saving(self):
+        _, px = run_one_write(classic_paxos(5), 600_000)
+        _, rs = run_one_write(rs_paxos(5, 1), 600_000)
+        assert rs < px * 0.5
+
+
+class TestRedundancyAccounting:
+    def test_stored_redundancy_model(self):
+        # Leader full copy + (N-1) shares of size/X:
+        # redundancy = 1 + (N-1)/X = 1 + 4/3 ~ 2.33 for θ(3,5).
+        config = rs_paxos(5, 1)
+        share = config.coding.share_size(3000)
+        leader_total = 3000 + 4 * share
+        assert leader_total / 3000 == pytest.approx(2.33, abs=0.01)
+        # Versus 5.0 for full replication: > 50% storage saving.
+        assert leader_total < 5 * 3000 * 0.5

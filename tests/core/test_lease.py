@@ -1,0 +1,87 @@
+"""Tests for leader leases and drifting local clocks (§4.3)."""
+
+import pytest
+
+from repro.core import Lease, LeaseConfig, LocalClock
+from repro.sim import Simulator
+
+
+class TestLeaseConfig:
+    def test_follower_timeout_is_delta_plus_drift(self):
+        cfg = LeaseConfig(duration=2.0, max_drift=0.05)
+        assert cfg.follower_timeout == pytest.approx(2.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LeaseConfig(duration=0)
+        with pytest.raises(ValueError):
+            LeaseConfig(duration=1.0, heartbeat_interval=1.0)
+        with pytest.raises(ValueError):
+            LeaseConfig(max_drift=-0.1)
+
+
+class TestLocalClock:
+    def test_offset_applied(self):
+        sim = Simulator()
+        sim.call_at(10.0, lambda: None)
+        sim.run()
+        assert LocalClock(sim, 0.02).now() == pytest.approx(10.02)
+        assert LocalClock(sim, -0.02).now() == pytest.approx(9.98)
+
+
+class TestLease:
+    def make(self, offset=0.0, duration=2.0, drift=0.05):
+        sim = Simulator()
+        cfg = LeaseConfig(duration=duration, max_drift=drift,
+                          heartbeat_interval=0.5)
+        return sim, Lease(LocalClock(sim, offset), cfg)
+
+    def advance(self, sim, t):
+        sim.call_at(t, lambda: None)
+        sim.run()
+
+    def test_unrenewed_lease_not_held(self):
+        sim, lease = self.make()
+        assert not lease.held_by_leader()
+        assert lease.vacant_for_follower()
+
+    def test_renewed_lease_held_for_duration(self):
+        sim, lease = self.make()
+        lease.renew()
+        self.advance(sim, 1.9)
+        assert lease.held_by_leader()
+        self.advance(sim, 2.1)
+        assert not lease.held_by_leader()
+
+    def test_follower_waits_longer_than_leader(self):
+        # The §4.3 asymmetry: between Δ and Δ+δ the leader has stopped
+        # serving fast reads but followers must not yet elect.
+        sim, lease = self.make()
+        lease.renew()
+        self.advance(sim, 2.02)
+        assert not lease.held_by_leader()
+        assert not lease.vacant_for_follower()
+        self.advance(sim, 2.06)
+        assert lease.vacant_for_follower()
+
+    def test_invalidate(self):
+        sim, lease = self.make()
+        lease.renew()
+        lease.invalidate()
+        assert not lease.held_by_leader()
+        assert lease.vacant_for_follower()
+
+    def test_no_overlap_under_bounded_drift(self):
+        """With |offsets| <= δ/2 a follower that declares vacancy can
+        never do so while a leader still believes it holds the lease,
+        regardless of drift direction."""
+        sim = Simulator()
+        cfg = LeaseConfig(duration=2.0, max_drift=0.1, heartbeat_interval=0.5)
+        leader = Lease(LocalClock(sim, +0.05), cfg)   # fast clock
+        follower = Lease(LocalClock(sim, -0.05), cfg)  # slow clock
+        leader.renew()
+        follower.renew()  # follower observed the same renewal
+        for t in (0.5, 1.0, 1.5, 1.99, 2.0, 2.05, 2.1, 2.2):
+            sim.call_at(t, lambda: None)
+            sim.run()
+            assert not (leader.held_by_leader() and follower.vacant_for_follower())

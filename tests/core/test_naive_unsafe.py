@@ -1,0 +1,112 @@
+"""The §2.3 / Figure 2 counterexample: naive EC+Paxos is NOT safe.
+
+Scenario (paper's Figure 2), N = 5, θ(3, 5) with *majority* quorums:
+
+1. P1 passes phase 1 and sends accept requests carrying coded shares.
+   Only P1, P2, P3 receive them — 3 acks = a majority, so the value v
+   is legally **chosen**.
+2. P3 crashes.
+3. P5 runs phase 1. Among its promises at most two coded shares of v
+   are visible (P1, P2) — fewer than the 3 needed to reconstruct — so
+   P5 cannot recover v, proposes its own value, and gets it chosen.
+
+Two different values are now decided for the same instance: a
+consistency violation, which :class:`ConsistencyViolation` surfaces.
+
+The mirrored test shows RS-Paxos (QW = QR = 4, same θ(3, 5)) survives
+the identical schedule: with only 3 acks the value was never chosen in
+step 1, so the later no-op/own-value choice is allowed, and nothing is
+ever decided twice.
+"""
+
+import pytest
+
+from repro.core import (
+    ConsistencyViolation,
+    Value,
+    naive_ec_paxos,
+    rs_paxos,
+)
+
+from .harness import elect, make_group
+
+
+def scripted_fig2_schedule(config):
+    """Drive the exact Figure 2 schedule against ``config``.
+
+    Returns the group after the second leader has taken over (the
+    ConsistencyViolation, if any, is raised during sim.run inside).
+    """
+    group = make_group(config)
+    sim, net = group.sim, group.net
+    assert elect(group, 0)  # P1 is the initial proposer
+
+    # Step 1: accepts reach only P1, P2, P3.
+    net.partition(["P1"], ["P4", "P5"])
+    decided = []
+    group.node(0).propose(
+        Value("v-first", 900, b"A" * 900),
+        lambda inst, v: decided.append((inst, v.value_id)),
+    )
+    sim.run(until=sim.now + 2.0)
+
+    # Step 2: P3 crashes (its coded share is gone).
+    group.crash(2)
+    net.heal()
+
+    # Step 3: P5 tries to take over and propose.
+    assert elect(group, 4, until=10.0)
+    sim.run(until=sim.now + 5.0)
+    return group, decided
+
+
+class TestNaiveIsUnsafe:
+    def test_construction_requires_opt_in(self):
+        with pytest.raises(ValueError):
+            naive_ec_paxos(5)
+
+    def test_naive_config_is_flagged_unsafe(self):
+        cfg = naive_ec_paxos(5, allow_unsafe=True)
+        assert not cfg.is_safe
+        assert cfg.x == 3  # θ(3,5)
+        assert cfg.q_r == cfg.q_w == 3  # majorities
+
+    def test_figure2_schedule_violates_consistency(self):
+        """The naive combination decides two different values."""
+        with pytest.raises(ConsistencyViolation):
+            scripted_fig2_schedule(naive_ec_paxos(5, allow_unsafe=True))
+
+    def test_value_was_chosen_before_violation(self):
+        """Sanity: under the naive config the first value really is
+        chosen (3 acks = majority) before P3 crashes — the violation is
+        not an artifact of an unchosen value."""
+        group = make_group(naive_ec_paxos(5, allow_unsafe=True))
+        assert elect(group, 0)
+        group.net.partition(["P1"], ["P4", "P5"])
+        decided = []
+        group.node(0).propose(
+            Value("v-first", 900, b"A" * 900),
+            lambda inst, v: decided.append(v.value_id),
+        )
+        group.sim.run(until=group.sim.now + 2.0)
+        assert decided == ["v-first"]
+
+
+class TestRSPaxosSurvivesSameSchedule:
+    def test_figure2_schedule_is_safe(self):
+        """RS-Paxos on the identical schedule: no double decision."""
+        group, decided = scripted_fig2_schedule(rs_paxos(5, 1))
+        # The first value was never chosen (3 < QW = 4 acks)...
+        assert decided == []
+        # ...so every node that decided instance 0 decided the same
+        # (free-choice) value, and no ConsistencyViolation fired.
+        value_ids = {
+            n.chosen[0].value_id for n in group.nodes if 0 in n.chosen
+        }
+        assert len(value_ids) == 1
+
+    def test_rs_paxos_refuses_unsafe_custom_config(self):
+        from repro.core import rs_paxos_custom
+
+        with pytest.raises(ValueError):
+            rs_paxos_custom(5, 3, 3, x=3)  # naive parameters

@@ -1,0 +1,172 @@
+"""Tests for proposer-side pure logic: the phase-1(c) scan and trackers."""
+
+from repro.core import (
+    Accepted,
+    Ballot,
+    Promise,
+    PromiseTracker,
+    Value,
+    VoteTracker,
+    encode_value,
+    scan_instance,
+    scan_promises,
+)
+from repro.erasure import CodingConfig
+
+CFG = CodingConfig(3, 5)
+
+
+def shares_of(value_id: str, data: bytes | None = None, size: int = 300):
+    v = Value(value_id, size if data is None else len(data), data)
+    return encode_value(v, CFG)
+
+
+class TestScanInstance:
+    def test_no_accepts_means_free_choice(self):
+        result = scan_instance([])
+        assert result.must_repropose is None
+        assert result.unrecoverable == ()
+
+    def test_recoverable_value_found(self):
+        shares = shares_of("v1")
+        accepted = [(Ballot(1, 0), shares[i]) for i in range(3)]
+        result = scan_instance(accepted)
+        assert result.must_repropose is not None
+        assert result.must_repropose.value.value_id == "v1"
+        assert result.must_repropose.ballot == Ballot(1, 0)
+        assert result.must_repropose.shares_seen == 3
+
+    def test_concrete_value_reconstructed(self):
+        data = b"the chosen value!"
+        shares = shares_of("v1", data)
+        accepted = [(Ballot(1, 0), shares[i]) for i in (1, 3, 4)]
+        result = scan_instance(accepted)
+        assert result.must_repropose.value.data == data
+
+    def test_insufficient_shares_unrecoverable(self):
+        # Exactly the §2.3 situation: 2 < X = 3 shares visible.
+        shares = shares_of("v1")
+        accepted = [(Ballot(1, 0), shares[i]) for i in range(2)]
+        result = scan_instance(accepted)
+        assert result.must_repropose is None
+        assert result.unrecoverable == ("v1",)
+
+    def test_highest_ballot_recoverable_wins(self):
+        old = shares_of("old")
+        new = shares_of("new")
+        accepted = [(Ballot(1, 0), old[i]) for i in range(3)]
+        accepted += [(Ballot(2, 1), new[i]) for i in range(3)]
+        result = scan_instance(accepted)
+        assert result.must_repropose.value.value_id == "new"
+
+    def test_unrecoverable_higher_ballot_falls_back(self):
+        # A higher-ballot value with too few shares is skipped; the
+        # recoverable lower-ballot value is re-proposed. (The paper's
+        # rule: "picks up the recoverable value with highest ballot".)
+        older = shares_of("older")
+        newer = shares_of("newer")
+        accepted = [(Ballot(1, 0), older[i]) for i in range(3)]
+        accepted += [(Ballot(5, 1), newer[0])]
+        result = scan_instance(accepted)
+        assert result.must_repropose.value.value_id == "older"
+        assert result.unrecoverable == ("newer",)
+
+    def test_duplicate_share_indices_do_not_count(self):
+        shares = shares_of("v1")
+        accepted = [
+            (Ballot(1, 0), shares[0]),
+            (Ballot(1, 0), shares[0]),
+            (Ballot(1, 0), shares[1]),
+        ]
+        result = scan_instance(accepted)
+        assert result.must_repropose is None
+
+    def test_replication_single_share_recovers(self):
+        cfg = CodingConfig(1, 5)
+        v = Value("v1", 5, b"paxos")
+        shares = encode_value(v, cfg)
+        result = scan_instance([(Ballot(1, 0), shares[4])])
+        assert result.must_repropose.value.data == b"paxos"
+
+
+class TestScanPromises:
+    def test_merges_across_acceptors(self):
+        shares = shares_of("v1")
+        promises = [
+            Promise(Ballot(2, 0), 0, {5: (Ballot(1, 0), shares[i])})
+            for i in range(3)
+        ]
+        results = scan_promises(promises)
+        assert set(results) == {5}
+        assert results[5].must_repropose.value.value_id == "v1"
+
+    def test_multiple_instances(self):
+        s1, s2 = shares_of("a"), shares_of("b")
+        promises = [
+            Promise(Ballot(2, 0), 0, {
+                1: (Ballot(1, 0), s1[i]),
+                2: (Ballot(1, 0), s2[i]),
+            })
+            for i in range(3)
+        ]
+        results = scan_promises(promises)
+        assert results[1].must_repropose.value.value_id == "a"
+        assert results[2].must_repropose.value.value_id == "b"
+
+    def test_empty(self):
+        assert scan_promises([]) == {}
+
+
+class TestVoteTracker:
+    def make(self, quorum=4):
+        return VoteTracker(instance=0, ballot=Ballot(1, 0), value_id="v", quorum=quorum)
+
+    def vote(self, acceptor, ballot=Ballot(1, 0), value_id="v", instance=0):
+        return Accepted(instance=instance, ballot=ballot, value_id=value_id,
+                        acceptor=acceptor)
+
+    def test_quorum_reached_once(self):
+        t = self.make(quorum=3)
+        assert not t.record(self.vote(0))
+        assert not t.record(self.vote(1))
+        assert t.record(self.vote(2))  # crossing returns True once
+        assert not t.record(self.vote(3))
+        assert t.chosen
+
+    def test_duplicate_voter_ignored(self):
+        t = self.make(quorum=2)
+        t.record(self.vote(0))
+        assert not t.record(self.vote(0))
+        assert not t.chosen
+
+    def test_wrong_ballot_ignored(self):
+        t = self.make(quorum=1)
+        assert not t.record(self.vote(0, ballot=Ballot(9, 9)))
+
+    def test_wrong_value_ignored(self):
+        t = self.make(quorum=1)
+        assert not t.record(self.vote(0, value_id="other"))
+
+    def test_wrong_instance_ignored(self):
+        t = self.make(quorum=1)
+        assert not t.record(self.vote(0, instance=3))
+
+
+class TestPromiseTracker:
+    def test_quorum_crossing(self):
+        t = PromiseTracker(ballot=Ballot(1, 0), quorum=2)
+        p = Promise(Ballot(1, 0), 0)
+        assert not t.record(0, p)
+        assert t.record(1, p)
+        assert not t.record(2, p)
+        assert t.complete
+
+    def test_wrong_ballot_ignored(self):
+        t = PromiseTracker(ballot=Ballot(1, 0), quorum=1)
+        assert not t.record(0, Promise(Ballot(2, 0), 0))
+
+    def test_duplicate_acceptor_ignored(self):
+        t = PromiseTracker(ballot=Ballot(1, 0), quorum=2)
+        p = Promise(Ballot(1, 0), 0)
+        t.record(0, p)
+        assert not t.record(0, p)

@@ -1,0 +1,79 @@
+"""Tests for protocol configuration constructors and safety validation."""
+
+import pytest
+
+from repro.core import (
+    ProtocolConfig,
+    QuorumSystem,
+    classic_paxos,
+    naive_ec_paxos,
+    rs_paxos,
+    rs_paxos_custom,
+)
+from repro.erasure import CodingConfig
+
+
+class TestClassicPaxos:
+    def test_majority_full_copy(self):
+        cfg = classic_paxos(5)
+        assert (cfg.q_r, cfg.q_w, cfg.x, cfg.f) == (3, 3, 1, 2)
+        assert not cfg.is_erasure_coded
+        assert cfg.is_safe
+
+    def test_various_n(self):
+        assert classic_paxos(3).f == 1
+        assert classic_paxos(7).f == 3
+        assert classic_paxos(9).f == 4
+
+
+class TestRSPaxos:
+    def test_headline_configuration(self):
+        cfg = rs_paxos(5, 1)
+        assert (cfg.n, cfg.q_r, cfg.q_w, cfg.x, cfg.f) == (5, 4, 4, 3, 1)
+        assert cfg.is_erasure_coded
+        assert str(cfg.coding) == "theta(3,5)"
+
+    def test_paper_section34(self):
+        cfg = rs_paxos(7, 2)
+        assert (cfg.q_r, cfg.q_w, cfg.x) == (5, 5, 3)
+
+    def test_custom_quorums_default_max_x(self):
+        cfg = rs_paxos_custom(7, 5, 6)
+        assert cfg.x == 4  # QR + QW - N
+
+    def test_custom_quorums_smaller_x_allowed(self):
+        # Using X below the intersection is safe (just less efficient).
+        cfg = rs_paxos_custom(7, 5, 5, x=2)
+        assert cfg.is_safe
+
+    def test_unsafe_x_rejected(self):
+        with pytest.raises(ValueError):
+            rs_paxos_custom(5, 3, 3, x=2)  # intersection is only 1
+
+    def test_mismatched_coding_n_rejected(self):
+        with pytest.raises(ValueError):
+            ProtocolConfig(QuorumSystem(5, 4, 4), CodingConfig(3, 7))
+
+    def test_rs_paxos_is_superset_of_paxos(self):
+        # §3.2: "RS-Paxos is actually a superset of Paxos. In Paxos, X=1."
+        paxos = classic_paxos(5)
+        rs_as_paxos = rs_paxos_custom(5, 3, 3, x=1)
+        assert paxos.quorums == rs_as_paxos.quorums
+        assert paxos.coding == rs_as_paxos.coding
+
+
+class TestNaive:
+    def test_requires_explicit_opt_in(self):
+        with pytest.raises(ValueError):
+            naive_ec_paxos(5)
+
+    def test_flagged_unsafe(self):
+        cfg = naive_ec_paxos(5, allow_unsafe=True)
+        assert not cfg.is_safe
+        assert cfg.is_erasure_coded
+
+    def test_network_saving_is_why_it_tempts(self):
+        # The naive config *would* save the same bytes as RS-Paxos at
+        # majority quorums — that's the §2.3 temptation.
+        cfg = naive_ec_paxos(5, allow_unsafe=True)
+        assert cfg.coding.share_size(3000) == 1000

@@ -1,0 +1,130 @@
+"""Tests for the quorum algebra, including the paper's Table 1."""
+
+import pytest
+
+from repro.core import (
+    QuorumSystem,
+    disk_bytes_per_write,
+    enumerate_configs,
+    network_bytes_per_write,
+)
+from repro.erasure import CodingConfig
+
+
+class TestQuorumSystem:
+    def test_intersection_identity(self):
+        q = QuorumSystem(7, 5, 5)
+        # QR + QW - X = N  (§3.2)
+        assert q.q_r + q.q_w - q.x == q.n
+        assert q.x == 3
+
+    def test_f_identities(self):
+        # F = N - max(QR, QW) = min(QR, QW) - X  (§3.2)
+        for n, q_r, q_w in [(7, 5, 5), (7, 3, 5), (5, 4, 4), (9, 7, 8)]:
+            q = QuorumSystem(n, q_r, q_w)
+            assert q.f == n - max(q_r, q_w)
+            assert q.f == min(q_r, q_w) - q.x
+
+    def test_majority(self):
+        q = QuorumSystem.majority(5)
+        assert (q.q_r, q.q_w, q.x, q.f) == (3, 3, 1, 2)
+        assert q.is_majority
+        q7 = QuorumSystem.majority(7)
+        assert (q7.q_r, q7.q_w, q7.x, q7.f) == (4, 4, 1, 3)
+
+    def test_non_intersecting_rejected(self):
+        with pytest.raises(ValueError):
+            QuorumSystem(5, 2, 2)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            QuorumSystem(5, 0, 3)
+        with pytest.raises(ValueError):
+            QuorumSystem(5, 6, 3)
+
+    def test_for_fault_tolerance_paper_setups(self):
+        # §6.1 headline: N=5, F=1 -> Q=4, X=3.
+        q = QuorumSystem.for_fault_tolerance(5, 1)
+        assert (q.q_r, q.q_w, q.x, q.f) == (4, 4, 3, 1)
+        # §3.4 example: N=7, F=2 -> Q=5, X=3.
+        q = QuorumSystem.for_fault_tolerance(7, 2)
+        assert (q.q_r, q.q_w, q.x, q.f) == (5, 5, 3, 2)
+
+    def test_for_fault_tolerance_infeasible(self):
+        with pytest.raises(ValueError):
+            QuorumSystem.for_fault_tolerance(5, 3)  # X would be -1
+        with pytest.raises(ValueError):
+            QuorumSystem.for_fault_tolerance(4, 2)  # X would be 0
+
+    def test_three_node_rs_paxos_degenerates_to_paxos(self):
+        # §6.1: "a 3-replica Paxos ... has to set X=1 to tolerate a
+        # failure, making it no different to Paxos."
+        q = QuorumSystem.for_fault_tolerance(3, 1)
+        assert q.x == 1
+        assert q.max_safe_coding() == CodingConfig(1, 3)
+
+    def test_max_safe_coding(self):
+        q = QuorumSystem(5, 4, 4)
+        assert q.max_safe_coding() == CodingConfig(3, 5)
+
+
+class TestTable1:
+    """Regenerate Table 1 (N = 7) and check it row for row."""
+
+    PAPER_ROWS = [
+        # (QW, QR, X, F)
+        (4, 4, 1, 3),
+        (5, 3, 1, 2),
+        (5, 4, 2, 2),
+        (5, 5, 3, 2),
+        (6, 2, 1, 1),
+        (6, 3, 2, 1),
+        (6, 4, 3, 1),
+        (6, 5, 4, 1),
+        (6, 6, 5, 1),
+    ]
+    PAPER_HIGHLIGHTED = {(4, 4, 1, 3), (5, 5, 3, 2), (6, 6, 5, 1)}
+
+    def test_rows_match_paper(self):
+        rows = enumerate_configs(7)
+        assert [r.as_tuple() for r in rows] == self.PAPER_ROWS
+
+    def test_highlighted_max_x_rows(self):
+        rows = enumerate_configs(7)
+        highlighted = {r.as_tuple() for r in rows if r.max_x_for_f}
+        assert highlighted == self.PAPER_HIGHLIGHTED
+
+    def test_all_rows_satisfy_identities(self):
+        for r in enumerate_configs(7):
+            assert r.q_r + r.q_w - r.x == 7
+            assert r.f == 7 - max(r.q_r, r.q_w)
+            assert r.f == min(r.q_r, r.q_w) - r.x
+
+    def test_enumeration_other_n(self):
+        rows5 = enumerate_configs(5)
+        assert (4, 4, 3, 1) in {r.as_tuple() for r in rows5}
+        # N=3 admits only the majority row at F=1.
+        rows3 = enumerate_configs(3)
+        assert [r.as_tuple() for r in rows3] == [(2, 2, 1, 1)]
+
+
+class TestCostModel:
+    def test_network_bytes_paxos_vs_rspaxos(self):
+        size = 3 * 1024
+        paxos = network_bytes_per_write(5, size, CodingConfig(1, 5))
+        rs = network_bytes_per_write(5, size, CodingConfig(3, 5))
+        assert paxos == 4 * size
+        assert rs == 4 * (size // 3)
+        # Over 50% saving (§1: "can save over 50% of network transmission").
+        assert rs < paxos / 2
+
+    def test_disk_bytes(self):
+        size = 3 * 1024
+        assert disk_bytes_per_write(5, size, CodingConfig(1, 5)) == 5 * size
+        assert disk_bytes_per_write(5, size, CodingConfig(3, 5)) == 5 * (size // 3)
+
+    def test_leaderless_mode_counts_all_receivers(self):
+        size = 300
+        assert network_bytes_per_write(
+            5, size, CodingConfig(1, 5), leader_holds_value=False
+        ) == 5 * size

@@ -1,0 +1,113 @@
+"""Randomized safety stress: adversarial schedules against (RS-)Paxos.
+
+Each case runs a group under a randomly impaired network (loss,
+duplication, jitter), with competing leaders and up to F crashes at
+random times, then checks the two safety properties the paper proves:
+
+- **Consistency**: no instance decides two different values (enforced
+  inline by ConsistencyViolation; re-checked across nodes here).
+- **Non-triviality**: every decided value was actually proposed
+  (client values or takeover no-ops).
+
+Determinism of the simulator makes every failure reproducible from its
+seed.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Value, classic_paxos, is_noop, rs_paxos
+from repro.net import LinkSpec
+
+from .harness import make_group
+
+
+def run_adversarial_schedule(config, seed: int, crashes: int) -> None:
+    rng_link = LinkSpec(
+        delay_s=0.005, jitter_s=0.004, bandwidth_bps=1e9,
+        loss_prob=0.15, dup_prob=0.10,
+    )
+    group = make_group(config, link=rng_link, seed=seed, rpc_timeout=0.05)
+    sim = group.sim
+    rng = sim.rng.stream("stress")
+    n = config.n
+
+    proposed_ids: set[str] = set()
+    seq = iter(range(10_000))
+
+    def try_propose(node_idx: int) -> None:
+        node = group.node(node_idx)
+
+        def ready(ok: bool) -> None:
+            if not ok or not node.is_leader:
+                return
+            for _ in range(3):
+                vid = f"client.{node_idx}.{next(seq)}"
+                proposed_ids.add(vid)
+                node.propose(Value(vid, 512), lambda i, v: None)
+
+        node.become_leader(ready)
+
+    # Competing proposers at staggered times.
+    for k, idx in enumerate(rng.permutation(n)[:3]):
+        sim.call_at(0.05 * k, lambda i=int(idx): try_propose(i))
+    # A second wave, racing the first.
+    for k, idx in enumerate(rng.permutation(n)[:2]):
+        sim.call_at(0.4 + 0.05 * k, lambda i=int(idx): try_propose(i))
+
+    # Up to F crashes at random times (no recovery: worst case).
+    crash_ids = [int(i) for i in rng.permutation(n)[:crashes]]
+    for i, node_idx in enumerate(crash_ids):
+        sim.call_at(float(rng.uniform(0.1, 1.5)), lambda x=node_idx: group.crash(x))
+
+    sim.run(until=12.0)
+
+    # Cross-node consistency: all deciders of an instance agree.
+    decisions: dict[int, set[str]] = {}
+    for node in group.nodes:
+        for inst, rec in node.chosen.items():
+            decisions.setdefault(inst, set()).add(rec.value_id)
+    for inst, ids in decisions.items():
+        assert len(ids) == 1, f"instance {inst} decided {ids}"
+
+    # Non-triviality: decided values were proposed (or takeover no-ops).
+    for inst, ids in decisions.items():
+        vid = next(iter(ids))
+        assert vid in proposed_ids or is_noop(vid), vid
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None)
+def test_rs_paxos_safety_under_adversarial_schedules(seed):
+    run_adversarial_schedule(rs_paxos(5, 1), seed=seed, crashes=1)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None)
+def test_rs_paxos_n7_safety_with_two_crashes(seed):
+    run_adversarial_schedule(rs_paxos(7, 2), seed=seed, crashes=2)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None)
+def test_classic_paxos_safety_with_two_crashes(seed):
+    run_adversarial_schedule(classic_paxos(5), seed=seed, crashes=2)
+
+
+@pytest.mark.parametrize("seed", [7, 42, 1234])
+def test_progress_with_quorum_alive(seed):
+    """Liveness smoke test: with <= F crashes, some value gets decided."""
+    config = rs_paxos(5, 1)
+    link = LinkSpec(delay_s=0.005, jitter_s=0.004, loss_prob=0.1, dup_prob=0.05)
+    group = make_group(config, link=link, seed=seed, rpc_timeout=0.05)
+    decided = []
+
+    def ready(ok):
+        if ok:
+            group.node(0).propose(Value("v", 256), lambda i, v: decided.append(i))
+
+    group.node(0).become_leader(ready)
+    group.sim.call_at(0.2, lambda: group.crash(4))
+    group.sim.run(until=15.0)
+    assert decided

@@ -1,0 +1,108 @@
+"""Tests for views, view change classification and migration cost (§4.6)."""
+
+import pytest
+
+from repro.core import (
+    MigrationKind,
+    View,
+    ViewChange,
+    classify_migration,
+    migration_bytes,
+    rs_paxos,
+    rs_paxos_custom,
+    classic_paxos,
+)
+
+
+def v(epoch, members, config):
+    return View(epoch, tuple(members), config)
+
+
+class TestView:
+    def test_construction(self):
+        view = v(0, range(5), rs_paxos(5, 1))
+        assert view.epoch == 0
+        assert view.config.x == 3
+
+    def test_member_count_must_match_n(self):
+        with pytest.raises(ValueError):
+            v(0, range(4), rs_paxos(5, 1))
+
+    def test_duplicate_members_rejected(self):
+        with pytest.raises(ValueError):
+            View(0, (1, 1, 2), classic_paxos(3))
+
+    def test_negative_epoch_rejected(self):
+        with pytest.raises(ValueError):
+            View(-1, (0, 1, 2), classic_paxos(3))
+
+    def test_successor_increments_epoch(self):
+        view = v(3, range(5), rs_paxos(5, 1))
+        nxt = view.successor(tuple(range(4)), rs_paxos_custom(4, 3, 3))
+        assert nxt.epoch == 4
+
+    def test_view_change_wire_bytes(self):
+        vc = ViewChange(v(1, range(5), rs_paxos(5, 1)))
+        assert vc.wire_bytes > 0
+
+
+class TestClassifyMigration:
+    OLD = v(0, range(5), rs_paxos(5, 1))  # N=5 Q=4 X=3
+
+    def test_paper_same_x_example(self):
+        # §4.6: same X, same members -> no re-spread.
+        new = self.OLD.successor(tuple(range(5)), rs_paxos(5, 1))
+        assert classify_migration(self.OLD, new) is MigrationKind.NONE
+
+    def test_paper_shrink_example_confirm_only(self):
+        # §4.6: old N=5,Q=4,X=3 -> new N'=4,Q'=3,X'=2 with every server
+        # holding its share: only confirm placement.
+        new = self.OLD.successor(tuple(range(4)), rs_paxos_custom(4, 3, 3, x=2))
+        assert (
+            classify_migration(self.OLD, new, all_shares_placed=True)
+            is MigrationKind.CONFIRM_ONLY
+        )
+
+    def test_shrink_without_placement_recodes(self):
+        new = self.OLD.successor(tuple(range(4)), rs_paxos_custom(4, 3, 3, x=2))
+        assert (
+            classify_migration(self.OLD, new, all_shares_placed=False)
+            is MigrationKind.RECODE
+        )
+
+    def test_growth_always_recodes(self):
+        # A new member holds nothing, placed or not.
+        new = self.OLD.successor(tuple(range(6)), rs_paxos_custom(6, 5, 5, x=4))
+        for placed in (True, False):
+            assert (
+                classify_migration(self.OLD, new, all_shares_placed=placed)
+                is MigrationKind.RECODE
+            )
+
+    def test_confirm_requires_quorum_at_least_old_x(self):
+        # New quorum 2 < old X=3: a read quorum may miss shares.
+        new = self.OLD.successor((0, 1, 2), rs_paxos_custom(3, 2, 2, x=1))
+        assert (
+            classify_migration(self.OLD, new, all_shares_placed=True)
+            is MigrationKind.RECODE
+        )
+
+    def test_same_x_with_shrink_is_none(self):
+        old = v(0, range(5), classic_paxos(5))  # X = 1
+        new = old.successor((0, 1, 2), classic_paxos(3))
+        assert classify_migration(old, new) is MigrationKind.NONE
+
+
+class TestMigrationBytes:
+    def test_confirm_and_none_are_free(self):
+        old = v(0, range(5), rs_paxos(5, 1))
+        new = old.successor(tuple(range(4)), rs_paxos_custom(4, 3, 3, x=2))
+        assert migration_bytes(old, new, 3 << 20, MigrationKind.NONE) == 0
+        assert migration_bytes(old, new, 3 << 20, MigrationKind.CONFIRM_ONLY) == 0
+
+    def test_recode_cost_scales_with_new_coding(self):
+        old = v(0, range(5), rs_paxos(5, 1))
+        new = old.successor(tuple(range(4)), rs_paxos_custom(4, 3, 3, x=2))
+        cost = migration_bytes(old, new, 2 << 20, MigrationKind.RECODE)
+        # N'-1 = 3 shares of half the value each.
+        assert cost == 3 * (1 << 20)

@@ -1,0 +1,83 @@
+"""Property-based tests (hypothesis) for the Reed-Solomon codec.
+
+These check the MDS contract — any X distinct shares reconstruct the
+value — and algebraic field laws, over randomized inputs.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.erasure import CodingConfig, RSCodec, codec_for
+from repro.erasure import gf256
+
+
+@st.composite
+def config_value_subset(draw):
+    n = draw(st.integers(min_value=1, max_value=9))
+    x = draw(st.integers(min_value=1, max_value=n))
+    value = draw(st.binary(min_size=0, max_size=300))
+    subset = draw(
+        st.sets(st.integers(min_value=0, max_value=n - 1), min_size=x, max_size=n)
+    )
+    return CodingConfig(x, n), value, sorted(subset)
+
+
+@given(config_value_subset())
+@settings(max_examples=200, deadline=None)
+def test_any_x_shares_reconstruct(case):
+    cfg, value, subset = case
+    codec = codec_for(cfg)
+    shares = codec.encode(value)
+    picked = [shares[i] for i in subset]
+    assert codec.decode(picked) == value
+
+
+@given(config_value_subset())
+@settings(max_examples=100, deadline=None)
+def test_share_sizes_and_count(case):
+    cfg, value, _ = case
+    shares = codec_for(cfg).encode(value)
+    assert len(shares) == cfg.n
+    expected = cfg.share_size(len(value))
+    assert all(len(s) == expected for s in shares)
+    assert [s.index for s in shares] == list(range(cfg.n))
+
+
+@given(
+    st.binary(min_size=0, max_size=200),
+    st.integers(min_value=0, max_value=6),
+)
+@settings(max_examples=100, deadline=None)
+def test_encode_share_consistent_with_encode(value, index):
+    cfg = CodingConfig(3, 7)
+    codec = RSCodec(cfg)
+    assert codec.encode_share(value, index).data == codec.encode(value)[index].data
+
+
+@given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255))
+def test_field_laws(a, b, c):
+    # Associativity and commutativity of multiplication, distributivity.
+    assert gf256.mul(a, b) == gf256.mul(b, a)
+    assert gf256.mul(gf256.mul(a, b), c) == gf256.mul(a, gf256.mul(b, c))
+    assert gf256.mul(a, b ^ c) == gf256.mul(a, b) ^ gf256.mul(a, c)
+
+
+@given(st.integers(1, 255))
+def test_inverse_law(a):
+    assert gf256.mul(a, gf256.inv(a)) == 1
+
+
+@given(
+    st.lists(st.integers(0, 255), min_size=16, max_size=16),
+    st.lists(st.integers(0, 255), min_size=16, max_size=16),
+    st.integers(0, 255),
+)
+def test_addmul_matches_scalar(dst_l, src_l, c):
+    dst = np.array(dst_l, dtype=np.uint8)
+    src = np.array(src_l, dtype=np.uint8)
+    expected = np.array(
+        [d ^ gf256.mul(s, c) for d, s in zip(dst_l, src_l)], dtype=np.uint8
+    )
+    gf256.addmul_vec(dst, src, c)
+    assert np.array_equal(dst, expected)

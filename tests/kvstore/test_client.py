@@ -1,0 +1,89 @@
+"""Tests for KVClient retry/redirect/rotation behaviour."""
+
+import pytest
+
+from repro.core import rs_paxos
+from repro.kvstore import KVClient, build_cluster
+
+
+def make(**kw):
+    c = build_cluster(rs_paxos(5, 1), seed=9, num_groups=2,
+                      client_timeout=kw.pop("client_timeout", 1.0), **kw)
+    c.start()
+    c.run(until=1.0)
+    return c
+
+
+class TestRedirects:
+    def test_follows_redirect_chain(self):
+        c = make()
+        client = c.clients[0]
+        client.leader_cache = c.servers[2].name
+        ok = []
+        client.put("r", 100, on_done=lambda o: ok.append(o))
+        c.run(until=5.0)
+        assert ok == [True]
+        assert client.ops_ok == 1
+
+    def test_rotates_when_cached_leader_dead(self):
+        c = make()
+        client = c.clients[0]
+        c.clients[0].put("seed", 10, on_done=lambda ok: None)
+        c.run(until=3.0)
+        # Kill the leader; client times out against it and rotates until
+        # the new leader answers.
+        c.crash_server(0)
+        ok = []
+        client.put("after-death", 64, on_done=lambda o: ok.append(o))
+        c.run(until=25.0)
+        assert ok == [True]
+
+    def test_retry_budget_exhausts_with_all_servers_down(self):
+        c = make()
+        client = c.clients[0]
+        client.max_attempts = 3
+        for i in range(5):
+            c.crash_server(i)
+        ok = []
+        client.put("void", 1, on_done=lambda o: ok.append(o))
+        c.run(until=30.0)
+        assert ok == [False]
+        assert client.ops_failed == 1
+
+    def test_leader_cache_learned_from_success(self):
+        c = make()
+        client = c.clients[0]
+        client.leader_cache = None
+        ok = []
+        client.put("learn", 10, on_done=lambda o: ok.append(o))
+        c.run(until=10.0)
+        assert ok == [True]
+        assert client.leader_cache == c.servers[0].name
+
+
+class TestMetrics:
+    def test_client_latency_recorded(self):
+        c = make()
+        c.clients[0].put("m", 100, on_done=lambda ok: None)
+        c.run(until=3.0)
+        lat = c.metrics.latency("client.put")
+        assert len(lat) == 1
+        # Client-observed latency includes the network RTT, so it
+        # exceeds the server-side commit latency.
+        assert lat.mean() >= c.metrics.latency("write").mean()
+
+    def test_get_reports_size(self):
+        c = make()
+        c.clients[0].put("g", 777, on_done=lambda ok: None)
+        c.run(until=3.0)
+        sizes = []
+        c.clients[0].get("g", on_done=lambda ok, size: sizes.append(size))
+        c.run(until=5.0)
+        assert sizes == [777]
+
+
+class TestConstruction:
+    def test_requires_servers(self):
+        c = make()
+        with pytest.raises(ValueError):
+            KVClient(c.sim, c.net, "X", [])

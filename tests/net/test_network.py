@@ -1,0 +1,269 @@
+"""Unit tests for the simulated network."""
+
+import pytest
+
+from repro.net import (
+    HEADER_BYTES,
+    LAN,
+    WAN,
+    Envelope,
+    FaultSchedule,
+    LinkSpec,
+    Network,
+    build_network,
+    lan_cluster,
+    server_names,
+    wan_cluster,
+)
+from repro.sim import Simulator, Tracer
+
+
+def make_net(link=None, seed=0, names=("A", "B", "C")):
+    sim = Simulator(seed=seed)
+    net = build_network(sim, list(names), link or LinkSpec(delay_s=0.01))
+    return sim, net
+
+
+class TestLinkSpec:
+    def test_serialization_time(self):
+        spec = LinkSpec(bandwidth_bps=1e9)
+        assert spec.serialization_time(125_000_000) == pytest.approx(1.0)
+
+    def test_infinite_bandwidth(self):
+        spec = LinkSpec(bandwidth_bps=float("inf"))
+        assert spec.serialization_time(10**9) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkSpec(delay_s=-1)
+        with pytest.raises(ValueError):
+            LinkSpec(jitter_s=0.2, delay_s=0.1)
+        with pytest.raises(ValueError):
+            LinkSpec(bandwidth_bps=0)
+        with pytest.raises(ValueError):
+            LinkSpec(loss_prob=1.5)
+
+    def test_presets_match_paper(self):
+        # §6.1: LAN 1 Gbps; WAN 500 Mbps, 50±10 ms one-way.
+        assert LAN.bandwidth_bps == pytest.approx(1e9)
+        assert WAN.bandwidth_bps == pytest.approx(500e6)
+        assert WAN.delay_s == pytest.approx(0.050)
+        assert WAN.jitter_s == pytest.approx(0.010)
+
+
+class TestDelivery:
+    def test_basic_delivery(self):
+        sim, net = make_net()
+        got = []
+        net.set_handler("B", lambda env: got.append((sim.now, env.payload)))
+        net.send("A", "B", "hello", size=0)
+        sim.run()
+        assert len(got) == 1
+        t, payload = got[0]
+        assert payload == "hello"
+        # Header-only message at 1 Gbps: serialization negligible vs 10ms.
+        assert t == pytest.approx(0.01, abs=1e-3)
+
+    def test_size_drives_latency(self):
+        spec = LinkSpec(delay_s=0.0, bandwidth_bps=8e6)  # 1 MB/s
+        sim, net = make_net(spec)
+        got = []
+        net.set_handler("B", lambda env: got.append(sim.now))
+        net.send("A", "B", "big", size=1_000_000 - HEADER_BYTES)
+        sim.run()
+        # Egress + ingress serialization of 1 MB at 1 MB/s each.
+        assert got[0] == pytest.approx(2.0)
+
+    def test_egress_is_shared_bottleneck(self):
+        # One sender to three receivers: transmissions serialize at the
+        # sender NIC — the leader bottleneck the paper relies on.
+        spec = LinkSpec(delay_s=0.0, bandwidth_bps=8e6)
+        sim, net = make_net(spec, names=("L", "F1", "F2", "F3"))
+        got = {}
+        for f in ("F1", "F2", "F3"):
+            net.set_handler(f, lambda env, f=f: got.setdefault(f, sim.now))
+        size = 1_000_000 - HEADER_BYTES
+        for f in ("F1", "F2", "F3"):
+            net.send("L", f, "x", size=size)
+        sim.run()
+        times = sorted(got.values())
+        # Egress finishes at 1,2,3s; ingress adds 1s each (parallel NICs).
+        assert times[0] == pytest.approx(2.0)
+        assert times[1] == pytest.approx(3.0)
+        assert times[2] == pytest.approx(4.0)
+
+    def test_loopback_is_instant(self):
+        sim, net = make_net()
+        got = []
+        net.set_handler("A", lambda env: got.append(sim.now))
+        net.send("A", "A", "self", size=10**9)
+        sim.run()
+        assert got == [0.0]
+
+    def test_fifo_between_same_pair(self):
+        sim, net = make_net()
+        got = []
+        net.set_handler("B", lambda env: got.append(env.payload))
+        for i in range(5):
+            net.send("A", "B", i, size=100)
+        sim.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_negative_size_rejected(self):
+        sim, net = make_net()
+        with pytest.raises(ValueError):
+            net.send("A", "B", "x", size=-1)
+
+    def test_jitter_varies_delay_deterministically(self):
+        spec = LinkSpec(delay_s=0.05, jitter_s=0.01, bandwidth_bps=float("inf"))
+        times1 = self._run_jitter(spec, seed=1)
+        times2 = self._run_jitter(spec, seed=1)
+        times3 = self._run_jitter(spec, seed=2)
+        assert times1 == times2  # deterministic
+        assert times1 != times3  # seed-sensitive
+        for t in times1:
+            assert 0.04 <= t <= 0.06
+
+    @staticmethod
+    def _run_jitter(spec, seed):
+        sim = Simulator(seed=seed)
+        net = build_network(sim, ["A", "B"], spec)
+        got = []
+        net.set_handler("B", lambda env: got.append(sim.now))
+        # Stagger sends so each message's delay is visible.
+        for i in range(5):
+            sim.call_at(float(i), lambda: net.send("A", "B", "x", size=0))
+        sim.run()
+        return [t - i for i, t in enumerate(got)]
+
+
+class TestImpairments:
+    def test_loss(self):
+        spec = LinkSpec(delay_s=0.001, loss_prob=1.0)
+        sim, net = make_net(spec)
+        got = []
+        net.set_handler("B", lambda env: got.append(env))
+        net.send("A", "B", "x", size=0)
+        sim.run()
+        assert got == []
+        assert net.messages_dropped == 1
+
+    def test_duplication(self):
+        spec = LinkSpec(delay_s=0.001, dup_prob=1.0)
+        sim, net = make_net(spec)
+        got = []
+        net.set_handler("B", lambda env: got.append(env.dup))
+        net.send("A", "B", "x", size=0)
+        sim.run()
+        assert len(got) == 2
+        assert got.count(True) == 1
+
+    def test_partial_loss_statistics(self):
+        spec = LinkSpec(delay_s=0.001, loss_prob=0.5)
+        sim, net = make_net(spec, seed=3)
+        got = []
+        net.set_handler("B", lambda env: got.append(env))
+        for _ in range(400):
+            net.send("A", "B", "x", size=0)
+        sim.run()
+        assert 120 < len(got) < 280  # ~200 expected
+
+
+class TestFaults:
+    def test_crashed_host_does_not_send(self):
+        sim, net = make_net()
+        got = []
+        net.set_handler("B", lambda env: got.append(env))
+        net.crash_host("A")
+        net.send("A", "B", "x", size=0)
+        sim.run()
+        assert got == []
+
+    def test_crashed_host_does_not_receive(self):
+        sim, net = make_net()
+        got = []
+        net.set_handler("B", lambda env: got.append(env))
+        net.crash_host("B")
+        net.send("A", "B", "x", size=0)
+        sim.run()
+        assert got == []
+        assert net.messages_dropped == 1
+
+    def test_message_in_flight_to_crashing_host_dropped(self):
+        sim, net = make_net()  # 10ms delay
+        got = []
+        net.set_handler("B", lambda env: got.append(env))
+        net.send("A", "B", "x", size=0)
+        sim.call_at(0.005, lambda: net.crash_host("B"))
+        sim.run()
+        assert got == []
+
+    def test_recovery_restores_connectivity(self):
+        sim, net = make_net()
+        got = []
+        net.set_handler("B", lambda env: got.append(env.payload))
+        net.crash_host("B")
+        net.send("A", "B", "lost", size=0)
+        sim.call_at(1.0, lambda: net.recover_host("B"))
+        sim.call_at(2.0, lambda: net.send("A", "B", "ok", size=0))
+        sim.run()
+        assert got == ["ok"]
+
+    def test_partition_and_heal(self):
+        sim, net = make_net()
+        got = []
+        net.set_handler("C", lambda env: got.append(env.payload))
+        net.partition(["A"], ["C"])
+        net.send("A", "C", "blocked", size=0)
+        sim.call_at(1.0, lambda: net.heal())
+        sim.call_at(2.0, lambda: net.send("A", "C", "through", size=0))
+        sim.run()
+        assert got == ["through"]
+
+    def test_fault_schedule(self):
+        sim, net = make_net()
+        sched = FaultSchedule(sim, net)
+        events = []
+        sched.on_fault(lambda kind, host: events.append((sim.now, kind, host)))
+        sched.crash_at(5.0, "B")
+        sched.recover_at(9.0, "B")
+        sim.run()
+        assert events == [(5.0, "crash", "B"), (9.0, "recover", "B")]
+        assert net.hosts["B"].up
+
+
+class TestAccounting:
+    def test_bytes_counted_with_header(self):
+        sim, net = make_net()
+        net.set_handler("B", lambda env: None)
+        net.send("A", "B", "x", size=1000)
+        sim.run()
+        assert net.hosts["A"].bytes_sent == 1000 + HEADER_BYTES
+        assert net.hosts["B"].bytes_received == 1000 + HEADER_BYTES
+        assert net.total_bytes_sent() == 1000 + HEADER_BYTES
+
+    def test_tracer_records_delivery(self):
+        sim = Simulator()
+        tracer = Tracer()
+        net = build_network(sim, ["A", "B"], LinkSpec(delay_s=0.01), tracer)
+        net.set_handler("B", lambda env: None)
+        net.send("A", "B", "x", size=5)
+        sim.run()
+        assert any("deliver" in r.detail for r in tracer.filter("net"))
+
+
+class TestTopology:
+    def test_builders(self):
+        sim = Simulator()
+        lan = lan_cluster(sim, server_names(5))
+        assert set(lan.hosts) == {"P1", "P2", "P3", "P4", "P5"}
+        assert lan.default_link == LAN
+        sim2 = Simulator()
+        wan = wan_cluster(sim2, server_names(3))
+        assert wan.default_link == WAN
+
+    def test_duplicate_host_rejected(self):
+        sim = Simulator()
+        net = build_network(sim, ["A"], LAN)
+        with pytest.raises(ValueError):
+            net.add_host("A")

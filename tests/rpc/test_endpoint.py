@@ -1,0 +1,197 @@
+"""Unit tests for the RPC layer."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.net import LinkSpec, build_network
+from repro.rpc import Batch, RpcEndpoint
+from repro.sim import Simulator
+
+
+@dataclass
+class Ping:
+    n: int = 0
+
+
+@dataclass
+class Pong:
+    n: int = 0
+
+
+def make_endpoints(link=None, seed=0, names=("A", "B"), **kw):
+    sim = Simulator(seed=seed)
+    net = build_network(sim, list(names), link or LinkSpec(delay_s=0.001))
+    eps = {n: RpcEndpoint(sim, net, n, **kw) for n in names}
+    return sim, net, eps
+
+
+class TestOneWay:
+    def test_typed_dispatch(self):
+        sim, net, eps = make_endpoints()
+        got = []
+        eps["B"].on(Ping, lambda msg, src: got.append((msg.n, src)))
+        eps["A"].send("B", Ping(7), size=10)
+        sim.run()
+        assert got == [(7, "A")]
+
+    def test_unregistered_type_ignored(self):
+        sim, net, eps = make_endpoints()
+        eps["A"].send("B", Ping(1), size=0)
+        sim.run()  # no handler; nothing should explode
+
+    def test_self_send(self):
+        sim, net, eps = make_endpoints()
+        got = []
+        eps["A"].on(Ping, lambda msg, src: got.append(src))
+        eps["A"].send("A", Ping(), size=0)
+        sim.run()
+        assert got == ["A"]
+
+
+class TestRequestReply:
+    def test_roundtrip(self):
+        sim, net, eps = make_endpoints()
+        eps["B"].on_request(Ping, lambda msg, src: Pong(msg.n + 1))
+        got = []
+        eps["A"].request("B", Ping(1), size=10, on_reply=lambda r: got.append(r))
+        sim.run()
+        assert len(got) == 1 and got[0].n == 2
+
+    def test_reply_with_size(self):
+        sim, net, eps = make_endpoints()
+        eps["B"].on_request(Ping, lambda msg, src: (Pong(0), 5000))
+        got = []
+        eps["A"].request("B", Ping(), size=10, on_reply=lambda r: got.append(r))
+        sim.run()
+        assert isinstance(got[0], Pong)
+
+    def test_retransmit_through_loss(self):
+        # 80% loss: unbounded retries must still get through eventually.
+        link = LinkSpec(delay_s=0.001, loss_prob=0.8)
+        sim, net, eps = make_endpoints(link, seed=5)
+        eps["B"].on_request(Ping, lambda msg, src: Pong(9))
+        got = []
+        eps["A"].request(
+            "B", Ping(), size=10, on_reply=lambda r: got.append(r),
+            timeout=0.05, retries=-1,
+        )
+        sim.run(until=60.0)
+        assert len(got) == 1
+
+    def test_bounded_retries_timeout(self):
+        link = LinkSpec(delay_s=0.001, loss_prob=1.0)
+        sim, net, eps = make_endpoints(link)
+        timeouts = []
+        eps["A"].request(
+            "B", Ping(), size=10, on_reply=lambda r: pytest.fail("no reply expected"),
+            timeout=0.01, retries=3, on_timeout=lambda: timeouts.append(sim.now),
+        )
+        sim.run()
+        assert len(timeouts) == 1
+        # initial + 3 retries, each expiring after 0.01.
+        assert timeouts[0] == pytest.approx(0.04, abs=1e-6)
+        assert eps["A"].requests_timed_out == 1
+
+    def test_duplicate_replies_invoke_callback_once(self):
+        link = LinkSpec(delay_s=0.001, dup_prob=1.0)
+        sim, net, eps = make_endpoints(link)
+        eps["B"].on_request(Ping, lambda msg, src: Pong())
+        got = []
+        eps["A"].request("B", Ping(), size=0, on_reply=lambda r: got.append(r))
+        sim.run(until=5.0)
+        assert len(got) == 1
+
+    def test_duplicate_requests_answered_idempotently(self):
+        # The request handler may run more than once under duplication;
+        # dedup is the caller's business. Here we just check no crash
+        # and exactly one callback.
+        link = LinkSpec(delay_s=0.001, dup_prob=0.5)
+        sim, net, eps = make_endpoints(link, seed=2)
+        calls = []
+        eps["B"].on_request(Ping, lambda msg, src: (calls.append(1), Pong())[1])
+        got = []
+        eps["A"].request("B", Ping(), size=0, on_reply=lambda r: got.append(r))
+        sim.run(until=5.0)
+        assert len(got) == 1
+        assert len(calls) >= 1
+
+    def test_cancel_request(self):
+        sim, net, eps = make_endpoints()
+        eps["B"].on_request(Ping, lambda msg, src: Pong())
+        got = []
+        rid = eps["A"].request(
+            "B", Ping(), size=0, on_reply=lambda r: got.append(r), timeout=10.0
+        )
+        eps["A"].cancel_request(rid)
+        sim.run(until=5.0)
+        assert got == []
+
+    def test_none_reply_means_no_response(self):
+        sim, net, eps = make_endpoints()
+        eps["B"].on_request(Ping, lambda msg, src: None)
+        timeouts = []
+        eps["A"].request(
+            "B", Ping(), size=0, on_reply=lambda r: pytest.fail("unexpected"),
+            timeout=0.01, retries=2, on_timeout=lambda: timeouts.append(1),
+        )
+        sim.run()
+        assert timeouts == [1]
+
+
+class TestBatching:
+    def test_batch_flushes_on_window(self):
+        sim, net, eps = make_endpoints(batch_window=0.01)
+        got = []
+        eps["B"].on(Ping, lambda msg, src: got.append(msg.n))
+        for i in range(3):
+            eps["A"].send("B", Ping(i), size=100)
+        # Nothing on the wire yet.
+        assert net.messages_sent == 0
+        sim.run()
+        assert got == [0, 1, 2]
+        assert net.messages_sent == 1  # one wire message for the batch
+
+    def test_batch_flushes_on_max(self):
+        sim, net, eps = make_endpoints(batch_window=10.0, batch_max=2)
+        got = []
+        eps["B"].on(Ping, lambda msg, src: got.append(msg.n))
+        eps["A"].send("B", Ping(0), size=10)
+        eps["A"].send("B", Ping(1), size=10)  # hits batch_max
+        sim.run(until=1.0)
+        assert got == [0, 1]
+
+    def test_single_item_batch_not_wrapped(self):
+        sim, net, eps = make_endpoints(batch_window=0.01)
+        seen_types = []
+        orig = eps["B"]._dispatch
+
+        def spy(payload, src):
+            seen_types.append(type(payload))
+            orig(payload, src)
+
+        net.set_handler("B", lambda env: spy(env.payload, env.src))
+        eps["A"].send("B", Ping(5), size=10)
+        sim.run()
+        assert Batch not in seen_types
+
+    def test_flush_all(self):
+        sim, net, eps = make_endpoints(batch_window=100.0)
+        got = []
+        eps["B"].on(Ping, lambda msg, src: got.append(msg.n))
+        eps["A"].send("B", Ping(1), size=10)
+        eps["A"].flush_all()
+        sim.run(until=1.0)
+        assert got == [1]
+
+    def test_batch_size_is_summed(self):
+        # Two 1 MB items in one batch must cost ~2 MB of serialization.
+        link = LinkSpec(delay_s=0.0, bandwidth_bps=8e6)  # 1 MB/s
+        sim, net, eps = make_endpoints(link, batch_window=0.001)
+        got = []
+        eps["B"].on(Ping, lambda msg, src: got.append(sim.now))
+        eps["A"].send("B", Ping(0), size=1_000_000)
+        eps["A"].send("B", Ping(1), size=1_000_000)
+        sim.run()
+        # ~2s egress + ~2s ingress serialization.
+        assert got[-1] == pytest.approx(4.0, rel=0.01)

@@ -1,0 +1,219 @@
+"""Unit tests for FifoResource, metrics, RNG registry and tracer."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    Counter,
+    FifoResource,
+    LatencyRecorder,
+    MetricSet,
+    RngRegistry,
+    Simulator,
+    ThroughputMeter,
+    Tracer,
+)
+
+
+class TestFifoResource:
+    def test_serializes_jobs(self):
+        sim = Simulator()
+        res = FifoResource(sim)
+        done = []
+        sim.call_at(0.0, lambda: res.submit(2.0, lambda: done.append(sim.now)))
+        sim.call_at(0.0, lambda: res.submit(3.0, lambda: done.append(sim.now)))
+        sim.run()
+        assert done == [2.0, 5.0]
+
+    def test_idle_then_busy(self):
+        sim = Simulator()
+        res = FifoResource(sim)
+        done = []
+        sim.call_at(0.0, lambda: res.submit(1.0, lambda: done.append(sim.now)))
+        # Second job submitted after first completes -> no queueing.
+        sim.call_at(5.0, lambda: res.submit(1.0, lambda: done.append(sim.now)))
+        sim.run()
+        assert done == [1.0, 6.0]
+
+    def test_completion_time_returned(self):
+        sim = Simulator()
+        res = FifoResource(sim)
+        times = []
+        sim.call_at(0.0, lambda: times.append(res.submit(2.0, lambda: None)))
+        sim.call_at(0.0, lambda: times.append(res.submit(2.0, lambda: None)))
+        sim.run()
+        assert times == [2.0, 4.0]
+
+    def test_zero_time_jobs_keep_fifo_order(self):
+        sim = Simulator()
+        res = FifoResource(sim)
+        order = []
+        sim.call_at(0.0, lambda: res.submit(0.0, lambda: order.append("a")))
+        sim.call_at(0.0, lambda: res.submit(0.0, lambda: order.append("b")))
+        sim.run()
+        assert order == ["a", "b"]
+
+    def test_negative_service_time_raises(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            FifoResource(sim).submit(-1.0, lambda: None)
+
+    def test_backlog_and_utilization(self):
+        sim = Simulator()
+        res = FifoResource(sim)
+        sim.call_at(0.0, lambda: res.submit(4.0, lambda: None))
+        sim.run(until=2.0)
+        assert res.backlog == pytest.approx(2.0)
+        sim.run(until=8.0)
+        assert res.backlog == 0.0
+        assert res.utilization() == pytest.approx(0.5)
+        assert res.jobs_served == 1
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+
+class TestLatencyRecorder:
+    def test_summary(self):
+        r = LatencyRecorder()
+        for v in (0.010, 0.020, 0.030):
+            r.record(v)
+        s = r.summary()
+        assert s["count"] == 3
+        assert s["mean_ms"] == pytest.approx(20.0)
+        assert s["p50_ms"] == pytest.approx(20.0)
+        assert s["min_ms"] == pytest.approx(10.0)
+        assert s["max_ms"] == pytest.approx(30.0)
+
+    def test_empty_summary(self):
+        assert LatencyRecorder().summary() == {"count": 0}
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().record(-0.1)
+
+    def test_percentile_and_mean(self):
+        r = LatencyRecorder()
+        for v in range(1, 101):
+            r.record(v / 1000)
+        assert r.mean() == pytest.approx(0.0505)
+        assert r.percentile(50) == pytest.approx(0.0505, rel=0.02)
+
+
+class TestThroughputMeter:
+    def test_mbps(self):
+        t = ThroughputMeter()
+        # 10 MB over 8 seconds = 10 Mbps... 10e6*8/8/1e6 = 10.
+        for i in range(8):
+            t.record(float(i + 1), 1_250_000)
+        assert t.mbps(0.0, 8.0) == pytest.approx(10.0)
+        assert t.total_bytes == 10_000_000
+        assert t.count == 8
+
+    def test_window_selects_samples(self):
+        t = ThroughputMeter()
+        t.record(1.0, 1000)
+        t.record(5.0, 1000)
+        # Only the second sample falls in [4, 6].
+        assert t.mbps(4.0, 6.0) == pytest.approx(1000 * 8 / 1e6 / 2)
+
+    def test_out_of_order_rejected(self):
+        t = ThroughputMeter()
+        t.record(5.0, 1)
+        with pytest.raises(ValueError):
+            t.record(4.0, 1)
+
+    def test_timeseries(self):
+        t = ThroughputMeter()
+        t.record(0.5, 125_000)  # 1 Mbit in window [0,1)
+        t.record(1.5, 250_000)  # 2 Mbit in window [1,2)
+        times, mbps = t.timeseries(0.0, 2.0, step=1.0)
+        assert list(times) == [1.0, 2.0]
+        assert mbps[0] == pytest.approx(1.0)
+        assert mbps[1] == pytest.approx(2.0)
+
+    def test_empty_timeseries(self):
+        times, mbps = ThroughputMeter().timeseries(0.0, 0.0)
+        assert len(times) == 0 and len(mbps) == 0
+
+
+class TestMetricSet:
+    def test_get_or_create(self):
+        m = MetricSet()
+        assert m.counter("a") is m.counter("a")
+        assert m.latency("b") is m.latency("b")
+        assert m.throughput("c") is m.throughput("c")
+
+
+class TestRngRegistry:
+    def test_deterministic_across_instances(self):
+        a = RngRegistry(42).stream("link").random(5)
+        b = RngRegistry(42).stream("link").random(5)
+        assert np.array_equal(a, b)
+
+    def test_streams_independent_of_creation_order(self):
+        r1 = RngRegistry(7)
+        r1.stream("a")
+        x = r1.stream("b").random()
+        r2 = RngRegistry(7)
+        y = r2.stream("b").random()  # "a" never created
+        assert x == y
+
+    def test_different_names_differ(self):
+        r = RngRegistry(1)
+        assert r.stream("x").random() != r.stream("y").random()
+
+    def test_different_seeds_differ(self):
+        assert RngRegistry(1).stream("s").random() != RngRegistry(2).stream("s").random()
+
+    def test_choice_prob_extremes(self):
+        r = RngRegistry(0)
+        assert r.choice_prob("p", 0.0) is False
+        assert r.choice_prob("p", 1.0) is True
+
+    def test_uniform_range(self):
+        r = RngRegistry(0)
+        for _ in range(100):
+            v = r.uniform("u", 2.0, 3.0)
+            assert 2.0 <= v < 3.0
+
+
+class TestTracer:
+    def test_emit_and_filter(self):
+        t = Tracer()
+        t.emit(1.0, "net", "send a->b")
+        t.emit(2.0, "disk", "flush")
+        assert len(t) == 2
+        assert len(t.filter("net")) == 1
+
+    def test_disabled(self):
+        t = Tracer(enabled=False)
+        t.emit(1.0, "net", "x")
+        assert len(t) == 0
+
+    def test_category_filtering(self):
+        t = Tracer(categories={"net"})
+        t.emit(1.0, "net", "x")
+        t.emit(1.0, "disk", "y")
+        assert len(t) == 1
+
+    def test_fingerprint_equality(self):
+        t1, t2 = Tracer(), Tracer()
+        for t in (t1, t2):
+            t.emit(1.0, "a", "b")
+        assert t1.fingerprint() == t2.fingerprint()
+
+    def test_dump(self):
+        t = Tracer()
+        t.emit(1.0, "net", "hello")
+        assert "hello" in t.dump()
+        assert t.dump(categories=["disk"]) == ""

@@ -1,0 +1,86 @@
+"""Unit tests for the simulated disk models."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.storage import HDD, SSD, Disk, DiskSpec
+
+
+class TestDiskSpec:
+    def test_op_time_iops_bound_for_small_writes(self):
+        # A tiny write costs ~1/IOPS.
+        assert HDD.op_time(100) == pytest.approx(0.01, rel=0.01)
+        assert SSD.op_time(100) == pytest.approx(0.00025, rel=0.02)
+
+    def test_op_time_bandwidth_bound_for_large_writes(self):
+        # 100 MB on HDD at 100 MB/s ~ 1s >> per-op cost.
+        assert HDD.op_time(100_000_000) == pytest.approx(1.01, rel=0.01)
+
+    def test_presets_match_paper(self):
+        # §6.1: regular EBS ~100 IOPS; high-performance EBS >4000 IOPS.
+        assert HDD.iops == 100
+        assert SSD.iops == 4000
+        assert SSD.bandwidth_bps > HDD.bandwidth_bps
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiskSpec(iops=0, bandwidth_bps=1)
+        with pytest.raises(ValueError):
+            DiskSpec(iops=1, bandwidth_bps=0)
+        with pytest.raises(ValueError):
+            HDD.op_time(-5)
+
+
+class TestDisk:
+    def test_write_completion_time(self):
+        sim = Simulator()
+        disk = Disk(sim, HDD)
+        done = []
+        sim.call_at(0.0, lambda: disk.write(0, lambda: done.append(sim.now)))
+        sim.run()
+        assert done[0] == pytest.approx(0.01)
+
+    def test_writes_queue_fifo(self):
+        sim = Simulator()
+        disk = Disk(sim, HDD)
+        done = []
+        sim.call_at(0.0, lambda: disk.write(0, lambda: done.append(sim.now)))
+        sim.call_at(0.0, lambda: disk.write(0, lambda: done.append(sim.now)))
+        sim.run()
+        assert done == [pytest.approx(0.01), pytest.approx(0.02)]
+
+    def test_iops_ceiling(self):
+        # 100 small writes on HDD take ~1s: the 100 IOPS ceiling.
+        sim = Simulator()
+        disk = Disk(sim, HDD)
+        done = []
+        for _ in range(100):
+            disk.write(16, lambda: done.append(sim.now))
+        sim.run()
+        assert done[-1] == pytest.approx(1.0, rel=0.01)
+
+    def test_reads_share_queue(self):
+        sim = Simulator()
+        disk = Disk(sim, SSD)
+        order = []
+        disk.write(0, lambda: order.append("w"))
+        disk.read(0, lambda: order.append("r"))
+        sim.run()
+        assert order == ["w", "r"]
+
+    def test_accounting(self):
+        sim = Simulator()
+        disk = Disk(sim, SSD)
+        disk.write(1000, lambda: None)
+        disk.read(500, lambda: None)
+        sim.run()
+        assert disk.bytes_written == 1000
+        assert disk.bytes_read == 500
+        assert disk.flushes == 1
+
+    def test_utilization(self):
+        sim = Simulator()
+        disk = Disk(sim, HDD)
+        disk.write(0, lambda: None)  # 10 ms op
+        sim.run(until=0.1)
+        assert disk.utilization() == pytest.approx(0.1, rel=0.01)

@@ -1,0 +1,94 @@
+"""Unit tests for the local KV store."""
+
+from repro.storage import LocalStore
+
+
+class TestPutGet:
+    def test_basic(self):
+        s = LocalStore()
+        s.put("k", b"v", size=1, version=0)
+        sv = s.get("k")
+        assert sv is not None and sv.value == b"v" and sv.complete
+
+    def test_missing_key(self):
+        assert LocalStore().get("nope") is None
+
+    def test_overwrite_newer_version(self):
+        s = LocalStore()
+        s.put("k", b"old", 3, version=1)
+        s.put("k", b"new", 3, version=2)
+        assert s.get("k").value == b"new"
+
+    def test_stale_version_ignored(self):
+        s = LocalStore()
+        s.put("k", b"new", 3, version=5)
+        s.put("k", b"old", 3, version=2)
+        assert s.get("k").value == b"new"
+
+    def test_equal_version_overwrites(self):
+        # Re-applying the same instance (recovery replay) must win so
+        # a follower can upgrade incomplete -> complete at one version.
+        s = LocalStore()
+        s.put("k", None, 1, version=3, complete=False)
+        s.put("k", b"full", 4, version=3, complete=True)
+        assert s.get("k").complete
+
+    def test_contains(self):
+        s = LocalStore()
+        s.put("a", b"x", 1, 0)
+        assert "a" in s
+        assert "b" not in s
+
+
+class TestDelete:
+    def test_delete_hides_key(self):
+        s = LocalStore()
+        s.put("k", b"v", 1, version=0)
+        s.delete("k", version=1)
+        assert s.get("k") is None
+        assert len(s) == 0
+
+    def test_tombstone_visible_to_recovery(self):
+        s = LocalStore()
+        s.put("k", b"v", 1, version=0)
+        s.delete("k", version=1)
+        entry = s.get_entry("k")
+        assert entry is not None and entry.tombstone
+
+    def test_stale_delete_ignored(self):
+        s = LocalStore()
+        s.put("k", b"v", 1, version=5)
+        s.delete("k", version=2)
+        assert s.get("k") is not None
+
+
+class TestIncomplete:
+    def test_incomplete_keys_listing(self):
+        s = LocalStore()
+        s.put("full", b"v", 1, 0, complete=True)
+        s.put("part", None, 1, 1, complete=False)
+        s.put("gone", None, 0, 2, complete=False)
+        s.delete("gone", version=3)
+        assert s.incomplete_keys() == ["part"]
+
+    def test_keys_sorted(self):
+        s = LocalStore()
+        for k in ("c", "a", "b"):
+            s.put(k, b"", 0, 0)
+        assert list(s.keys()) == ["a", "b", "c"]
+
+
+class TestAccounting:
+    def test_stored_bytes_tracks_share_sizes(self):
+        # A follower storing a 1/3-size coded share is charged 1/3 of
+        # the bytes — the paper's storage saving.
+        s = LocalStore()
+        s.put("k1", b"x" * 300, 300, 0, complete=True)
+        s.put("k2", None, 100, 1, complete=False)
+        assert s.stored_bytes() == 400
+
+    def test_clear(self):
+        s = LocalStore()
+        s.put("k", b"v", 1, 0)
+        s.clear()
+        assert len(s) == 0

@@ -1,0 +1,138 @@
+"""Tests for workload specs and closed-loop drivers."""
+
+import numpy as np
+import pytest
+
+from repro.core import rs_paxos
+from repro.kvstore import build_cluster
+from repro.workload import (
+    KB,
+    MB,
+    MACRO_WORKLOADS,
+    MICRO_SIZES,
+    ClosedLoopDriver,
+    SizeRange,
+    WorkloadSpec,
+    fixed_size_writes,
+    large_write,
+    prepopulate,
+    small_read,
+)
+
+
+class TestSizeRange:
+    def test_fixed_size(self):
+        r = SizeRange(4096, 4096)
+        rng = np.random.default_rng(0)
+        assert all(r.sample(rng) == 4096 for _ in range(10))
+
+    def test_samples_within_bounds(self):
+        r = SizeRange(1 * KB, 100 * KB)
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            assert 1 * KB <= r.sample(rng) <= 100 * KB
+
+    def test_log_uniform_spans_decades(self):
+        r = SizeRange(1 * KB, 100 * KB)
+        rng = np.random.default_rng(2)
+        samples = [r.sample(rng) for _ in range(500)]
+        assert sum(1 for s in samples if s < 10 * KB) > 100
+        assert sum(1 for s in samples if s > 50 * KB) > 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SizeRange(0, 10)
+        with pytest.raises(ValueError):
+            SizeRange(10, 5)
+
+
+class TestWorkloadSpec:
+    def test_presets_match_paper(self):
+        # §6.3: SMALL 1KB-100KB, LARGE 1MB-10MB; ratios 9:1 and 1:9.
+        sr = small_read()
+        assert sr.read_fraction == 0.9
+        assert (sr.sizes.lo, sr.sizes.hi) == (1 * KB, 100 * KB)
+        lw = large_write()
+        assert lw.read_fraction == 0.1
+        assert (lw.sizes.lo, lw.sizes.hi) == (1 * MB, 10 * MB)
+        assert set(MACRO_WORKLOADS) == {
+            "SMALL-READ", "SMALL-WRITE", "LARGE-READ", "LARGE-WRITE"
+        }
+
+    def test_micro_sizes_match_paper_axis(self):
+        # §6.2: 1K to 16M.
+        assert MICRO_SIZES[0] == 1 * KB
+        assert MICRO_SIZES[-1] == 16 * MB
+        assert len(MICRO_SIZES) == 8
+
+    def test_fixed_size_writes_is_pure_write(self):
+        spec = fixed_size_writes(4096)
+        assert spec.read_fraction == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec("x", 1.5, SizeRange(1, 1))
+        with pytest.raises(ValueError):
+            WorkloadSpec("x", 0.5, SizeRange(1, 1), num_keys=0)
+        with pytest.raises(ValueError):
+            WorkloadSpec("x", 0.5, SizeRange(1, 1), num_keys=5, prepopulate=6)
+
+
+class TestClosedLoopDriver:
+    def make_cluster(self):
+        c = build_cluster(rs_paxos(5, 1), num_clients=2, num_groups=2, seed=5)
+        c.start()
+        c.run(until=1.0)
+        return c
+
+    def test_driver_keeps_one_op_outstanding(self):
+        c = self.make_cluster()
+        spec = fixed_size_writes(1024)
+        d = ClosedLoopDriver(c.sim, c.clients[0], spec, stream="t")
+        d.start()
+        c.run(until=3.0)
+        d.stop()
+        # Sequential ops: completed ops ~= issued ops (off by <= 1).
+        completed = c.metrics.throughput("write").count
+        assert d.ops_issued - completed <= 1
+        assert completed > 10
+
+    def test_read_write_mix_ratio(self):
+        c = self.make_cluster()
+        spec = WorkloadSpec("MIX", 0.9, SizeRange(512, 512),
+                            num_keys=10, prepopulate=0)
+        d = ClosedLoopDriver(c.sim, c.clients[0], spec, stream="t")
+        d.start()
+        c.run(until=4.0)
+        d.stop()
+        total = d.reads_issued + d.writes_issued
+        assert total > 50
+        assert d.reads_issued / total > 0.75  # ~0.9 expected
+
+    def test_stop_at(self):
+        c = self.make_cluster()
+        d = ClosedLoopDriver(c.sim, c.clients[0], fixed_size_writes(256),
+                             stream="t", stop_at=2.0)
+        d.start()
+        c.run(until=5.0)
+        assert not d.running
+
+    def test_prepopulate_writes_all_keys(self):
+        c = self.make_cluster()
+        spec = WorkloadSpec("PRE", 0.5, SizeRange(256, 256),
+                            num_keys=8, prepopulate=8)
+        ok = prepopulate(c.sim, c.clients[0], spec)
+        assert ok == 8
+        leader = c.leader()
+        for i in range(8):
+            assert leader.store.get(f"PRE/key-{i}") is not None
+
+    def test_two_drivers_independent_streams(self):
+        c = self.make_cluster()
+        spec = small_read(num_keys=4)
+        d1 = ClosedLoopDriver(c.sim, c.clients[0], spec, stream="a")
+        d2 = ClosedLoopDriver(c.sim, c.clients[1], spec, stream="b")
+        d1.start()
+        d2.start()
+        c.run(until=3.0)
+        assert d1.ops_issued > 0 and d2.ops_issued > 0
