@@ -6,6 +6,12 @@ Usage::
     python -m repro.bench table1
     python -m repro.bench fig5 [--full]
     python -m repro.bench all  [--full]
+    python -m repro.bench chaos [--seeds N] [--short]
+
+``chaos`` is the correctness gate rather than a paper figure: it runs
+seeded fault-injection episodes and fails (exit 1, repro bundle on
+disk) if any history is non-linearizable or any protocol invariant
+breaks.
 """
 
 from __future__ import annotations
@@ -13,7 +19,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .experiments import cpu_cost, fig5, fig6, fig7, fig8, table1
+from .experiments import chaos, cpu_cost, fig5, fig6, fig7, fig8, table1
 
 EXPERIMENTS = {
     "table1": ("Table 1: quorum configurations at N=7", table1),
@@ -22,6 +28,7 @@ EXPERIMENTS = {
     "fig7": ("Figure 7: COSBench-style macro workloads", fig7),
     "fig8": ("Figure 8: failover timelines", fig8),
     "cpu": ("§6.2.3: CPU cost of coding", cpu_cost),
+    "chaos": ("Chaos sweep: linearizability + invariants under faults", chaos),
 }
 
 
@@ -39,6 +46,14 @@ def main(argv: list[str] | None = None) -> int:
         "--full", action="store_true",
         help="full sweeps/durations instead of the quick defaults",
     )
+    parser.add_argument(
+        "--seeds", type=int, default=25,
+        help="chaos only: number of seeded episodes per protocol",
+    )
+    parser.add_argument(
+        "--short", action="store_true",
+        help="chaos only: shorter episodes (CI smoke)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -47,14 +62,17 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    status = 0
     for name in names:
         desc, module = EXPERIMENTS[name]
         print(f"\n###### {desc} ######")
         if name == "table1":
             module.main()
+        elif name == "chaos":
+            status |= module.main(seeds=args.seeds, short=args.short)
         else:
             module.main(quick=not args.full)
-    return 0
+    return status
 
 
 if __name__ == "__main__":

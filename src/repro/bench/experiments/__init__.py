@@ -11,8 +11,10 @@ shapes the paper reports hold in both modes.
 - :mod:`.fig7` — Fig. 7, COSBench-style macro workloads.
 - :mod:`.fig8` — Fig. 8, failover timelines.
 - :mod:`.cpu_cost` — §6.2.3, CPU cost accounting.
+- :mod:`.chaos` — not a figure: randomized fault exploration with
+  linearizability + invariant checking (:mod:`repro.chaos`).
 """
 
-from . import cpu_cost, fig5, fig6, fig7, fig8, table1
+from . import chaos, cpu_cost, fig5, fig6, fig7, fig8, table1
 
-__all__ = ["cpu_cost", "fig5", "fig6", "fig7", "fig8", "table1"]
+__all__ = ["chaos", "cpu_cost", "fig5", "fig6", "fig7", "fig8", "table1"]

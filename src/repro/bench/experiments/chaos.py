@@ -1,0 +1,38 @@
+"""Chaos sweep: randomized faults + linearizability + invariants.
+
+Not a paper figure — a correctness gate. Runs N seeded chaos episodes
+(crashes, partitions, loss/dup bursts, slow disks) against both the
+paper's headline RS-Paxos setup (N=5, F=1, θ(3,5)) and classic Paxos
+at N=5, checking every episode's client history for per-key
+linearizability and the final replicated state for the paper's safety
+invariants (unique choice, decodability, Q1 + Q2 >= N + k).
+
+Any failing seed writes a repro bundle under ``chaos-repros/`` and the
+run exits non-zero, which is what makes this usable as a CI gate::
+
+    python -m repro.bench chaos --seeds 10 --short
+"""
+
+from __future__ import annotations
+
+from ...chaos import SHORT_SPEC, ChaosRunner
+
+
+def main(seeds: int = 25, short: bool = False, quick: bool | None = None) -> int:
+    spec = SHORT_SPEC if short else None
+    total_failures = 0
+    for protocol in ("rs-paxos", "classic"):
+        runner = ChaosRunner(protocol=protocol, spec=spec)
+        print(f"-- {protocol}: {seeds} seeded episodes "
+              f"({'short' if short else 'full'} spec)")
+        results, failures = runner.run(seeds, verbose=True)
+        ops = sum(r.ops_total for r in results)
+        print(f"   {len(results) - len(failures)}/{len(results)} clean, "
+              f"{ops} client ops checked")
+        total_failures += len(failures)
+    if total_failures:
+        print(f"FAIL: {total_failures} episode(s) violated "
+              f"linearizability or protocol invariants")
+    else:
+        print("all episodes linearizable, all invariants hold")
+    return 1 if total_failures else 0

@@ -1,0 +1,280 @@
+"""Seeded chaos episodes against a live KV cluster.
+
+One *episode* = build a cluster from a seed, run a randomized
+client workload while a randomized fault schedule (crashes, partitions,
+loss/dup bursts, slow disks) plays out, heal everything, then check
+
+1. the client-observed history for per-key linearizability
+   (:mod:`repro.check.linearize`), and
+2. the replicated state for protocol invariants
+   (:mod:`repro.check.invariants`).
+
+Everything — schedule, workload, network coin flips, clock drift —
+derives from the one seed through the simulator's named RNG substreams,
+so a failing seed replays exactly. On failure the runner emits a
+**repro bundle**: a JSON file with the seed, the generated schedule,
+the violations, the full operation history and the tail of the event
+trace from a traced re-run of the same seed.
+
+The register trick that makes histories checkable: each write to a key
+uses a fresh, never-repeated payload size, and ``GetOk`` carries the
+size back — so every read names exactly the write it observed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from ..check import HistoryRecorder, check_cluster, check_history
+from ..core import ConsistencyViolation, classic_paxos, rs_paxos
+from ..kvstore import build_cluster
+from ..net import LAN
+from .schedule import ChaosEvent, ScheduleSpec, arm_schedule, generate_schedule
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosSpec:
+    """Everything one episode needs besides the seed."""
+
+    schedule: ScheduleSpec = field(default_factory=ScheduleSpec)
+    settle: float = 6.0          # heal-to-check gap (elections, catch-up)
+    num_clients: int = 3
+    num_keys: int = 8
+    num_groups: int = 4
+    think_time: float = 0.02
+    client_timeout: float = 0.25
+    client_max_attempts: int = 6
+    # Op mix (cumulative): write / fast read / consistent read / delete.
+    p_write: float = 0.40
+    p_fast_read: float = 0.35
+    p_consistent_read: float = 0.15
+
+    @property
+    def horizon(self) -> float:
+        return self.schedule.end + self.settle
+
+    def to_jsonable(self) -> dict:
+        return {
+            "schedule": {
+                "warmup": self.schedule.warmup,
+                "fault_window": self.schedule.fault_window,
+                "mean_gap": self.schedule.mean_gap,
+            },
+            "settle": self.settle,
+            "num_clients": self.num_clients,
+            "num_keys": self.num_keys,
+            "num_groups": self.num_groups,
+        }
+
+
+#: A shorter episode for CI smoke runs (``--short``).
+SHORT_SPEC = ChaosSpec(
+    schedule=ScheduleSpec(fault_window=6.0, mean_gap=1.0),
+    settle=4.0,
+)
+
+
+@dataclass(slots=True)
+class EpisodeResult:
+    seed: int
+    ok: bool
+    ops_total: int
+    ops_completed: int
+    violations: list[dict]       # invariant breaches (+ live exceptions)
+    lin_failures: list[dict]     # per-key non-linearizable histories
+    schedule: list[ChaosEvent]
+    bundle_path: str | None = None
+
+    def to_jsonable(self) -> dict:
+        return {
+            "seed": self.seed, "ok": self.ok,
+            "ops_total": self.ops_total,
+            "ops_completed": self.ops_completed,
+            "violations": self.violations,
+            "lin_failures": self.lin_failures,
+            "schedule": [e.to_jsonable() for e in self.schedule],
+        }
+
+
+class ChaosRunner:
+    """Run N seeded chaos episodes against one protocol config."""
+
+    def __init__(
+        self,
+        config=None,
+        protocol: str = "rs-paxos",
+        n: int = 5,
+        f: int = 1,
+        spec: ChaosSpec | None = None,
+        bundle_dir: str | None = "chaos-repros",
+    ):
+        if config is None:
+            if protocol == "rs-paxos":
+                config = rs_paxos(n, f)
+            elif protocol == "classic":
+                config = classic_paxos(n)
+            else:
+                raise ValueError(f"unknown protocol {protocol!r}")
+        self.config = config
+        self.protocol = protocol
+        self.spec = spec or ChaosSpec()
+        self.bundle_dir = bundle_dir
+
+    # -- one episode ------------------------------------------------------
+
+    def run_episode(self, seed: int, trace: bool = False):
+        """Run one seeded episode; returns (EpisodeResult, trace_tail)."""
+        spec = self.spec
+        cluster = build_cluster(
+            self.config,
+            num_clients=spec.num_clients,
+            num_groups=spec.num_groups,
+            link=LAN,
+            seed=seed,
+            client_timeout=spec.client_timeout,
+            trace=trace,
+        )
+        sim = cluster.sim
+        by_host = {srv.name: srv for srv in cluster.servers}
+
+        def on_fault(kind: str, arg) -> None:
+            if kind in ("crash", "recover") and arg in by_host:
+                srv = by_host[arg]
+                srv.crash() if kind == "crash" else srv.recover()
+            elif kind == "slow-disk":
+                host, factor = arg
+                by_host[host].disk.slowdown = factor
+            elif kind == "fix-disk":
+                by_host[arg].disk.slowdown = 1.0
+
+        cluster.faults.on_fault(on_fault)
+
+        schedule = generate_schedule(
+            sim.rng.stream("chaos.schedule"),
+            spec.schedule,
+            [srv.name for srv in cluster.servers],
+            max_crashed=max(1, self.config.f),
+        )
+        arm_schedule(cluster.faults, schedule)
+
+        recorder = HistoryRecorder()
+        self._start_workload(cluster, recorder)
+
+        violations: list[dict] = []
+        try:
+            cluster.start()
+            sim.run(until=spec.horizon)
+        except ConsistencyViolation as exc:
+            violations.append({"kind": "unique-choice", "detail": str(exc)})
+
+        if not violations:
+            violations = [
+                v.to_jsonable()
+                for v in check_cluster(cluster.servers, self.config)
+            ]
+        lin_failures = [
+            {"key": r.key, "ops": r.failure_ops}
+            for r in check_history(recorder)
+        ]
+
+        result = EpisodeResult(
+            seed=seed,
+            ok=not violations and not lin_failures,
+            ops_total=len(recorder.ops),
+            ops_completed=sum(1 for op in recorder.ops if op.completed),
+            violations=violations,
+            lin_failures=lin_failures,
+            schedule=schedule,
+        )
+        trace_tail = (
+            [str(r) for r in cluster.tracer.records[-400:]] if trace else []
+        )
+        return result, trace_tail
+
+    def _start_workload(self, cluster, recorder: HistoryRecorder) -> None:
+        """Closed-loop clients with unique write sizes per key."""
+        spec = self.spec
+        sim = cluster.sim
+        stop_at = spec.schedule.end
+        write_seq: dict[str, int] = {}
+
+        for client in cluster.clients:
+            client.history = recorder
+            client.max_attempts = spec.client_max_attempts
+            rng = sim.rng.stream(f"chaos.workload.{client.name}")
+
+            def loop(client=client, rng=rng) -> None:
+                if sim.now >= stop_at:
+                    return
+
+                def again(*_ignored) -> None:
+                    sim.call_after(spec.think_time, loop)
+
+                key = f"k{int(rng.integers(spec.num_keys))}"
+                x = float(rng.random())
+                if x < spec.p_write:
+                    seq = write_seq.get(key, 0) + 1
+                    write_seq[key] = seq
+                    # Never-repeated size = distinguishable register value.
+                    client.put(key, 64 + seq, on_done=again)
+                elif x < spec.p_write + spec.p_fast_read:
+                    client.get(key, mode="fast", on_done=again)
+                elif x < spec.p_write + spec.p_fast_read + spec.p_consistent_read:
+                    client.get(key, mode="consistent", on_done=again)
+                else:
+                    client.delete(key, on_done=again)
+
+            sim.call_soon(loop)
+
+    # -- batches ----------------------------------------------------------
+
+    def run(self, seeds: int, start_seed: int = 0, verbose: bool = False):
+        """Run ``seeds`` episodes; returns (results, failures)."""
+        results: list[EpisodeResult] = []
+        failures: list[EpisodeResult] = []
+        for seed in range(start_seed, start_seed + seeds):
+            result, _ = self.run_episode(seed)
+            if not result.ok and self.bundle_dir is not None:
+                result.bundle_path = self._write_bundle(result)
+            results.append(result)
+            if not result.ok:
+                failures.append(result)
+            if verbose:
+                status = "ok" if result.ok else "FAIL"
+                extra = (
+                    f" -> {result.bundle_path}" if result.bundle_path else ""
+                )
+                print(
+                    f"  seed {seed:4d}: {status}  "
+                    f"({result.ops_completed}/{result.ops_total} ops, "
+                    f"{len(result.schedule)} fault events){extra}"
+                )
+        return results, failures
+
+    def _write_bundle(self, result: EpisodeResult) -> str:
+        """Re-run the failing seed with tracing and dump a repro bundle."""
+        replay, trace_tail = self.run_episode(result.seed, trace=True)
+        bundle = {
+            "paper": "RS-Paxos (HPDC 2014) reproduction",
+            "protocol": self.protocol,
+            "config": {
+                "n": self.config.n, "q_r": self.config.q_r,
+                "q_w": self.config.q_w, "x": self.config.x,
+            },
+            "spec": self.spec.to_jsonable(),
+            "replay": (
+                f"ChaosRunner(protocol={self.protocol!r}).run_episode("
+                f"{result.seed})"
+            ),
+            **replay.to_jsonable(),
+            "trace_tail": trace_tail,
+        }
+        os.makedirs(self.bundle_dir, exist_ok=True)
+        path = os.path.join(
+            self.bundle_dir, f"{self.protocol}-seed{result.seed}.json"
+        )
+        with open(path, "w") as fh:
+            json.dump(bundle, fh, indent=2, default=str)
+        return path

@@ -1,0 +1,159 @@
+"""Randomized fault-schedule generation.
+
+A schedule is a flat, sorted list of :class:`ChaosEvent`s drawn from a
+seeded ``numpy`` generator (one of the simulator's named substreams, so
+the whole episode — schedule, network coin flips, workload — reproduces
+from a single seed). The generator is a small state machine that keeps
+the composition honest:
+
+- at most ``max_crashed`` servers are down at once (the configured
+  fault tolerance F; beyond that the cluster may stall, which only
+  slows exploration down without testing anything new);
+- one partition at a time (``Network.heal`` clears all cuts, so
+  overlapping partitions would repair each other);
+- every fault is paired with its repair, and every repair lands inside
+  the fault window — the runner checks invariants *after* full heal,
+  when surviving state must be complete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..net import FaultSchedule
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosEvent:
+    """One scheduled fault (or repair)."""
+
+    t: float
+    kind: str  # crash|recover|partition|heal|loss-burst|slow-disk|fix-disk
+    arg: Any = None
+
+    def to_jsonable(self) -> dict:
+        return {"t": self.t, "kind": self.kind, "arg": self.arg}
+
+
+@dataclass(frozen=True, slots=True)
+class ScheduleSpec:
+    """Knobs of the fault mix; times in simulated seconds."""
+
+    warmup: float = 1.0          # fault-free ramp-up for the workload
+    fault_window: float = 15.0   # faults (incl. repairs) end by warmup+window
+    mean_gap: float = 1.2        # mean exponential gap between faults
+    crash_dur: tuple[float, float] = (1.0, 5.0)
+    partition_dur: tuple[float, float] = (0.5, 4.0)
+    burst_dur: tuple[float, float] = (0.5, 2.0)
+    burst_loss: tuple[float, float] = (0.05, 0.4)
+    burst_dup: tuple[float, float] = (0.0, 0.2)
+    slow_factor: tuple[float, float] = (3.0, 30.0)
+    slow_dur: tuple[float, float] = (1.0, 4.0)
+    # Relative weights: crash, partition, loss burst, slow disk.
+    weights: tuple[float, float, float, float] = (3.0, 3.0, 2.0, 2.0)
+
+    @property
+    def end(self) -> float:
+        return self.warmup + self.fault_window
+
+
+def generate_schedule(
+    rng: np.random.Generator,
+    spec: ScheduleSpec,
+    servers: list[str],
+    max_crashed: int,
+) -> list[ChaosEvent]:
+    """Draw one randomized schedule against ``servers``."""
+    events: list[ChaosEvent] = []
+    crashed_until: dict[str, float] = {}
+    slow_until: dict[str, float] = {}
+    partition_until = 0.0
+    burst_until = 0.0
+    t = spec.warmup
+
+    def dur(lo_hi: tuple[float, float], at: float) -> float:
+        lo, hi = lo_hi
+        # Clamp so the paired repair stays inside the fault window.
+        return min(float(rng.uniform(lo, hi)), max(spec.end - at, 0.05))
+
+    while True:
+        t += float(rng.exponential(spec.mean_gap))
+        if t >= spec.end:
+            break
+        choices: list[tuple[str, float]] = []
+        up = [s for s in servers if crashed_until.get(s, 0.0) <= t]
+        if len(servers) - len(up) < max_crashed and up:
+            choices.append(("crash", spec.weights[0]))
+        if partition_until <= t and len(servers) >= 2:
+            choices.append(("partition", spec.weights[1]))
+        if burst_until <= t:
+            choices.append(("loss-burst", spec.weights[2]))
+        healthy_disks = [s for s in up if slow_until.get(s, 0.0) <= t]
+        if healthy_disks:
+            choices.append(("slow-disk", spec.weights[3]))
+        if not choices:
+            continue
+        total = sum(w for _, w in choices)
+        pick = float(rng.uniform(0.0, total))
+        kind = choices[-1][0]
+        for name, w in choices:
+            if pick < w:
+                kind = name
+                break
+            pick -= w
+
+        if kind == "crash":
+            host = up[int(rng.integers(len(up)))]
+            d = dur(spec.crash_dur, t)
+            crashed_until[host] = t + d
+            events.append(ChaosEvent(t, "crash", host))
+            events.append(ChaosEvent(t + d, "recover", host))
+        elif kind == "partition":
+            split = int(rng.integers(1, len(servers)))
+            shuffled = list(servers)
+            rng.shuffle(shuffled)
+            a, b = tuple(shuffled[:split]), tuple(shuffled[split:])
+            d = dur(spec.partition_dur, t)
+            partition_until = t + d
+            events.append(ChaosEvent(t, "partition", (a, b)))
+            events.append(ChaosEvent(t + d, "heal", None))
+        elif kind == "loss-burst":
+            d = dur(spec.burst_dur, t)
+            burst_until = t + d
+            loss = float(rng.uniform(*spec.burst_loss))
+            dup = float(rng.uniform(*spec.burst_dup))
+            events.append(ChaosEvent(t, "loss-burst", (d, loss, dup)))
+        else:  # slow-disk
+            host = healthy_disks[int(rng.integers(len(healthy_disks)))]
+            d = dur(spec.slow_dur, t)
+            slow_until[host] = t + d
+            factor = float(rng.uniform(*spec.slow_factor))
+            events.append(ChaosEvent(t, "slow-disk", (host, factor)))
+            events.append(ChaosEvent(t + d, "fix-disk", host))
+
+    events.sort(key=lambda e: (e.t, e.kind))
+    return events
+
+
+def arm_schedule(faults: FaultSchedule, events: list[ChaosEvent]) -> None:
+    """Arm a generated schedule on a live cluster's fault scheduler."""
+    for ev in events:
+        if ev.kind == "crash":
+            faults.crash_at(ev.t, ev.arg)
+        elif ev.kind == "recover":
+            faults.recover_at(ev.t, ev.arg)
+        elif ev.kind == "partition":
+            a, b = ev.arg
+            faults.partition_at(ev.t, list(a), list(b))
+        elif ev.kind == "heal":
+            faults.heal_at(ev.t)
+        elif ev.kind == "loss-burst":
+            d, loss, dup = ev.arg
+            faults.loss_burst_at(ev.t, d, loss, dup)
+        elif ev.kind in ("slow-disk", "fix-disk"):
+            faults.custom_at(ev.t, ev.kind, ev.arg)
+        else:
+            raise ValueError(f"unknown chaos event kind {ev.kind!r}")

@@ -1,0 +1,34 @@
+"""Correctness tooling: history recording, linearizability, invariants.
+
+The ``repro.check`` package validates what the benchmarks only measure:
+that the erasure-coded replicated store actually behaves like a
+linearizable KV register under faults, and that the replicated state
+keeps the paper's safety invariants (unique choice per instance,
+decodability of chosen values, Q1 + Q2 >= N + k).
+
+Used standalone in tests and by :mod:`repro.chaos` for randomized
+whole-system exploration.
+"""
+
+from .history import HistoryRecorder, OpRecord
+from .invariants import (
+    Violation,
+    check_cluster,
+    check_config_safety,
+    check_decodability,
+    check_unique_choice,
+)
+from .linearize import LinResult, check_history, check_key
+
+__all__ = [
+    "HistoryRecorder",
+    "LinResult",
+    "OpRecord",
+    "Violation",
+    "check_cluster",
+    "check_config_safety",
+    "check_decodability",
+    "check_history",
+    "check_key",
+    "check_unique_choice",
+]

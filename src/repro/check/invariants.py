@@ -1,0 +1,147 @@
+"""Protocol invariant probes.
+
+These check the *replicated state* directly, complementing the
+client-side linearizability check:
+
+- **Config safety** (§3.2): quorums must satisfy Q_R + Q_W - N >= X,
+  i.e. Q1 + Q2 >= N + k — the paper's safety condition. A config built
+  through :class:`~repro.core.UnsafeProtocolConfig` can violate it; the
+  probe catches such a weakening.
+- **Unique choice**: no two replicas ever learn different values for
+  the same (group, instance). (The live system also raises
+  :class:`~repro.core.ConsistencyViolation` the moment this happens;
+  the probe is the end-of-episode sweep.)
+- **Decodability** (§3.2's point of having X-overlap quorums): every
+  chosen put must remain reconstructible from the surviving replicas —
+  a full copy somewhere, or >= X distinct coded shares under the
+  value's own coding config. Checked after faults are healed and
+  crashed servers recovered; a value lost *then* is durably lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..kvstore.messages import Command
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One invariant breach."""
+
+    kind: str     # "config" | "unique-choice" | "decodability"
+    detail: str
+
+    def to_jsonable(self) -> dict:
+        return {"kind": self.kind, "detail": self.detail}
+
+
+def check_config_safety(config) -> list[Violation]:
+    """Q1 + Q2 >= N + k (equivalently: quorum overlap >= X)."""
+    overlap = config.q_r + config.q_w - config.n
+    if overlap < config.x:
+        return [Violation(
+            "config",
+            f"quorum overlap Q_R+Q_W-N = {overlap} < X = {config.x} "
+            f"(Q1+Q2 = {config.q_r + config.q_w} < N+k = "
+            f"{config.n + config.x}): a read quorum can miss enough "
+            f"shares to lose a chosen value",
+        )]
+    return []
+
+
+def _meta_of(rec):
+    if rec.value is not None:
+        return rec.value.meta
+    if rec.share is not None:
+        return rec.share.meta
+    return None
+
+
+def check_unique_choice(servers) -> list[Violation]:
+    """No (group, instance) decided with two different value ids."""
+    violations = []
+    num_groups = len(servers[0].groups) if servers else 0
+    for g in range(num_groups):
+        decided: dict[int, tuple[str, str]] = {}  # instance -> (vid, server)
+        for srv in servers:
+            for inst, rec in srv.groups[g].chosen.items():
+                prior = decided.get(inst)
+                if prior is None:
+                    decided[inst] = (rec.value_id, srv.name)
+                elif prior[0] != rec.value_id:
+                    violations.append(Violation(
+                        "unique-choice",
+                        f"group {g} instance {inst}: {prior[1]} learned "
+                        f"{prior[0]!r} but {srv.name} learned "
+                        f"{rec.value_id!r}",
+                    ))
+    return violations
+
+
+def check_decodability(servers) -> list[Violation]:
+    """Every chosen put is reconstructible from the up servers.
+
+    Meant to run at the end of an episode, after heal + recover +
+    settle: transiently missing fragments during faults are expected
+    (that is the whole point of quorum overlap); missing *after* full
+    recovery means the value is gone for good.
+    """
+    violations = []
+    up = [srv for srv in servers if srv.up]
+    num_groups = len(servers[0].groups) if servers else 0
+    for g in range(num_groups):
+        # Union of decided put instances across replicas.
+        instances: dict[int, str] = {}
+        for srv in up:
+            for inst, rec in srv.groups[g].chosen.items():
+                meta = _meta_of(rec)
+                if isinstance(meta, Command) and meta.op == "put":
+                    instances.setdefault(inst, rec.value_id)
+        for inst, value_id in sorted(instances.items()):
+            if _decodable(up, g, inst, value_id):
+                continue
+            violations.append(Violation(
+                "decodability",
+                f"group {g} instance {inst} (value {value_id!r}) is not "
+                f"reconstructible from the {len(up)} surviving replicas",
+            ))
+    return violations
+
+
+def _decodable(up, group: int, instance: int, value_id: str) -> bool:
+    # A replica can contribute up to two shares: the one its chosen
+    # record carries (catch-up may have installed *another* replica's
+    # share there) and the one its acceptor originally accepted — both
+    # are durable local state.
+    shares = {}
+    config = None
+    for srv in up:
+        node = srv.groups[group]
+        rec = node.chosen.get(instance)
+        if rec is not None and rec.value_id == value_id and rec.value is not None:
+            return True  # a full copy survives
+        candidates = []
+        if rec is not None and rec.share is not None:
+            candidates.append(rec.share)
+        accepted = node.acceptor.accepted_share(instance)
+        if accepted is not None:
+            candidates.append(accepted)
+        for share in candidates:
+            if share.value_id != value_id:
+                continue
+            if config is None:
+                config = share.config
+            elif share.config != config:
+                continue  # mixed codings cannot be combined
+            shares[share.index] = share
+    return config is not None and len(shares) >= config.x
+
+
+def check_cluster(servers, config) -> list[Violation]:
+    """All replicated-state probes in one sweep."""
+    return (
+        check_config_safety(config)
+        + check_unique_choice(servers)
+        + check_decodability(servers)
+    )

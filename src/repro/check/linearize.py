@@ -1,0 +1,165 @@
+"""Linearizability checking for per-key register histories.
+
+Wing–Gong style search with memoization: try every order in which the
+recorded operations could have taken effect atomically, subject to the
+real-time constraint that an operation cannot linearize before its
+invocation nor after another operation that responded before it was
+invoked. The sharded KV store gives independent registers per key, so
+the (NP-hard in general) check decomposes into many small per-key
+searches — each key sees tens of operations per chaos episode, well
+within reach.
+
+Operation semantics (register model, §4.4):
+
+- A **committed write** (put/delete acknowledged) must take effect
+  exactly once, within its [invoke, response] window.
+- A **failed or still-pending write** is a *maybe*: the request may
+  have committed after the client gave up (a retry can land long after
+  the last response the client saw), so it may take effect at any time
+  ≥ its invocation — or never. Both branches are explored.
+- A **completed read** (fast or consistent) must observe, within its
+  window, exactly the register value its reply carried (the returned
+  size; ``None`` for NotFound).
+- A **failed read** constrains nothing and is dropped.
+- **Snapshot reads** are excluded by the caller: they are documented to
+  serve possibly-stale local state and make no linearizability claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .history import HistoryRecorder, OpRecord
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True, slots=True)
+class LinOp:
+    """One operation in checker form."""
+
+    hid: int
+    kind: str                # "write" | "read"
+    value: int | None        # written value / observed value
+    invoke: float
+    response: float          # +inf for maybe-writes
+    optional: bool           # may be skipped entirely (maybe-write)
+
+
+@dataclass(slots=True)
+class LinResult:
+    ok: bool
+    key: str
+    checked_ops: int
+    states_explored: int
+    # On failure: the ops of the offending key, for the repro bundle.
+    failure_ops: list[dict] = field(default_factory=list)
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+
+def _to_lin_ops(records: Iterable[OpRecord]) -> list[LinOp] | None:
+    """Translate raw records to checker ops; None if key is trivially OK
+    (no completed reads and no committed writes — nothing observable)."""
+    ops: list[LinOp] = []
+    interesting = False
+    for rec in records:
+        if rec.op == "get":
+            if rec.mode == "snapshot":
+                continue
+            if not rec.completed or not rec.ok:
+                continue  # failed read: no constraint
+            ops.append(LinOp(rec.hid, "read", rec.output, rec.invoke,
+                             rec.response, optional=False))
+            interesting = True
+        else:
+            value = rec.value if rec.op == "put" else None
+            committed = rec.completed and rec.ok
+            if committed:
+                ops.append(LinOp(rec.hid, "write", value, rec.invoke,
+                                 rec.response, optional=False))
+                interesting = True
+            else:
+                # Failed or pending write: maybe took effect, any time
+                # after invoke.
+                ops.append(LinOp(rec.hid, "write", value, rec.invoke,
+                                 _INF, optional=True))
+    return ops if interesting else None
+
+
+def check_key(
+    key: str,
+    records: Iterable[OpRecord],
+    initial: int | None = None,
+    max_states: int = 2_000_000,
+) -> LinResult:
+    """Check one key's history against a linearizable register.
+
+    Raises ``RuntimeError`` if the search exceeds ``max_states``
+    (pathological histories; never observed at chaos-episode sizes).
+    """
+    records = list(records)
+    lin_ops = _to_lin_ops(records)
+    if lin_ops is None:
+        return LinResult(ok=True, key=key, checked_ops=0, states_explored=0)
+    n = len(lin_ops)
+    by_id = {op.hid: op for op in lin_ops}
+
+    # State: (frozenset of remaining hids, register value). An explicit
+    # stack keeps deep histories from hitting the recursion limit.
+    initial_state = (frozenset(by_id), initial)
+    seen: set[tuple[frozenset, int | None]] = set()
+    stack = [initial_state]
+    explored = 0
+
+    while stack:
+        remaining, value = stack.pop()
+        if (remaining, value) in seen:
+            continue
+        seen.add((remaining, value))
+        explored += 1
+        if explored > max_states:
+            raise RuntimeError(
+                f"linearizability search for key {key!r} exceeded "
+                f"{max_states} states"
+            )
+        if all(by_id[h].optional for h in remaining):
+            # Every mandatory op linearized; leftover maybe-writes
+            # simply never took effect.
+            return LinResult(ok=True, key=key, checked_ops=n,
+                             states_explored=explored)
+        min_response = min(by_id[h].response for h in remaining)
+        for h in remaining:
+            op = by_id[h]
+            # Real-time order: op can go first only if nothing else
+            # still remaining responded before op was invoked.
+            if op.invoke > min_response:
+                continue
+            if op.kind == "read":
+                if op.value != value:
+                    continue  # would have observed a different value
+                stack.append((remaining - {h}, value))
+            else:
+                stack.append((remaining - {h}, op.value))
+
+    ordered = sorted(
+        (r for r in records), key=lambda r: r.invoke
+    )
+    return LinResult(
+        ok=False, key=key, checked_ops=n, states_explored=explored,
+        failure_ops=[r.to_jsonable() for r in ordered],
+    )
+
+
+def check_history(
+    history: HistoryRecorder, initial: int | None = None
+) -> list[LinResult]:
+    """Check every key; returns the per-key failures (empty = linearizable)."""
+    failures = []
+    for key, records in sorted(history.per_key().items()):
+        result = check_key(key, records, initial=initial)
+        if not result.ok:
+            failures.append(result)
+    return failures

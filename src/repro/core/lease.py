@@ -79,6 +79,19 @@ class Lease:
     def renew(self) -> None:
         self._last_renewal = self.clock.now()
 
+    def renew_at(self, t_local: float) -> None:
+        """Anchor the lease at an earlier local instant.
+
+        Used by the leader to anchor its lease at the *send* time of a
+        heartbeat round that was subsequently acknowledged by enough
+        followers: the lease is then valid for Δ from the moment those
+        followers provably restarted their vacancy timers, not from the
+        (later) moment the acks came back. Monotonic — never moves the
+        renewal backwards.
+        """
+        if self._last_renewal is None or t_local > self._last_renewal:
+            self._last_renewal = t_local
+
     def held_by_leader(self) -> bool:
         """Leader-side check guarding fast reads."""
         if self._last_renewal is None:
@@ -90,6 +103,16 @@ class Lease:
         if self._last_renewal is None:
             return True
         return self.clock.now() >= self._last_renewal + self.config.follower_timeout
+
+    def remaining_follower_wait(self) -> float:
+        """Seconds until :meth:`vacant_for_follower` flips true (0 if
+        already vacant)."""
+        if self._last_renewal is None:
+            return 0.0
+        return max(
+            0.0,
+            self._last_renewal + self.config.follower_timeout - self.clock.now(),
+        )
 
     def invalidate(self) -> None:
         self._last_renewal = None

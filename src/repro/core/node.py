@@ -138,6 +138,16 @@ class PaxosNode:
         # Hooks for the KV layer.
         self.on_apply: Callable[[int, ChosenRecord], None] | None = None
         self.on_preempted: Callable[[Ballot], None] | None = None
+        # Called when the apply cursor stalls on an instance whose
+        # decision id is known (via a Commit) but whose command is not
+        # (neither a full value nor an accepted share) — the KV layer
+        # fetches the missing value through catch-up (§4.5).
+        self.on_missing_value: Callable[[int], None] | None = None
+        # Lease guard (§4.3): if set, called with the incoming Prepare
+        # ballot; returns 0 to promise now, else how long to defer the
+        # prepare before re-checking (a challenger must wait out the
+        # incumbent's lease before this acceptor helps depose it).
+        self.prepare_gate: Callable[[Ballot], float] | None = None
 
         endpoint.on_request_async(Prepare, self._handle_prepare)
         endpoint.on_request_async(Accept, self._handle_accept)
@@ -194,6 +204,17 @@ class PaxosNode:
     def _handle_prepare(self, msg: Prepare, src: str, respond) -> None:
         if self._down:
             return
+        if self.prepare_gate is not None:
+            wait = self.prepare_gate(msg.ballot)
+            if wait > 0:
+                # Defer, don't drop: the proposer's RPC timeout may be
+                # far longer than the lease, so a dropped prepare would
+                # stall failover. Re-handling re-checks the gate (and
+                # the acceptor state, which may have moved on).
+                self.sim.call_after(
+                    wait, lambda: self._handle_prepare(msg, src, respond)
+                )
+                return
         self._max_ballot_seen = max(self._max_ballot_seen, msg.ballot)
         reply, durable = self.acceptor.on_prepare(msg)
         if isinstance(reply, Nack):
@@ -513,6 +534,7 @@ class PaxosNode:
                 )
             if value is not None and existing.value is None:
                 existing.value = value
+                self._advance_apply()  # may have been stalled on this
             return
         share = self.acceptor.accepted_share(instance)
         if share is not None and share.value_id != value_id:
@@ -528,6 +550,16 @@ class PaxosNode:
     def _advance_apply(self) -> None:
         while self.apply_cursor in self.chosen:
             rec = self.chosen[self.apply_cursor]
+            if rec.value is None and rec.share is None:
+                # A Commit told us *what id* was chosen but we never
+                # accepted the proposal (missed Accept, or accepted a
+                # losing value), so we do not know the command. Applying
+                # it as a noop would silently diverge this replica's
+                # state machine; stall instead and let the KV layer
+                # fetch the value (§4.5).
+                if self.on_missing_value is not None:
+                    self.on_missing_value(self.apply_cursor)
+                return
             if self.on_apply is not None:
                 self.on_apply(self.apply_cursor, rec)
             self.apply_cursor += 1
@@ -584,6 +616,13 @@ class PaxosNode:
                     f"instance {instance} decided twice: "
                     f"{existing.value_id!r} then {rec.value_id!r}"
                 )
+            # Merge: a commit-only record (no value, no share) gets its
+            # command filled in by catch-up, unstalling the cursor.
+            if rec.value is not None and existing.value is None:
+                existing.value = rec.value
+            if rec.share is not None and existing.share is None:
+                existing.share = rec.share
+            self._advance_apply()
             return
         self.chosen[instance] = rec
         self._advance_apply()

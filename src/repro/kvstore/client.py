@@ -28,11 +28,19 @@ from .messages import (
     Redirect,
 )
 
-_client_op_ids = itertools.count()
-
-
 class KVClient:
-    """A logical client issuing KV operations over the simulated net."""
+    """A logical client issuing KV operations over the simulated net.
+
+    Writes and deletes carry a per-client, monotonically increasing
+    ``op_id`` so the servers can apply each operation exactly once no
+    matter how often the request is retried or duplicated in flight.
+
+    Setting :attr:`history` to an object with
+    ``invoke(client, op, msg, t) -> hid`` and
+    ``complete(hid, ok, reply, t)`` records every operation as an
+    invocation/response pair — the raw material for the
+    :mod:`repro.check` linearizability checker.
+    """
 
     def __init__(
         self,
@@ -60,6 +68,8 @@ class KVClient:
         self.leader_cache: str | None = servers[0]
         self.ops_ok = 0
         self.ops_failed = 0
+        self.history = None  # optional invocation/response recorder
+        self._op_ids = itertools.count(1)
 
     # -- public API -------------------------------------------------------
 
@@ -69,7 +79,8 @@ class KVClient:
     ) -> None:
         """Write ``key``; ``on_done(ok)`` fires at commit or after the
         retry budget is exhausted."""
-        msg = ClientPut(key, size, data)
+        msg = ClientPut(key, size, data, client=self.name,
+                        op_id=next(self._op_ids))
         self._issue(msg, msg.wire_bytes, PutOk, on_done, op="put")
 
     def get(
@@ -95,7 +106,7 @@ class KVClient:
     def delete(
         self, key: str, on_done: Callable[[bool], None] | None = None
     ) -> None:
-        msg = ClientDelete(key)
+        msg = ClientDelete(key, client=self.name, op_id=next(self._op_ids))
         self._issue(msg, msg.wire_bytes, PutOk, on_done, op="delete")
 
     # -- engine -----------------------------------------------------------
@@ -107,6 +118,9 @@ class KVClient:
         start = self.sim.now
         attempts = {"left": self.max_attempts}
         rotation = itertools.cycle(self.servers)
+        hid = None
+        if self.history is not None:
+            hid = self.history.invoke(self.name, op, msg, start)
 
         def pick_target() -> str:
             if fixed_target is not None:
@@ -121,6 +135,8 @@ class KVClient:
                 self.metrics.latency(f"client.{op}").record(self.sim.now - start)
             else:
                 self.ops_failed += 1
+            if hid is not None:
+                self.history.complete(hid, ok, reply, self.sim.now)
             if on_done is not None:
                 if raw_cb:
                     on_done(ok, reply)

@@ -18,11 +18,18 @@ KV_META = 32
 @dataclass(frozen=True, slots=True)
 class ClientPut:
     """Write (also covers insert, §4.4: "insert ... treated as regular
-    writes")."""
+    writes").
+
+    ``client``/``op_id`` identify the operation for exactly-once apply:
+    a retried put that already committed must not commit again. They
+    ride inside the KV_META budget.
+    """
 
     key: str
     size: int
     data: bytes | None = None
+    client: str = ""
+    op_id: int = 0
 
     @property
     def wire_bytes(self) -> int:
@@ -46,6 +53,8 @@ class ClientDelete:
     """Delete = write(key, NULL) (§4.4)."""
 
     key: str
+    client: str = ""
+    op_id: int = 0
 
     @property
     def wire_bytes(self) -> int:
@@ -112,9 +121,18 @@ class NotReady:
 
 @dataclass(frozen=True, slots=True)
 class Heartbeat:
-    """Leader lease renewal (§4.3)."""
+    """Leader lease renewal (§4.3).
+
+    ``ballot`` is the sender's leadership ballot: followers only renew
+    their vacancy timer (and ack) for the highest-ballot leader they
+    have heard from, so a deposed leader cannot keep its lease alive.
+    ``seq`` lets the leader tell which send round an ack answers, which
+    is what anchors the lease at that round's send time.
+    """
 
     leader_id: int
+    seq: int = 0
+    ballot: Any = None
 
     @property
     def wire_bytes(self) -> int:
@@ -127,6 +145,7 @@ class HeartbeatAck:
     auto-reconfiguration of §6.1 (drop a member that stays silent)."""
 
     follower_id: int
+    seq: int = 0
 
     @property
     def wire_bytes(self) -> int:
@@ -200,11 +219,17 @@ class Command:
 
     ``arg`` carries the payload of control commands (the new view for
     ``op == "view"``); it is None for data operations.
+
+    ``client``/``op_id`` propagate the originating client operation for
+    exactly-once apply of puts and deletes (empty for internal
+    commands: noops, read markers, views).
     """
 
     op: str  # "put" | "delete" | "read" | "view"
     key: str
     arg: Any = None
+    client: str = ""
+    op_id: int = 0
 
 
 # ---------------------------------------------------------------------------

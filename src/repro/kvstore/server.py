@@ -16,10 +16,12 @@ from __future__ import annotations
 from typing import Callable
 
 from ..core import (
+    Ballot,
     ChosenRecord,
     Lease,
     LeaseConfig,
     LocalClock,
+    NULL_BALLOT,
     PaxosNode,
     Value,
     fresh_value_id,
@@ -107,6 +109,8 @@ class KVServer:
             )
             node.on_apply = self._make_apply_hook(g)
             node.on_preempted = lambda ballot, g=g: self._on_preempted(g)
+            node.on_missing_value = self._make_missing_hook(g)
+            node.prepare_gate = self._prepare_gate
             self.groups.append(node)
 
         self.up = True
@@ -115,6 +119,32 @@ class KVServer:
         self._electing = False
         self._hb_timer = None
         self._monitor_timer = None
+        # Lease safety state (§4.3 done right under partitions):
+        # followers only honor heartbeats at or above this ballot, and
+        # the leader only treats its lease as renewed once a heartbeat
+        # round is acked by enough followers to guarantee overlap with
+        # any future electing read quorum.
+        self._hb_floor: Ballot = NULL_BALLOT
+        self._hb_seq = 0
+        self._hb_rounds: dict[int, tuple[float, set[int]]] = {}
+        # Exactly-once apply: identities of client ops already applied,
+        # keyed (group, client, op_id). Rebuilt deterministically from
+        # the log on recovery (same log order => same set). A set, not
+        # a per-client high-water mark, because clients may issue many
+        # concurrent ops whose retries commit out of id order.
+        self._applied_ops: set[tuple[int, str, int]] = set()
+        # Client responses parked until the decided instance is applied
+        # locally (read-your-writes: PutOk must imply visibility).
+        self._apply_waiters: dict[tuple[int, int], list[Callable[[], None]]] = {}
+        # Per-group election read barrier: highest instance the log
+        # frontier reached when this server last won an election. Fast
+        # reads are refused until the apply cursor passes it — a fresh
+        # leader's store may otherwise miss writes the previous leader
+        # acknowledged.
+        self._read_barrier: list[int] = [-1] * len(self.groups)
+        # Commit-only instances (decision id known, command unknown)
+        # with an in-flight catch-up fetch; see _fetch_missing.
+        self._fetching: set[tuple[int, int]] = set()
         self.recovery_reads = 0
         self.fast_reads = 0
         self.consistent_reads = 0
@@ -164,6 +194,12 @@ class KVServer:
         self._electing = False
         self._view_changing = False
         self._last_ack.clear()
+        self._hb_floor = NULL_BALLOT
+        self._hb_rounds.clear()
+        self._applied_ops.clear()
+        self._apply_waiters.clear()
+        self._read_barrier = [-1] * len(self.groups)
+        self._fetching.clear()
         if self._hb_timer is not None:
             self._hb_timer.cancel()
             self._hb_timer = None
@@ -177,6 +213,13 @@ class KVServer:
         self.net.recover_host(self.name)
         for node in self.groups:
             node.recover()
+        # Rebuild the heartbeat floor from the durably promised ballots:
+        # a recovered follower must not refresh the lease of a leader it
+        # had already helped depose before crashing.
+        self._hb_floor = max(
+            (node._max_ballot_seen for node in self.groups),
+            default=NULL_BALLOT,
+        )
         self.current_leader = None
         self.lease.invalidate()
         self.lease.renew()  # grace period before trying to elect
@@ -245,18 +288,55 @@ class KVServer:
             return
         self.is_leader_server = True
         self.current_leader = self.node_id
-        self.lease.renew()
+        # Every instance an earlier leader could have acknowledged was
+        # accepted by a write quorum, so the prepare scan saw it and
+        # ``next_instance`` is past it. Fast reads must not be served
+        # from local state until all of them are applied here.
+        self._read_barrier = [node.next_instance - 1 for node in self.groups]
+        # Winning the prepare round grants *leadership*, not the lease:
+        # fast reads stay disabled (NotReady) until the first heartbeat
+        # round is acknowledged, which proves enough followers restarted
+        # their vacancy timers for this ballot.
+        self.lease.invalidate()
         self.tracer.emit(self.sim.now, "kv", f"{self.name} is leader")
         self._send_heartbeats()
 
+    def _leadership_ballot(self) -> Ballot | None:
+        return self.groups[0].leader_ballot if self.groups else None
+
     def _send_heartbeats(self) -> None:
-        self.lease.renew()
-        hb = Heartbeat(leader_id=self.node_id)
+        ballot = self._leadership_ballot()
+        if ballot is None:
+            return  # preempted since the last tick; monitor handles it
+        self._hb_seq += 1
+        seq = self._hb_seq
+        sent_at = self.clock.now()
+        self._hb_rounds[seq] = (sent_at, set())
+        for old in [s for s in self._hb_rounds if s < seq - 8]:
+            del self._hb_rounds[old]
+        hb = Heartbeat(leader_id=self.node_id, seq=seq, ballot=ballot)
         for nid in self.member_ids:
             if nid != self.node_id:
                 self.endpoint.send(self.peers[nid], hb, hb.wire_bytes)
+        # Degenerate single-member group: no follower can contest.
+        if self._acks_needed() == 0:
+            self.lease.renew_at(sent_at)
         if self.auto_reconfigure:
             self._check_dead_members()
+
+    def _acks_needed(self) -> int:
+        """Follower acks required before a heartbeat round renews the
+        lease.
+
+        With the leader itself that makes N - Q_R + 1 members whose
+        vacancy timers provably restarted at (or after) the round's send
+        time. Any later challenger needs Q_R promises, and
+        (N - Q_R + 1) + Q_R = N + 1 > N forces an overlap member — one
+        that either out-ballots the old leader's heartbeats or waits out
+        Δ + δ from the send time before helping depose it. Either way no
+        two leaders hold the lease at once.
+        """
+        return max(0, self.config.n - self.config.q_r)
 
     def _check_dead_members(self) -> None:
         """§6.1 failure-handling: a member silent for ``dead_after``
@@ -277,22 +357,62 @@ class KVServer:
     def _on_heartbeat(self, msg: Heartbeat, src: str) -> None:
         if not self.up:
             return
-        ack = HeartbeatAck(follower_id=self.node_id)
-        self.endpoint.send(src, ack, ack.wire_bytes)
+        if msg.ballot is not None and msg.ballot < self._hb_floor:
+            # A deposed leader's heartbeat: acking it would extend a
+            # lease we already helped invalidate. Stay silent; it steps
+            # down when it hears the new leader (or its lease lapses).
+            return
         if self.is_leader_server and msg.leader_id != self.node_id:
-            # Two believed leaders: the one with the newer ballot wins at
-            # the acceptors; we conservatively step down on seeing a
-            # heartbeat from a higher id round (rare; safety never rests
-            # on this).
-            pass
+            ours = self._leadership_ballot()
+            if msg.ballot is not None and ours is not None and msg.ballot < ours:
+                return  # stale rival; our own heartbeats depose it
+            # A higher-ballot leader exists: step down and follow it.
+            self.tracer.emit(
+                self.sim.now, "kv",
+                f"{self.name} steps down for {msg.leader_id}",
+            )
+            self.is_leader_server = False
+        if msg.ballot is not None:
+            self._hb_floor = max(self._hb_floor, msg.ballot)
         self.current_leader = msg.leader_id
         if msg.leader_id != self.node_id:
             self._electing = False
             self.lease.renew()
+            ack = HeartbeatAck(follower_id=self.node_id, seq=msg.seq)
+            self.endpoint.send(src, ack, ack.wire_bytes)
 
     def _on_heartbeat_ack(self, msg: HeartbeatAck, src: str) -> None:
-        if self.up:
-            self._last_ack[msg.follower_id] = self.sim.now
+        if not self.up:
+            return
+        self._last_ack[msg.follower_id] = self.sim.now
+        round_ = self._hb_rounds.get(msg.seq)
+        if round_ is None or not self.is_leader_server:
+            return
+        sent_at, ackers = round_
+        ackers.add(msg.follower_id)
+        if len(ackers) >= self._acks_needed():
+            # Enough vacancy timers provably restarted at sent_at:
+            # anchor the lease there (monotonic; late acks are no-ops).
+            self.lease.renew_at(sent_at)
+
+    def _prepare_gate(self, ballot: Ballot) -> float:
+        """Lease guard installed on every local acceptor (§4.3).
+
+        Promise immediately for our own ballots and for the incumbent
+        leader (its re-elections and renewals must never wait); any
+        other challenger is deferred until this replica's own vacancy
+        timer says the current lease has lapsed.
+        """
+        if ballot.proposer == self.node_id or ballot.proposer == self.current_leader:
+            self._hb_floor = max(self._hb_floor, ballot)
+            return 0.0
+        wait = self.lease.remaining_follower_wait()
+        if wait <= 0:
+            # Granting helps depose the incumbent: refuse to refresh its
+            # lease from now on.
+            self._hb_floor = max(self._hb_floor, ballot)
+            return 0.0
+        return wait
 
     def _on_preempted(self, group: int) -> None:
         if self.is_leader_server:
@@ -308,46 +428,81 @@ class KVServer:
 
     def _make_apply_hook(self, group: int) -> Callable[[int, ChosenRecord], None]:
         def apply_(instance: int, rec: ChosenRecord) -> None:
-            meta = None
-            if rec.value is not None:
-                meta = rec.value.meta
-            elif rec.share is not None:
-                meta = rec.share.meta
-            if not isinstance(meta, Command):
-                return  # no-op filler or unknown decision: nothing to apply
-            version = instance
-            if meta.op == "put":
-                if rec.value is not None:
-                    # Full value available (leader, or decoded earlier).
-                    self.store.put(
-                        meta.key, rec.value.data, rec.value.size, version,
-                        complete=True,
-                    )
-                elif rec.share is not None and rec.share.config.x == 1:
-                    # Classic Paxos (θ(1, N)): the "share" is the full
-                    # value — followers hold complete copies.
-                    self.store.put(
-                        meta.key, rec.share.data, rec.share.value_size,
-                        version, complete=True,
-                    )
-                elif rec.share is not None:
-                    # Follower path: only the coded share is stored,
-                    # tagged incomplete (§4.4).
-                    self.store.put(
-                        meta.key, rec.share, rec.share.size, version,
-                        complete=False,
-                    )
-                else:
-                    # Chosen but no local payload at all (missed accept):
-                    # record an empty incomplete entry for catch-up.
-                    self.store.put(meta.key, None, 0, version, complete=False)
-            elif meta.op == "delete":
-                self.store.delete(meta.key, version)
-            elif meta.op == "view":
-                self._apply_view_cmd(group, meta.arg)
-            # op == "read": consistency marker, no state change.
+            try:
+                self._apply_one(group, instance, rec)
+            finally:
+                # Release client replies parked on this instance even
+                # for no-op fillers: the waiter condition is "applied up
+                # to here", not "this instance mutated the store".
+                for cb in self._apply_waiters.pop((group, instance), ()):
+                    cb()
 
         return apply_
+
+    def _apply_one(self, group: int, instance: int, rec: ChosenRecord) -> None:
+        meta = None
+        if rec.value is not None:
+            meta = rec.value.meta
+        elif rec.share is not None:
+            meta = rec.share.meta
+        if not isinstance(meta, Command):
+            return  # no-op filler or unknown decision: nothing to apply
+        if meta.op in ("put", "delete") and meta.client:
+            # Exactly-once apply: client retries and duplicated requests
+            # can commit the same operation in two instances; only the
+            # first (in log order, identical on every replica) mutates
+            # the store.
+            ident = (group, meta.client, meta.op_id)
+            if ident in self._applied_ops:
+                return
+            self._applied_ops.add(ident)
+        version = instance
+        if meta.op == "put":
+            if rec.value is not None:
+                # Full value available (leader, or decoded earlier).
+                self.store.put(
+                    meta.key, rec.value.data, rec.value.size, version,
+                    complete=True,
+                )
+            elif rec.share is not None and rec.share.config.x == 1:
+                # Classic Paxos (θ(1, N)): the "share" is the full
+                # value — followers hold complete copies.
+                self.store.put(
+                    meta.key, rec.share.data, rec.share.value_size,
+                    version, complete=True,
+                )
+            elif rec.share is not None:
+                # Follower path: only the coded share is stored,
+                # tagged incomplete (§4.4).
+                self.store.put(
+                    meta.key, rec.share, rec.share.size, version,
+                    complete=False,
+                )
+            else:
+                # Chosen but no local payload at all (missed accept):
+                # record an empty incomplete entry for catch-up.
+                self.store.put(meta.key, None, 0, version, complete=False)
+        elif meta.op == "delete":
+            self.store.delete(meta.key, version)
+        elif meta.op == "view":
+            self._apply_view_cmd(group, meta.arg)
+        # op == "read": consistency marker, no state change.
+
+    def _respond_after_apply(
+        self, group: int, instance: int, cb: Callable[[], None]
+    ) -> None:
+        """Run ``cb`` once ``instance`` has been applied locally.
+
+        A decided-but-unapplied instance (an earlier instance is still a
+        gap) must not be acknowledged yet: the client would read its own
+        write back as stale data on the fast path. In the common
+        contiguous case the apply hook has already run by the time the
+        decide callback fires, so this adds no latency.
+        """
+        if self.groups[group].apply_cursor > instance:
+            cb()
+        else:
+            self._apply_waiters.setdefault((group, instance), []).append(cb)
 
     # ------------------------------------------------------------------
     # client operations
@@ -370,24 +525,39 @@ class KVServer:
         respond(r, r.wire_bytes)
         return False
 
+    def _already_applied(self, group: int, client: str, op_id: int) -> bool:
+        return bool(client) and (group, client, op_id) in self._applied_ops
+
     def _on_put(self, msg: ClientPut, src: str, respond) -> None:
         if not self._leader_guard(respond):
             return
-        start = self.sim.now
         group = self.shard_map.group_of(msg.key)
+        if self._already_applied(group, msg.client, msg.op_id):
+            # Retry of a write that already committed (the first reply
+            # was lost): acknowledge without burning a new instance.
+            reply = PutOk(msg.key)
+            respond(reply, reply.wire_bytes)
+            return
+        start = self.sim.now
         node = self.groups[group]
         value = Value(
             fresh_value_id(self.node_id), msg.size, msg.data,
-            meta=Command("put", msg.key),
+            meta=Command("put", msg.key, client=msg.client, op_id=msg.op_id),
         )
 
         def decided(instance: int, v: Value) -> None:
             if not self.up:
                 return
-            self.metrics.latency("write").record(self.sim.now - start)
-            self.metrics.throughput("write").record(self.sim.now, msg.size)
-            reply = PutOk(msg.key)
-            respond(reply, reply.wire_bytes)
+
+            def reply_now() -> None:
+                if not self.up:
+                    return
+                self.metrics.latency("write").record(self.sim.now - start)
+                self.metrics.throughput("write").record(self.sim.now, msg.size)
+                reply = PutOk(msg.key)
+                respond(reply, reply.wire_bytes)
+
+            self._respond_after_apply(group, instance, reply_now)
 
         try:
             node.propose(value, decided)
@@ -399,15 +569,26 @@ class KVServer:
         if not self._leader_guard(respond):
             return
         group = self.shard_map.group_of(msg.key)
+        if self._already_applied(group, msg.client, msg.op_id):
+            reply = PutOk(msg.key)
+            respond(reply, reply.wire_bytes)
+            return
         node = self.groups[group]
         value = Value(
-            fresh_value_id(self.node_id), 0, None, meta=Command("delete", msg.key)
+            fresh_value_id(self.node_id), 0, None,
+            meta=Command("delete", msg.key, client=msg.client, op_id=msg.op_id),
         )
 
         def decided(instance: int, v: Value) -> None:
-            if self.up:
-                reply = PutOk(msg.key)
-                respond(reply, reply.wire_bytes)
+            if not self.up:
+                return
+
+            def reply_now() -> None:
+                if self.up:
+                    reply = PutOk(msg.key)
+                    respond(reply, reply.wire_bytes)
+
+            self._respond_after_apply(group, instance, reply_now)
 
         try:
             node.propose(value, decided)
@@ -431,8 +612,15 @@ class KVServer:
             return
         start = self.sim.now
         if msg.mode == "fast":
-            # Fast read (§4.4): valid lease => serve from local storage.
-            if not self.lease.held_by_leader():
+            # Fast read (§4.4): valid lease => serve from local storage
+            # — but only once this leader's apply cursor has passed its
+            # election read barrier, i.e. local state reflects every
+            # write a predecessor could have acknowledged.
+            group = self.shard_map.group_of(msg.key)
+            if (
+                not self.lease.held_by_leader()
+                or self.groups[group].apply_cursor <= self._read_barrier[group]
+            ):
                 r = NotReady()
                 respond(r, r.wire_bytes)
                 return
@@ -451,7 +639,10 @@ class KVServer:
 
             def decided(instance: int, v: Value) -> None:
                 if self.up:
-                    self._serve_read(msg.key, start, respond)
+                    self._respond_after_apply(
+                        group, instance,
+                        lambda: self.up and self._serve_read(msg.key, start, respond),
+                    )
 
             try:
                 node.propose(marker, decided)
@@ -819,15 +1010,59 @@ class KVServer:
                     timeout=1.0, retries=3, on_timeout=lambda: None,
                 )
 
+    def _make_missing_hook(self, group: int) -> Callable[[int], None]:
+        """Hook for PaxosNode.on_missing_value: the apply cursor stalled
+        on an instance learned through a Commit alone (decision id known,
+        command unknown — the Accept never reached us, or we accepted a
+        losing proposal). Fetch the value from peers instead of applying
+        a blind noop, which would silently diverge this replica."""
+        def missing(instance: int) -> None:
+            key = (group, instance)
+            if not self.up or key in self._fetching:
+                return
+            self._fetching.add(key)
+            # Defer off the learn path: _advance_apply may be running
+            # inside a message handler.
+            self.sim.call_after(0.0, lambda: self._fetch_missing(group, instance))
+        return missing
+
+    def _fetch_missing(self, group: int, instance: int) -> None:
+        key = (group, instance)
+        node = self.groups[group]
+        rec = node.chosen.get(instance)
+        if (not self.up or rec is None
+                or rec.value is not None or rec.share is not None):
+            self._fetching.discard(key)  # resolved (or we restarted)
+            return
+        req = CatchUp(group=group, from_instance=instance)
+        for nid, host in self.peers.items():
+            if nid == self.node_id:
+                continue
+            self.endpoint.request(
+                host, req, req.wire_bytes,
+                on_reply=lambda rep: self._install_catch_up(rep),
+                timeout=1.0, retries=3, on_timeout=lambda: None,
+            )
+        # Re-poll until some peer supplies the command: the first round
+        # may race a partition, or every reachable peer may itself hold
+        # a commit-only record for the instance.
+        self.sim.call_after(0.5, lambda: self._fetch_missing(group, instance))
+
     def _install_catch_up(self, reply) -> None:
         if not self.up or not isinstance(reply, CatchUpReply):
             return
         node = self.groups[reply.group]
         for e in reply.entries:
+            value = None
+            if e.share is None and e.meta is not None:
+                # No fragment came back (e.g. a zero-size delete/marker
+                # from a non-leader): carry the command metadata so the
+                # apply hook still sees the operation.
+                value = Value(e.value_id, e.value_size, None, meta=e.meta)
             rec = ChosenRecord(
                 value_id=e.value_id,
                 ballot=node.acceptor.state.floor,
-                value=None,
+                value=value,
                 share=e.share,
             )
             node.install_chosen(e.instance, rec)

@@ -1,16 +1,29 @@
 """Scripted fault injection.
 
-A :class:`FaultSchedule` arms crash / recovery / partition events at
-absolute simulated times, so availability experiments (Fig. 8: kill the
-leader at t=10 s and the next leader at t=20 s) are declarative.
+A :class:`FaultSchedule` arms crash / recovery / partition / impairment
+events at absolute simulated times, so availability experiments (Fig. 8:
+kill the leader at t=10 s and the next leader at t=20 s) are
+declarative, and the chaos explorer (:mod:`repro.chaos`) can arm an
+entire randomized schedule against one network.
+
+Every event — network-level or not — flows through :meth:`_fire`, so
+hooks registered with :meth:`on_fault` observe *all* injected faults,
+partitions and heals included. The KV-store harness relies on this to
+co-drive server-process state (stop/restart a server when its host
+crashes/recovers) and the chaos runner relies on it for disk-fault
+episodes, which the network layer itself knows nothing about.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Any, Callable
 
 from ..sim import Simulator
 from .network import Network
+
+#: Fault kinds handled by the network itself. Custom kinds (e.g. the
+#: chaos runner's "slow-disk") only reach the registered hooks.
+NET_KINDS = ("crash", "recover", "partition", "heal", "loss-burst", "loss-heal")
 
 
 class FaultSchedule:
@@ -19,25 +32,41 @@ class FaultSchedule:
     def __init__(self, sim: Simulator, net: Network):
         self.sim = sim
         self.net = net
-        self._extra_hooks: list[Callable[[str, str], None]] = []
+        self._extra_hooks: list[Callable[[str, Any], None]] = []
+        self.fired: list[tuple[float, str, Any]] = []
 
-    def on_fault(self, hook: Callable[[str, str], None]) -> None:
-        """Register ``hook(kind, host)`` called at each injected fault.
+    def on_fault(self, hook: Callable[[str, Any], None]) -> None:
+        """Register ``hook(kind, arg)`` called at each injected fault.
 
-        The KV-store harness uses this to also stop/restart the server
-        process co-located with the host.
+        ``arg`` is the host name for ``"crash"`` / ``"recover"`` /
+        ``"slow-disk"``-style events, a ``(group_a, group_b)`` pair of
+        host-name tuples for ``"partition"``, ``(loss_prob, dup_prob)``
+        for ``"loss-burst"`` and ``None`` for ``"heal"`` /
+        ``"loss-heal"``. The KV-store harness uses this to also
+        stop/restart the server process co-located with the host.
         """
         self._extra_hooks.append(hook)
 
-    def _fire(self, kind: str, host: str) -> None:
+    def _fire(self, kind: str, arg: Any) -> None:
         if kind == "crash":
-            self.net.crash_host(host)
+            self.net.crash_host(arg)
         elif kind == "recover":
-            self.net.recover_host(host)
-        else:
+            self.net.recover_host(arg)
+        elif kind == "partition":
+            group_a, group_b = arg
+            self.net.partition(list(group_a), list(group_b))
+        elif kind == "heal":
+            self.net.heal()
+        elif kind == "loss-burst":
+            loss_prob, dup_prob = arg
+            self.net.set_impairment(loss_prob, dup_prob)
+        elif kind == "loss-heal":
+            self.net.set_impairment(0.0, 0.0)
+        elif kind not in NET_KINDS and not self._extra_hooks:
             raise ValueError(f"unknown fault kind {kind!r}")
+        self.fired.append((self.sim.now, kind, arg))
         for hook in self._extra_hooks:
-            hook(kind, host)
+            hook(kind, arg)
 
     def crash_at(self, t: float, host: str) -> None:
         self.sim.call_at(t, lambda: self._fire("crash", host))
@@ -46,7 +75,26 @@ class FaultSchedule:
         self.sim.call_at(t, lambda: self._fire("recover", host))
 
     def partition_at(self, t: float, group_a: list[str], group_b: list[str]) -> None:
-        self.sim.call_at(t, lambda: self.net.partition(group_a, group_b))
+        arg = (tuple(group_a), tuple(group_b))
+        self.sim.call_at(t, lambda: self._fire("partition", arg))
 
     def heal_at(self, t: float) -> None:
-        self.sim.call_at(t, lambda: self.net.heal())
+        self.sim.call_at(t, lambda: self._fire("heal", None))
+
+    def loss_burst_at(
+        self, t: float, duration: float, loss_prob: float, dup_prob: float = 0.0
+    ) -> None:
+        """Degrade every link with extra loss/duplication for a window."""
+        self.sim.call_at(t, lambda: self._fire("loss-burst", (loss_prob, dup_prob)))
+        self.sim.call_at(t + duration, lambda: self._fire("loss-heal", None))
+
+    def custom_at(self, t: float, kind: str, arg: Any) -> None:
+        """Arm an event the network does not interpret (hooks only).
+
+        The chaos runner uses this for per-host disk-fault episodes
+        ("slow-disk" / "fix-disk"): the schedule stays one declarative
+        object even for faults living outside the network layer.
+        """
+        if kind in NET_KINDS:
+            raise ValueError(f"{kind!r} is a built-in kind; use its dedicated method")
+        self.sim.call_at(t, lambda: self._fire(kind, arg))

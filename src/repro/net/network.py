@@ -58,6 +58,10 @@ class Network:
         self.hosts: dict[str, Host] = {}
         self._links: dict[tuple[str, str], LinkSpec] = {}
         self._blocked: set[tuple[str, str]] = set()
+        # Global impairment knobs, added on top of each link's own
+        # loss/dup probabilities (chaos "loss-burst" episodes).
+        self.extra_loss_prob = 0.0
+        self.extra_dup_prob = 0.0
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
@@ -113,6 +117,21 @@ class Network:
         self.hosts[name].recover()
         self.tracer.emit(self.sim.now, "net", f"recover {name}")
 
+    def set_impairment(self, loss_prob: float, dup_prob: float = 0.0) -> None:
+        """Degrade (or restore, with zeros) every link at once.
+
+        The probabilities are *added* to each link's own ``loss_prob`` /
+        ``dup_prob`` and clamped to 1. Retransmission still guarantees
+        eventual delivery as long as the combined loss stays below 1.
+        """
+        if not (0.0 <= loss_prob <= 1.0 and 0.0 <= dup_prob <= 1.0):
+            raise ValueError("impairment probabilities must be in [0, 1]")
+        self.extra_loss_prob = loss_prob
+        self.extra_dup_prob = dup_prob
+        self.tracer.emit(
+            self.sim.now, "net", f"impairment loss={loss_prob} dup={dup_prob}"
+        )
+
     # -- data path --------------------------------------------------------
 
     def send(self, src: str, dst: str, payload: Any, size: int) -> None:
@@ -148,13 +167,15 @@ class Network:
     def _propagate(self, env: Envelope, spec: LinkSpec) -> None:
         # Loss / duplication coin flips, per directed pair stream.
         stream = f"net.loss.{env.src}->{env.dst}"
-        if self.sim.rng.choice_prob(stream, spec.loss_prob):
+        loss_prob = min(1.0, spec.loss_prob + self.extra_loss_prob)
+        if self.sim.rng.choice_prob(stream, loss_prob):
             self.messages_dropped += 1
             self.tracer.emit(self.sim.now, "net", f"lost {env.src}->{env.dst} #{env.msg_id}")
             return
         copies = 1
         dup_stream = f"net.dup.{env.src}->{env.dst}"
-        if self.sim.rng.choice_prob(dup_stream, spec.dup_prob):
+        dup_prob = min(1.0, spec.dup_prob + self.extra_dup_prob)
+        if self.sim.rng.choice_prob(dup_stream, dup_prob):
             copies = 2
         for c in range(copies):
             delay = spec.delay_s

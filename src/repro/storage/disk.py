@@ -77,6 +77,16 @@ class Disk:
         self.bytes_written = 0
         self.bytes_read = 0
         self.flushes = 0
+        # Fault-injection knob: every operation's service time is
+        # multiplied by this factor (a "slow disk" / degraded-volume
+        # episode). 1.0 = healthy; must stay finite so queued work
+        # eventually drains.
+        self.slowdown = 1.0
+
+    def _service_time(self, nbytes: int) -> float:
+        if self.slowdown < 1.0:
+            raise ValueError("disk slowdown factor must be >= 1")
+        return self.spec.op_time(nbytes) * self.slowdown
 
     def write(self, nbytes: int, callback: Callable[[], None]) -> float:
         """Queue a durable write; ``callback`` fires when it is on media.
@@ -85,12 +95,12 @@ class Disk:
         """
         self.bytes_written += nbytes
         self.flushes += 1
-        return self._queue.submit(self.spec.op_time(nbytes), callback)
+        return self._queue.submit(self._service_time(nbytes), callback)
 
     def read(self, nbytes: int, callback: Callable[[], None]) -> float:
         """Queue a read of ``nbytes``; callback fires with data 'ready'."""
         self.bytes_read += nbytes
-        return self._queue.submit(self.spec.op_time(nbytes), callback)
+        return self._queue.submit(self._service_time(nbytes), callback)
 
     @property
     def backlog_seconds(self) -> float:

@@ -10,7 +10,9 @@ ceiling.
 
 Durability model: a record is durable exactly when its flush completes;
 on crash, non-durable records are lost and durable ones survive (they
-are what :mod:`repro.kvstore.recovery` replays).
+are what ``KVServer.recover`` in :mod:`repro.kvstore.server` replays —
+via :meth:`repro.core.PaxosNode.recover` — to rebuild promised/accepted
+state before the server rejoins, per §4.5).
 """
 
 from __future__ import annotations

@@ -23,5 +23,13 @@ class TestCli:
             main(["figure99"])
 
     def test_experiment_registry_complete(self):
-        # One CLI entry per table/figure of the paper + the CPU section.
-        assert set(EXPERIMENTS) == {"table1", "fig5", "fig6", "fig7", "fig8", "cpu"}
+        # One CLI entry per table/figure of the paper + the CPU section
+        # + the chaos correctness gate.
+        assert set(EXPERIMENTS) == {
+            "table1", "fig5", "fig6", "fig7", "fig8", "cpu", "chaos",
+        }
+
+    def test_chaos_gate(self, capsys):
+        assert main(["chaos", "--seeds", "1", "--short"]) == 0
+        out = capsys.readouterr().out
+        assert "all episodes linearizable" in out

@@ -1,0 +1,119 @@
+"""Unit tests for the replicated-state invariant probes.
+
+The probes only touch a narrow attribute surface (``srv.up``,
+``srv.name``, ``srv.groups[g].chosen`` / ``.acceptor``), so lightweight
+fakes keep these tests at unit scale; whole-system coverage comes from
+the chaos suite.
+"""
+
+from types import SimpleNamespace
+
+from repro.check import (
+    check_config_safety,
+    check_decodability,
+    check_unique_choice,
+)
+from repro.core import QuorumSystem, UnsafeProtocolConfig, classic_paxos, rs_paxos
+from repro.erasure import CodingConfig
+from repro.kvstore.messages import Command
+
+CODING = CodingConfig(3, 5)
+PUT = Command("put", "k")
+
+
+def share(index, value_id="v1", coding=CODING):
+    return SimpleNamespace(value_id=value_id, index=index, config=coding,
+                           meta=PUT)
+
+
+def rec(value_id="v1", value=None, share=None):
+    return SimpleNamespace(value_id=value_id, value=value, share=share)
+
+
+def full_value(value_id="v1"):
+    return SimpleNamespace(value_id=value_id, meta=PUT)
+
+
+def server(name, chosen, accepted=None, up=True):
+    accepted = accepted or {}
+    acceptor = SimpleNamespace(accepted_share=lambda inst: accepted.get(inst))
+    node = SimpleNamespace(chosen=chosen, acceptor=acceptor)
+    return SimpleNamespace(name=name, up=up, groups=[node])
+
+
+class TestConfigSafety:
+    def test_safe_configs_pass(self):
+        assert check_config_safety(rs_paxos(5, 1)) == []
+        assert check_config_safety(classic_paxos(5)) == []
+
+    def test_weakened_quorums_caught(self):
+        # Q1 + Q2 = 7 < N + k = 8: overlap 2 cannot carry X=3 shares.
+        cfg = UnsafeProtocolConfig(QuorumSystem(5, 3, 4), CodingConfig(3, 5))
+        violations = check_config_safety(cfg)
+        assert [v.kind for v in violations] == ["config"]
+
+
+class TestUniqueChoice:
+    def test_agreement_passes(self):
+        servers = [
+            server("S0", {7: rec("v1")}),
+            server("S1", {7: rec("v1"), 8: rec("v2")}),
+        ]
+        assert check_unique_choice(servers) == []
+
+    def test_divergent_choice_caught(self):
+        servers = [
+            server("S0", {7: rec("v1")}),
+            server("S1", {7: rec("OTHER")}),
+        ]
+        violations = check_unique_choice(servers)
+        assert [v.kind for v in violations] == ["unique-choice"]
+        assert "instance 7" in violations[0].detail
+
+
+class TestDecodability:
+    def test_enough_shares_decodable(self):
+        servers = [
+            server(f"S{i}", {3: rec(share=share(i))}) for i in range(3)
+        ]
+        assert check_decodability(servers) == []
+
+    def test_full_copy_suffices(self):
+        servers = [
+            server("S0", {3: rec(value=full_value())}),
+            server("S1", {}),
+        ]
+        assert check_decodability(servers) == []
+
+    def test_accepted_but_unchosen_shares_count(self):
+        # Only S0 learned the choice; S1/S2 still hold accepted shares.
+        servers = [
+            server("S0", {3: rec(share=share(0))}),
+            server("S1", {}, accepted={3: share(1)}),
+            server("S2", {}, accepted={3: share(2)}),
+        ]
+        assert check_decodability(servers) == []
+
+    def test_too_few_shares_caught(self):
+        servers = [
+            server("S0", {3: rec(share=share(0))}),
+            server("S1", {3: rec(share=share(1))}),
+        ]
+        violations = check_decodability(servers)
+        assert [v.kind for v in violations] == ["decodability"]
+
+    def test_down_servers_do_not_count(self):
+        servers = [
+            server(f"S{i}", {3: rec(share=share(i))}, up=(i < 2))
+            for i in range(3)
+        ]
+        violations = check_decodability(servers)
+        assert [v.kind for v in violations] == ["decodability"]
+
+    def test_duplicate_share_indices_do_not_count_twice(self):
+        servers = [
+            server("S0", {3: rec(share=share(0))}),
+            server("S1", {3: rec(share=share(0))}),
+            server("S2", {3: rec(share=share(0))}),
+        ]
+        assert len(check_decodability(servers)) == 1

@@ -1,0 +1,147 @@
+"""Unit tests for the per-key register linearizability checker."""
+
+import pytest
+
+from repro.check import HistoryRecorder, OpRecord, check_history, check_key
+from repro.kvstore.messages import ClientGet, ClientPut, GetOk, NotFound
+
+_hid = 0
+
+
+def mk(op, value=None, invoke=0.0, response=None, ok=True, output=None,
+       mode=None, observed_nothing=False, key="k"):
+    global _hid
+    _hid += 1
+    return OpRecord(
+        hid=_hid, client="c", op=op, key=key, value=value, mode=mode,
+        invoke=invoke, response=response, ok=ok, output=output,
+        observed_nothing=observed_nothing,
+    )
+
+
+def w(value, invoke, response, ok=True):
+    """Put of ``value``; response=None + ok=None means still pending."""
+    return mk("put", value=value, invoke=invoke, response=response, ok=ok)
+
+
+def r(output, invoke, response, ok=True, mode="fast"):
+    return mk("get", invoke=invoke, response=response, ok=ok,
+              output=output, mode=mode)
+
+
+class TestSequential:
+    def test_write_then_read(self):
+        assert check_key("k", [w(1, 0, 1), r(1, 2, 3)]).ok
+
+    def test_read_of_unwritten_value_fails(self):
+        assert not check_key("k", [w(1, 0, 1), r(2, 2, 3)]).ok
+
+    def test_stale_read_fails(self):
+        hist = [w(1, 0, 1), w(2, 2, 3), r(1, 4, 5)]
+        assert not check_key("k", hist).ok
+
+    def test_initial_notfound_read(self):
+        assert check_key("k", [r(None, 0, 1)]).ok
+
+    def test_delete_then_notfound(self):
+        hist = [
+            w(1, 0, 1),
+            mk("delete", invoke=2, response=3, ok=True),
+            r(None, 4, 5),
+        ]
+        assert check_key("k", hist).ok
+
+    def test_read_before_any_write_must_see_initial(self):
+        assert not check_key("k", [r(1, 0, 1), w(1, 2, 3)]).ok
+
+
+class TestConcurrency:
+    def test_concurrent_read_may_see_either_side(self):
+        # Write overlaps the read: both old and new value are legal.
+        assert check_key("k", [w(1, 0, 10), r(1, 5, 6)]).ok
+        assert check_key("k", [w(1, 0, 10), r(None, 5, 6)]).ok
+
+    def test_concurrent_writes_any_order(self):
+        hist = [w(1, 0, 10), w(2, 0, 10), r(1, 11, 12)]
+        assert check_key("k", hist).ok
+        hist = [w(1, 0, 10), w(2, 0, 10), r(2, 11, 12)]
+        assert check_key("k", hist).ok
+
+    def test_real_time_order_enforced(self):
+        # w(2) responded before r was invoked; r must not see 1 written
+        # even earlier.
+        hist = [w(1, 0, 1), w(2, 2, 3), r(1, 4, 5), r(2, 6, 7)]
+        assert not check_key("k", hist).ok
+
+
+class TestMaybeWrites:
+    def test_failed_write_may_take_effect_late(self):
+        # The client gave up on w(2), but a straggler retry committed it.
+        hist = [w(1, 0, 1), w(2, 2, 3, ok=False), r(2, 10, 11)]
+        assert check_key("k", hist).ok
+
+    def test_failed_write_may_never_take_effect(self):
+        hist = [w(1, 0, 1), w(2, 2, 3, ok=False), r(1, 10, 11)]
+        assert check_key("k", hist).ok
+
+    def test_pending_write_explains_read(self):
+        hist = [w(1, 0, 1), w(2, 2, None, ok=None), r(2, 10, 11)]
+        assert check_key("k", hist).ok
+
+    def test_maybe_write_cannot_take_effect_before_invoke(self):
+        # r finished before w(2) was even invoked: 2 was unobservable.
+        hist = [r(2, 0, 1), w(2, 2, 3, ok=False), w(1, 4, 5)]
+        assert not check_key("k", hist).ok
+
+
+class TestFiltering:
+    def test_failed_reads_constrain_nothing(self):
+        hist = [w(1, 0, 1), r(99, 2, 3, ok=False)]
+        assert check_key("k", hist).ok
+
+    def test_snapshot_reads_excluded(self):
+        hist = [w(1, 0, 1), r(99, 2, 3, mode="snapshot")]
+        assert check_key("k", hist).ok
+
+    def test_trivial_key_short_circuits(self):
+        res = check_key("k", [w(1, 0, 1, ok=False)])
+        assert res.ok and res.checked_ops == 0
+
+    def test_failure_carries_ops_for_bundle(self):
+        res = check_key("k", [w(1, 0, 1), r(2, 2, 3)])
+        assert not res.ok
+        assert len(res.failure_ops) == 2
+        assert {o["op"] for o in res.failure_ops} == {"put", "get"}
+
+    def test_state_budget(self):
+        hist = [w(i, 0, 100) for i in range(30)]
+        hist.append(r(29, 101, 102))
+        with pytest.raises(RuntimeError):
+            check_key("k", hist, max_states=10)
+
+
+class TestRecorder:
+    def test_recorder_round_trip(self):
+        rec = HistoryRecorder()
+        h0 = rec.invoke("c0", "put", ClientPut("a", 64), 0.0)
+        rec.complete(h0, True, object(), 1.0)
+        h1 = rec.invoke("c0", "get", ClientGet("a"), 2.0)
+        rec.complete(h1, True, GetOk("a", 64), 3.0)
+        h2 = rec.invoke("c1", "get", ClientGet("b"), 2.0)
+        rec.complete(h2, False, NotFound("b"), 3.0)
+
+        a, g, nf = rec.ops
+        assert (a.op, a.value, a.ok) == ("put", 64, True)
+        assert (g.output, g.ok) == (64, True)
+        # NotFound is a successful observation of the empty register
+        # even though KVClient reports it as ok=False.
+        assert (nf.ok, nf.output, nf.observed_nothing) == (True, None, True)
+        assert set(rec.per_key()) == {"a", "b"}
+        assert check_history(rec) == []
+
+    def test_check_history_reports_per_key_failures(self):
+        rec = HistoryRecorder()
+        h = rec.invoke("c0", "get", ClientGet("ghost"), 0.0)
+        rec.complete(h, True, GetOk("ghost", 777), 1.0)
+        failures = check_history(rec)
+        assert [f.key for f in failures] == ["ghost"]

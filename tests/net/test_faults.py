@@ -1,0 +1,144 @@
+"""Unit tests for the fault-injection scheduler (repro.net.faults)."""
+
+import pytest
+
+from repro.net import FaultSchedule, LinkSpec, build_network
+from repro.sim import Simulator
+
+
+def make_net(names=("A", "B", "C")):
+    sim = Simulator(seed=0)
+    net = build_network(sim, list(names), LinkSpec(delay_s=0.01))
+    return sim, net
+
+
+def collect_hooks(sched, sim):
+    events = []
+    sched.on_fault(lambda kind, arg: events.append((sim.now, kind, arg)))
+    return events
+
+
+class TestHookDispatch:
+    def test_every_kind_reaches_hooks(self):
+        """All fault kinds — including partition/heal — flow through
+        the hook path, not just crash/recover."""
+        sim, net = make_net()
+        sched = FaultSchedule(sim, net)
+        events = collect_hooks(sched, sim)
+
+        sched.crash_at(1.0, "B")
+        sched.recover_at(2.0, "B")
+        sched.partition_at(3.0, ["A"], ["B", "C"])
+        sched.heal_at(4.0)
+        sched.loss_burst_at(5.0, 1.0, 0.5, dup_prob=0.1)
+        sched.custom_at(7.0, "slow-disk", ("A", 10.0))
+        sim.run()
+
+        assert events == [
+            (1.0, "crash", "B"),
+            (2.0, "recover", "B"),
+            (3.0, "partition", (("A",), ("B", "C"))),
+            (4.0, "heal", None),
+            (5.0, "loss-burst", (0.5, 0.1)),
+            (6.0, "loss-heal", None),
+            (7.0, "slow-disk", ("A", 10.0)),
+        ]
+        assert sched.fired == events
+
+    def test_partition_at_cuts_and_heal_restores(self):
+        """partition_at / heal_at act on the network, not only on hooks."""
+        sim, net = make_net()
+        sched = FaultSchedule(sim, net)
+        got = []
+        net.set_handler("B", lambda env: got.append((sim.now, env.payload)))
+
+        sched.partition_at(1.0, ["A"], ["B", "C"])
+        sched.heal_at(2.0)
+        sim.call_at(1.5, lambda: net.send("A", "B", "cut", size=0))
+        sim.call_at(2.5, lambda: net.send("A", "B", "healed", size=0))
+        sim.run()
+
+        assert [p for _, p in got] == ["healed"]
+
+    def test_custom_kind_rejects_builtin_kinds(self):
+        sim, net = make_net()
+        sched = FaultSchedule(sim, net)
+        with pytest.raises(ValueError):
+            sched.custom_at(1.0, "partition", (("A",), ("B",)))
+
+    def test_unknown_kind_without_hooks_raises(self):
+        sim, net = make_net()
+        sched = FaultSchedule(sim, net)
+        sched.custom_at(1.0, "quake", None)
+        with pytest.raises(ValueError):
+            sim.run()
+
+
+class TestOrdering:
+    def test_same_timestamp_fires_in_arming_order(self):
+        """The simulator breaks timestamp ties by insertion order, so a
+        schedule with coincident events is still deterministic."""
+        sim, net = make_net()
+        sched = FaultSchedule(sim, net)
+        events = collect_hooks(sched, sim)
+
+        sched.crash_at(5.0, "B")
+        sched.heal_at(5.0)
+        sched.recover_at(5.0, "B")
+        sched.crash_at(5.0, "C")
+        sim.run()
+
+        assert [(k, a) for _, k, a in [(t, k, a) for t, k, a in events]] == [
+            ("crash", "B"), ("heal", None), ("recover", "B"), ("crash", "C"),
+        ]
+        assert all(t == 5.0 for t, _, _ in events)
+        assert net.hosts["B"].up
+        assert not net.hosts["C"].up
+
+
+class TestCrashWhilePartitioned:
+    def test_crash_inside_partition_survives_heal(self):
+        """heal() repairs cuts only: a host crashed during the partition
+        stays down after the heal until its own recovery fires."""
+        sim, net = make_net()
+        sched = FaultSchedule(sim, net)
+        got = []
+        net.set_handler("B", lambda env: got.append((sim.now, env.payload)))
+
+        sched.partition_at(1.0, ["A"], ["B", "C"])
+        sched.crash_at(1.5, "B")        # crash while unreachable from A
+        sched.heal_at(2.0)
+        sched.recover_at(3.0, "B")
+        # After heal but before recovery: crashed host drops traffic.
+        sim.call_at(2.5, lambda: net.send("A", "B", "still-down", size=0))
+        # After recovery: traffic flows again.
+        sim.call_at(3.5, lambda: net.send("A", "B", "back", size=0))
+        sim.run()
+
+        assert [p for _, p in got] == ["back"]
+        assert net.hosts["B"].up
+
+
+class TestImpairment:
+    def test_loss_burst_window(self):
+        """Total loss inside the burst, normal delivery outside it."""
+        sim, net = make_net()
+        sched = FaultSchedule(sim, net)
+        got = []
+        net.set_handler("B", lambda env: got.append(env.payload))
+
+        sched.loss_burst_at(1.0, 1.0, 1.0)  # loss_prob = 1.0 for [1, 2)
+        sim.call_at(0.5, lambda: net.send("A", "B", "before", size=0))
+        sim.call_at(1.5, lambda: net.send("A", "B", "during", size=0))
+        sim.call_at(2.5, lambda: net.send("A", "B", "after", size=0))
+        sim.run()
+
+        assert got == ["before", "after"]
+        assert net.extra_loss_prob == 0.0
+
+    def test_impairment_validation(self):
+        sim, net = make_net()
+        with pytest.raises(ValueError):
+            net.set_impairment(1.5)
+        with pytest.raises(ValueError):
+            net.set_impairment(0.1, dup_prob=-0.2)
