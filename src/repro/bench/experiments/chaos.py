@@ -1,11 +1,16 @@
 """Chaos sweep: randomized faults + linearizability + invariants.
 
 Not a paper figure — a correctness gate. Runs N seeded chaos episodes
-(crashes, partitions, loss/dup bursts, slow disks) against both the
-paper's headline RS-Paxos setup (N=5, F=1, θ(3,5)) and classic Paxos
-at N=5, checking every episode's client history for per-key
-linearizability and the final replicated state for the paper's safety
-invariants (unique choice, decodability, Q1 + Q2 >= N + k).
+(crashes, partitions, loss/dup bursts, slow disks, torn WAL writes,
+bit-rot on stored coded shares) against both the paper's headline
+RS-Paxos setup (N=5, F=1, θ(3,5)) and classic Paxos at N=5, checking
+every episode's client history for per-key linearizability and the
+final replicated state for the paper's safety invariants (unique
+choice, decodability, Q1 + Q2 >= N + k, checksum-clean durable state).
+Per-protocol repair-traffic totals (shares rotted/repaired, bytes
+fetched for repair, WAL records lost to torn tails) are printed so
+regressions in the scrub path are visible even when every episode
+stays green.
 
 Any failing seed writes a repro bundle under ``chaos-repros/`` and the
 run exits non-zero, which is what makes this usable as a CI gate::
@@ -29,6 +34,13 @@ def main(seeds: int = 25, short: bool = False, quick: bool | None = None) -> int
         ops = sum(r.ops_total for r in results)
         print(f"   {len(results) - len(failures)}/{len(results)} clean, "
               f"{ops} client ops checked")
+        rotted = sum(r.rot_injected for r in results)
+        repaired = sum(r.shares_repaired for r in results)
+        repair_bytes = sum(r.repair_bytes for r in results)
+        discarded = sum(r.wal_discarded for r in results)
+        print(f"   storage faults: {rotted} shares rotted, "
+              f"{repaired} repaired ({repair_bytes} B repair traffic), "
+              f"{discarded} WAL records lost to torn tails")
         total_failures += len(failures)
     if total_failures:
         print(f"FAIL: {total_failures} episode(s) violated "

@@ -46,6 +46,10 @@ class ChaosSpec:
     think_time: float = 0.02
     client_timeout: float = 0.25
     client_max_attempts: int = 6
+    # Background scrub cadence on every server. Small relative to the
+    # settle window so rotten shares injected late in the fault window
+    # still get several repair attempts before the integrity probe.
+    scrub_interval: float = 0.75
     # Op mix (cumulative): write / fast read / consistent read / delete.
     p_write: float = 0.40
     p_fast_read: float = 0.35
@@ -85,6 +89,12 @@ class EpisodeResult:
     violations: list[dict]       # invariant breaches (+ live exceptions)
     lin_failures: list[dict]     # per-key non-linearizable histories
     schedule: list[ChaosEvent]
+    # Durable-integrity accounting (Rashmi et al.: repair traffic is
+    # the dominant operational cost of EC storage — make it visible).
+    rot_injected: int = 0
+    shares_repaired: int = 0
+    repair_bytes: int = 0
+    wal_discarded: int = 0       # records lost to torn-tail truncation
     bundle_path: str | None = None
 
     def to_jsonable(self) -> dict:
@@ -94,6 +104,10 @@ class EpisodeResult:
             "ops_completed": self.ops_completed,
             "violations": self.violations,
             "lin_failures": self.lin_failures,
+            "rot_injected": self.rot_injected,
+            "shares_repaired": self.shares_repaired,
+            "repair_bytes": self.repair_bytes,
+            "wal_discarded": self.wal_discarded,
             "schedule": [e.to_jsonable() for e in self.schedule],
         }
 
@@ -134,10 +148,12 @@ class ChaosRunner:
             link=LAN,
             seed=seed,
             client_timeout=spec.client_timeout,
+            scrub_interval=spec.scrub_interval,
             trace=trace,
         )
         sim = cluster.sim
         by_host = {srv.name: srv for srv in cluster.servers}
+        rot_rng = sim.rng.stream("chaos.bitrot")
 
         def on_fault(kind: str, arg) -> None:
             if kind in ("crash", "recover") and arg in by_host:
@@ -148,6 +164,18 @@ class ChaosRunner:
                 by_host[host].disk.slowdown = factor
             elif kind == "fix-disk":
                 by_host[arg].disk.slowdown = 1.0
+            elif kind == "torn-write":
+                # A crash that lands mid-flush: the in-flight WAL batch
+                # persists only up to a random byte fraction.
+                host, frac = arg
+                by_host[host].wal.arm_torn_write(frac)
+                by_host[host].crash()
+            elif kind == "bit-rot":
+                by_host[arg].inject_bit_rot(rot_rng)
+            elif kind == "scrub":
+                srv = by_host[arg]
+                if srv.up:
+                    srv.scrub_now()
 
         cluster.faults.on_fault(on_fault)
 
@@ -187,6 +215,10 @@ class ChaosRunner:
             violations=violations,
             lin_failures=lin_failures,
             schedule=schedule,
+            rot_injected=int(cluster.metrics.counter("scrub.rot_injected").value),
+            shares_repaired=int(cluster.metrics.counter("scrub.repaired").value),
+            repair_bytes=int(cluster.metrics.counter("scrub.repair_bytes").value),
+            wal_discarded=sum(s.wal.discarded_total for s in cluster.servers),
         )
         trace_tail = (
             [str(r) for r in cluster.tracer.records[-400:]] if trace else []

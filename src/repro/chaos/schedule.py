@@ -11,9 +11,12 @@ the composition honest:
   slows exploration down without testing anything new);
 - one partition at a time (``Network.heal`` clears all cuts, so
   overlapping partitions would repair each other);
-- every fault is paired with its repair, and every repair lands inside
-  the fault window — the runner checks invariants *after* full heal,
-  when surviving state must be complete.
+- every *availability* fault (crash, torn-write, partition, slow disk)
+  is paired with its repair, and every repair lands inside the fault
+  window — the runner checks invariants *after* full heal, when
+  surviving state must be complete. Durable-integrity faults (bit-rot)
+  have no scheduled repair: the server's background scrubber is the
+  repair path, and the post-episode integrity probe checks it worked.
 """
 
 from __future__ import annotations
@@ -31,7 +34,9 @@ class ChaosEvent:
     """One scheduled fault (or repair)."""
 
     t: float
-    kind: str  # crash|recover|partition|heal|loss-burst|slow-disk|fix-disk
+    # crash|recover|partition|heal|loss-burst|slow-disk|fix-disk|
+    # torn-write|bit-rot|scrub
+    kind: str
     arg: Any = None
 
     def to_jsonable(self) -> dict:
@@ -54,6 +59,17 @@ class ScheduleSpec:
     slow_dur: tuple[float, float] = (1.0, 4.0)
     # Relative weights: crash, partition, loss burst, slow disk.
     weights: tuple[float, float, float, float] = (3.0, 3.0, 2.0, 2.0)
+    # Storage faults. A torn write is a crash whose in-flight WAL batch
+    # persists only up to a random byte fraction; bit-rot silently
+    # corrupts one stored coded share; scrub forces an immediate
+    # verification pass on one server. ``rot_gap`` spaces bit-rot
+    # events out so each has a scrub window before the next lands
+    # (piling rot onto one instance faster than repair can run would
+    # make episodes unrecoverable by construction, testing nothing).
+    torn_frac: tuple[float, float] = (0.1, 0.9)
+    rot_gap: float = 2.5
+    # Relative weights: torn-write, bit-rot, scrub. Zero disables.
+    storage_weights: tuple[float, float, float] = (1.5, 1.5, 1.0)
 
     @property
     def end(self) -> float:
@@ -72,6 +88,7 @@ def generate_schedule(
     slow_until: dict[str, float] = {}
     partition_until = 0.0
     burst_until = 0.0
+    last_rot = -spec.rot_gap
     t = spec.warmup
 
     def dur(lo_hi: tuple[float, float], at: float) -> float:
@@ -94,6 +111,13 @@ def generate_schedule(
         healthy_disks = [s for s in up if slow_until.get(s, 0.0) <= t]
         if healthy_disks:
             choices.append(("slow-disk", spec.weights[3]))
+        if len(servers) - len(up) < max_crashed and up:
+            choices.append(("torn-write", spec.storage_weights[0]))
+        if up and t - last_rot >= spec.rot_gap:
+            choices.append(("bit-rot", spec.storage_weights[1]))
+        if up:
+            choices.append(("scrub", spec.storage_weights[2]))
+        choices = [(k, w) for k, w in choices if w > 0]
         if not choices:
             continue
         total = sum(w for _, w in choices)
@@ -126,6 +150,23 @@ def generate_schedule(
             loss = float(rng.uniform(*spec.burst_loss))
             dup = float(rng.uniform(*spec.burst_dup))
             events.append(ChaosEvent(t, "loss-burst", (d, loss, dup)))
+        elif kind == "torn-write":
+            # A crash landing mid-flush: the in-flight WAL batch tears
+            # at a random byte fraction. Pairs with a recover like a
+            # plain crash, and counts against max_crashed.
+            host = up[int(rng.integers(len(up)))]
+            d = dur(spec.crash_dur, t)
+            crashed_until[host] = t + d
+            frac = float(rng.uniform(*spec.torn_frac))
+            events.append(ChaosEvent(t, "torn-write", (host, frac)))
+            events.append(ChaosEvent(t + d, "recover", host))
+        elif kind == "bit-rot":
+            host = up[int(rng.integers(len(up)))]
+            last_rot = t
+            events.append(ChaosEvent(t, "bit-rot", host))
+        elif kind == "scrub":
+            host = up[int(rng.integers(len(up)))]
+            events.append(ChaosEvent(t, "scrub", host))
         else:  # slow-disk
             host = healthy_disks[int(rng.integers(len(healthy_disks)))]
             d = dur(spec.slow_dur, t)
@@ -153,7 +194,7 @@ def arm_schedule(faults: FaultSchedule, events: list[ChaosEvent]) -> None:
         elif ev.kind == "loss-burst":
             d, loss, dup = ev.arg
             faults.loss_burst_at(ev.t, d, loss, dup)
-        elif ev.kind in ("slow-disk", "fix-disk"):
+        elif ev.kind in ("slow-disk", "fix-disk", "torn-write", "bit-rot", "scrub"):
             faults.custom_at(ev.t, ev.kind, ev.arg)
         else:
             raise ValueError(f"unknown chaos event kind {ev.kind!r}")

@@ -16,6 +16,7 @@ from .invariants import (
     check_cluster,
     check_config_safety,
     check_decodability,
+    check_durable_integrity,
     check_unique_choice,
 )
 from .linearize import LinResult, check_history, check_key
@@ -28,6 +29,7 @@ __all__ = [
     "check_cluster",
     "check_config_safety",
     "check_decodability",
+    "check_durable_integrity",
     "check_history",
     "check_key",
     "check_unique_choice",

@@ -29,7 +29,7 @@ from ..kvstore.messages import Command
 class Violation:
     """One invariant breach."""
 
-    kind: str     # "config" | "unique-choice" | "decodability"
+    kind: str     # "config" | "unique-choice" | "decodability" | "durable-integrity"
     detail: str
 
     def to_jsonable(self) -> dict:
@@ -130,6 +130,8 @@ def _decodable(up, group: int, instance: int, value_id: str) -> bool:
         for share in candidates:
             if share.value_id != value_id:
                 continue
+            if getattr(share, "corrupt", False):
+                continue  # rotten bytes cannot feed the decoder
             if config is None:
                 config = share.config
             elif share.config != config:
@@ -138,10 +140,39 @@ def _decodable(up, group: int, instance: int, value_id: str) -> bool:
     return config is not None and len(shares) >= config.x
 
 
+def check_durable_integrity(servers) -> list[Violation]:
+    """Every surviving replica's durable state passes checksum
+    verification.
+
+    Run after heal + settle: the background scrubber has had time to
+    repair every bit-rotted share (from peers via RS decode) or
+    quarantine votes for provably losing proposals. A record still
+    checksum-invalid at this point means the repair pipeline failed —
+    either the scrubber never picked it up or the cluster could not
+    supply enough clean shares for a value that must be recoverable.
+    Torn records cannot appear here: recovery truncates them before
+    the server rejoins.
+    """
+    violations = []
+    for srv in servers:
+        if not srv.up:
+            continue
+        bad = srv.wal.verify()
+        for rec in bad:
+            state = "torn" if rec.torn else "checksum-invalid"
+            violations.append(Violation(
+                "durable-integrity",
+                f"{srv.name} wal lsn={rec.lsn} is {state} after settle "
+                f"(payload {rec.payload!r:.120})",
+            ))
+    return violations
+
+
 def check_cluster(servers, config) -> list[Violation]:
     """All replicated-state probes in one sweep."""
     return (
         check_config_safety(config)
         + check_unique_choice(servers)
         + check_decodability(servers)
+        + check_durable_integrity(servers)
     )

@@ -174,7 +174,14 @@ class PaxosNode:
         self.apply_cursor = 0
 
     def recover(self) -> None:
-        """Rebuild acceptor state from the durable WAL (§4.5)."""
+        """Rebuild acceptor state from the durable WAL (§4.5).
+
+        Accept records whose payload checksum fails (bit-rot survived
+        on media) are still replayed — the vote happened and must be
+        remembered — but their share is installed flagged corrupt, so
+        it is never served to peers or fed to the decoder until the
+        scrubber repairs it.
+        """
         self._down = False
         for rec in self.wal.recover():
             kind = rec.payload[0]
@@ -184,6 +191,8 @@ class PaxosNode:
                 self._max_ballot_seen = max(self._max_ballot_seen, ballot)
             elif kind == "accept":
                 _, instance, ballot, share = rec.payload
+                if not rec.valid and not share.corrupt:
+                    share = share.corrupted()
                 st = self.acceptor.state.instances.get(instance)
                 if st is None:
                     st = AcceptorInstance()

@@ -73,8 +73,10 @@ def scan_instance(
         try:
             value = decode_value(shares)
         except NotEnoughShares:
-            unrecoverable.append(value_id)
-            continue
+            value = _reconstruct_despite_rot(shares)
+            if value is None:
+                unrecoverable.append(value_id)
+                continue
         return ScanResult(
             Candidate(
                 value=value,
@@ -84,6 +86,31 @@ def scan_instance(
             tuple(unrecoverable),
         )
     return ScanResult(None, tuple(unrecoverable))
+
+
+def _reconstruct_despite_rot(shares: list[CodedShare]) -> Value | None:
+    """Modeled-mode fallback when bit-rot leaves < X *clean* shares.
+
+    Safety demands the scan treat a possibly-chosen value as
+    recoverable whenever >= X acceptors *voted* for it — corrupt or
+    not — because with QW > X the value may already be chosen, and
+    proposing a free-choice noop over it would violate agreement. A
+    corrupt share's vote metadata (value id, size, uncoded meta) is
+    intact; only its coded payload rotted, and the scrubber repairs
+    payloads out of band. In modeled mode no payload bytes exist
+    anyway, so the value can be rebuilt from metadata alone. In
+    concrete mode (real bytes) this fallback cannot conjure the
+    payload and returns None — the instance is genuinely unreadable
+    until scrub repair restores clean shares.
+    """
+    distinct = {s.index for s in shares}
+    config = shares[0].config
+    if len(distinct) < config.x:
+        return None  # not enough votes even counting rotten shares
+    if any(s.data is not None for s in shares):
+        return None  # concrete mode: rotten bytes cannot be decoded
+    ref = shares[0]
+    return Value(ref.value_id, ref.value_size, None, ref.meta)
 
 
 def scan_promises(

@@ -74,6 +74,13 @@ class CodedShare:
     were fanned out to — share ``index`` went to ``members[index]`` —
     so a later re-code for a specific replica lands on the right index
     even after view changes renumbered ranks.
+
+    ``corrupt`` marks a share whose stored coded bytes failed checksum
+    verification (bit-rot detected by WAL recovery or the scrubber).
+    The *metadata* of a corrupt share is still trustworthy — headers
+    and uncoded meta are checksummed separately and small — but its
+    coded payload must not feed the decoder, so :func:`decode_value`
+    excludes corrupt shares from the ≥X distinct-index count.
     """
 
     value_id: str
@@ -83,11 +90,27 @@ class CodedShare:
     data: bytes | None = None
     meta: Any = None
     members: tuple[int, ...] | None = None
+    corrupt: bool = False
 
     @property
     def size(self) -> int:
         """Modeled share size in bytes."""
         return self.config.share_size(self.value_size)
+
+    def corrupted(self) -> "CodedShare":
+        """This share with its coded payload marked rotten."""
+        return CodedShare(
+            self.value_id, self.index, self.config, self.value_size,
+            self.data, self.meta, self.members, corrupt=True,
+        )
+
+    def repaired(self, data: bytes | None = None) -> "CodedShare":
+        """A checksum-clean replacement for this share (scrub repair)."""
+        return CodedShare(
+            self.value_id, self.index, self.config, self.value_size,
+            data if data is not None else self.data,
+            self.meta, self.members, corrupt=False,
+        )
 
 
 def encode_value(
@@ -135,10 +158,15 @@ def encode_one_share(
 def decode_value(shares: list[CodedShare]) -> Value:
     """Reconstruct a :class:`Value` from >= X distinct coded shares.
 
+    Shares flagged ``corrupt`` (failed checksum verification) never
+    feed the decoder and do not count toward the X distinct indices —
+    decoding with rotten bytes would silently reconstruct garbage,
+    which is strictly worse than failing.
+
     Raises
     ------
     repro.erasure.NotEnoughShares
-        If fewer than X distinct indices are present — the exact
+        If fewer than X distinct clean indices are present — the exact
         failure the naive combination of §2.3 cannot avoid.
     """
     if not shares:
@@ -147,18 +175,21 @@ def decode_value(shares: list[CodedShare]) -> Value:
     value_id = shares[0].value_id
     if any(s.value_id != value_id for s in shares):
         raise ValueError("shares of different values cannot be combined")
-    distinct = {s.index for s in shares}
+    clean = [s for s in shares if not s.corrupt]
+    distinct = {s.index for s in clean}
     if len(distinct) < config.x:
         raise NotEnoughShares(
-            f"value {value_id}: need {config.x} distinct shares, "
+            f"value {value_id}: need {config.x} distinct clean shares, "
             f"have {len(distinct)}"
+            + (f" ({len(shares) - len(clean)} corrupt excluded)"
+               if len(shares) > len(clean) else "")
         )
-    size = shares[0].value_size
-    meta = shares[0].meta
-    if all(s.data is not None for s in shares):
+    size = clean[0].value_size
+    meta = clean[0].meta
+    if all(s.data is not None for s in clean):
         raw = [
             Share(s.index, config, s.value_size, s.data)  # type: ignore[arg-type]
-            for s in shares
+            for s in clean
         ]
         data = codec_for(config).decode(raw)
         return Value(value_id, size, data, meta)

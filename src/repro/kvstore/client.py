@@ -51,11 +51,14 @@ class KVClient:
         timeout: float = 1.0,
         max_attempts: int = 30,
         retry_backoff: float = 0.05,
+        max_backoff: float = 1.0,
         metrics: MetricSet | None = None,
         endpoint: RpcEndpoint | None = None,
     ):
         if not servers:
             raise ValueError("need at least one server")
+        if max_backoff < retry_backoff:
+            raise ValueError("max_backoff must be >= retry_backoff")
         self.sim = sim
         self.net = net
         self.name = name
@@ -63,6 +66,7 @@ class KVClient:
         self.timeout = timeout
         self.max_attempts = max_attempts
         self.retry_backoff = retry_backoff
+        self.max_backoff = max_backoff
         self.metrics = metrics or MetricSet()
         self.endpoint = endpoint or RpcEndpoint(sim, net, name)
         self.leader_cache: str | None = servers[0]
@@ -70,6 +74,21 @@ class KVClient:
         self.ops_failed = 0
         self.history = None  # optional invocation/response recorder
         self._op_ids = itertools.count(1)
+        # Deterministic per-client jitter stream: same (seed, client
+        # name) => same retry timing, so chaos episodes replay exactly.
+        self._backoff_rng = sim.rng.stream(f"kvclient.{name}.backoff")
+
+    def _retry_delay(self, retry: int) -> float:
+        """Capped exponential backoff with decorrelating jitter.
+
+        ``retry`` counts consecutive retries of one operation. The
+        delay is uniform in [cap/2, cap) where cap doubles per retry up
+        to ``max_backoff`` — after a leader crash, clients that all
+        failed at the same instant spread out instead of hammering the
+        new leader in lockstep.
+        """
+        cap = min(self.max_backoff, self.retry_backoff * (2 ** retry))
+        return cap / 2 + self._backoff_rng.random() * cap / 2
 
     # -- public API -------------------------------------------------------
 
@@ -116,7 +135,7 @@ class KVClient:
         raw_cb: bool = False, fixed_target: str | None = None,
     ) -> None:
         start = self.sim.now
-        attempts = {"left": self.max_attempts}
+        attempts = {"left": self.max_attempts, "retries": 0}
         rotation = itertools.cycle(self.servers)
         hid = None
         if self.history is not None:
@@ -161,12 +180,30 @@ class KVClient:
                         self.leader_cache = target
                     finish(False, reply)
                 elif isinstance(reply, Redirect):
-                    self.leader_cache = reply.leader_hint
-                    self.sim.call_after(self.retry_backoff, attempt)
+                    if reply.leader_hint is not None:
+                        # A concrete hint is fresh information: retry it
+                        # promptly without growing the backoff window.
+                        self.leader_cache = reply.leader_hint
+                        self.sim.call_after(self._retry_delay(0), attempt)
+                    else:
+                        self.leader_cache = None
+                        attempts["retries"] += 1
+                        self.sim.call_after(
+                            self._retry_delay(attempts["retries"]), attempt
+                        )
                 elif isinstance(reply, NotReady):
-                    self.sim.call_after(self.retry_backoff * 2, attempt)
+                    # Leadership transition in progress: back off
+                    # exponentially so clients don't storm the new
+                    # leader in lockstep the moment it comes up.
+                    attempts["retries"] += 1
+                    self.sim.call_after(
+                        self._retry_delay(attempts["retries"]), attempt
+                    )
                 else:
-                    self.sim.call_after(self.retry_backoff, attempt)
+                    attempts["retries"] += 1
+                    self.sim.call_after(
+                        self._retry_delay(attempts["retries"]), attempt
+                    )
 
             def on_timeout() -> None:
                 # Server may be down: drop the cache and rotate.

@@ -71,9 +71,11 @@ def build_cluster(
     group_commit_window: float = 0.002,
     rpc_timeout: float = 0.25,
     client_timeout: float = 2.0,
+    client_max_backoff: float = 1.0,
     codec_bw: float = 2e9,
     initial_leader: int = 0,
     auto_reconfigure: bool = False,
+    scrub_interval: float = 0.0,
     trace: bool = False,
 ) -> Cluster:
     """Wire up a complete cluster.
@@ -111,6 +113,7 @@ def build_cluster(
             codec_bw=codec_bw,
             initial_leader=initial_leader,
             auto_reconfigure=auto_reconfigure,
+            scrub_interval=scrub_interval,
             tracer=tracer,
             metrics=metrics,
         )
@@ -119,7 +122,8 @@ def build_cluster(
     clients = [
         KVClient(
             sim, net, name, snames,
-            timeout=client_timeout, metrics=metrics,
+            timeout=client_timeout, max_backoff=client_max_backoff,
+            metrics=metrics,
         )
         for name in cnames
     ]

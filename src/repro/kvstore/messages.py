@@ -154,11 +154,20 @@ class HeartbeatAck:
 
 @dataclass(frozen=True, slots=True)
 class FetchShare:
-    """Recovery read (§4.4): ask a peer for its accepted coded share."""
+    """Ask a peer for its accepted coded share of an instance.
+
+    ``reason`` distinguishes recovery reads (§4.4, ``"read"``) from
+    scrub repair traffic (``"scrub"``) so the serving side can account
+    them separately; the reply semantics are identical. Peers never
+    serve checksum-corrupt shares — if their stored copy rotted but
+    they hold the full value, they answer with a fragment re-coded for
+    the requester instead.
+    """
 
     group: int
     instance: int
     value_id: str
+    reason: str = "read"
 
     @property
     def wire_bytes(self) -> int:

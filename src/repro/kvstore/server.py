@@ -18,12 +18,14 @@ from typing import Callable
 from ..core import (
     Ballot,
     ChosenRecord,
+    CodedShare,
     Lease,
     LeaseConfig,
     LocalClock,
     NULL_BALLOT,
     PaxosNode,
     Value,
+    encode_one_share,
     fresh_value_id,
 )
 from ..net import Network
@@ -75,6 +77,7 @@ class KVServer:
         codec_bw: float = 2e9,
         initial_leader: int = 0,
         auto_reconfigure: bool = False,
+        scrub_interval: float = 0.0,
         tracer: Tracer = NULL_TRACER,
         metrics: MetricSet | None = None,
     ):
@@ -150,6 +153,14 @@ class KVServer:
         self.consistent_reads = 0
         self.snapshot_reads = 0
 
+        # Background scrubber (disabled when scrub_interval == 0): each
+        # pass re-verifies WAL record checksums and repairs corrupt
+        # coded shares from peers via the RS decoder. ``_scrubbing``
+        # holds the LSNs of records with a repair already in flight.
+        self.scrub_interval = scrub_interval
+        self._scrub_timer = None
+        self._scrubbing: set[int] = set()
+
         # View / reconfiguration state (§4.6).
         self.view_epoch = 0
         self.member_ids: set[int] = set(peers)
@@ -182,6 +193,7 @@ class KVServer:
         if self.current_leader == self.node_id:
             self._start_election()
         self._arm_monitor()
+        self._arm_scrubber()
 
     def crash(self) -> None:
         """Fail-stop: volatile state gone, host unreachable."""
@@ -200,12 +212,16 @@ class KVServer:
         self._apply_waiters.clear()
         self._read_barrier = [-1] * len(self.groups)
         self._fetching.clear()
+        self._scrubbing.clear()
         if self._hb_timer is not None:
             self._hb_timer.cancel()
             self._hb_timer = None
         if self._monitor_timer is not None:
             self._monitor_timer.cancel()
             self._monitor_timer = None
+        if self._scrub_timer is not None:
+            self._scrub_timer.cancel()
+            self._scrub_timer = None
 
     def recover(self) -> None:
         """Restart from durable state and catch up from the leader (§4.5)."""
@@ -224,6 +240,7 @@ class KVServer:
         self.lease.invalidate()
         self.lease.renew()  # grace period before trying to elect
         self._arm_monitor()
+        self._arm_scrubber()
         self._request_catch_up()
 
     # ------------------------------------------------------------------
@@ -755,10 +772,279 @@ class KVServer:
             return
         node = self.groups[msg.group]
         share = node.acceptor.accepted_share(msg.instance)
-        if share is not None and share.value_id != msg.value_id:
+        if share is not None and (share.value_id != msg.value_id or share.corrupt):
+            # Never serve a checksum-corrupt share: decoding with
+            # rotten bytes reconstructs garbage silently.
             share = None
+        if share is None:
+            # Degraded-mode fallback: our stored fragment is gone or
+            # rotten, but if we hold the full value (leader, or decoded
+            # earlier) we can re-code the *requester's* fragment — one
+            # share of traffic instead of X, per Rashmi et al.'s repair
+            # cost argument.
+            src_id = next(
+                (nid for nid, host in self.peers.items() if host == src), None
+            )
+            rec = node.chosen.get(msg.instance)
+            if (
+                src_id is not None
+                and rec is not None
+                and rec.value_id == msg.value_id
+                and rec.value is not None
+            ):
+                share = node.recode_share_for(msg.instance, src_id)
+        if msg.reason == "scrub":
+            self.metrics.counter("scrub.fetches_served").inc(1)
         reply = ShareReply(share)
         respond(reply, reply.wire_bytes)
+
+    # ------------------------------------------------------------------
+    # background scrubber: detect and repair rotten coded shares
+    # ------------------------------------------------------------------
+
+    def _arm_scrubber(self) -> None:
+        if not self.up or self.scrub_interval <= 0:
+            return
+        # Stagger the first pass per server so the fleet's scrub IO
+        # does not synchronize.
+        delay = self.scrub_interval * (1.0 + 0.1 * self.node_id)
+        self._scrub_timer = self.sim.call_after(delay, self._scrub_tick)
+
+    def _scrub_tick(self) -> None:
+        if not self.up:
+            return
+        self.scrub_now()
+        self._scrub_timer = self.sim.call_after(
+            self.scrub_interval, self._scrub_tick
+        )
+
+    def inject_bit_rot(self, rng) -> bool:
+        """Silently rot one durably stored coded share on this server.
+
+        Picks a random durable accept record, invalidates its stored
+        checksum (the WAL bytes decayed in place), and mirrors the
+        damage into the in-memory acceptor/learner/store copies — they
+        are cached views of the same durable bytes. ``rng`` is a numpy
+        Generator (a named simulator substream, for determinism).
+        Returns False when the server holds no accept records to rot.
+        """
+        candidates = [
+            rec for rec in self.wal.durable
+            if rec.valid and rec.payload[1][0] == "accept"
+        ]
+        if not candidates:
+            return False
+        rec = candidates[int(rng.integers(len(candidates)))]
+        self.wal.corrupt_record(rec.lsn)
+        group = rec.payload[0]
+        _, instance, _, share = rec.payload[1]
+        self._mark_share_corrupt(group, instance, share.value_id)
+        self.metrics.counter("scrub.rot_injected").inc(1)
+        self.tracer.emit(
+            self.sim.now, "scrub",
+            f"{self.name} bit-rot g{group} inst={instance} lsn={rec.lsn}",
+        )
+        return True
+
+    def _mark_share_corrupt(self, group: int, instance: int, value_id: str) -> None:
+        """Flag every in-memory copy of a rotten stored share."""
+        node = self.groups[group]
+        st = node.acceptor.state.instances.get(instance)
+        if (
+            st is not None
+            and st.accepted_share is not None
+            and st.accepted_share.value_id == value_id
+            and not st.accepted_share.corrupt
+        ):
+            st.accepted_share = st.accepted_share.corrupted()
+        rec = node.chosen.get(instance)
+        if (
+            rec is not None
+            and rec.value_id == value_id
+            and rec.share is not None
+            and not rec.share.corrupt
+        ):
+            rec.share = rec.share.corrupted()
+            meta = rec.share.meta
+            if isinstance(meta, Command) and meta.op == "put":
+                entry = self.store.get(meta.key)
+                if (
+                    entry is not None
+                    and entry.version == instance
+                    and not entry.complete
+                    and isinstance(entry.value, CodedShare)
+                ):
+                    entry.value = rec.share
+
+    def scrub_now(self) -> None:
+        """One scrub pass: verify every durable record's checksum and
+        start a repair for each corrupt coded share found."""
+        if not self.up:
+            return
+        self.metrics.counter("scrub.passes").inc(1)
+        for rec in self.wal.verify():
+            if rec.lsn in self._scrubbing:
+                continue
+            group, inner = rec.payload
+            if inner[0] != "accept":
+                continue  # promise records carry no repairable payload
+            _, instance, ballot, share = inner
+            self._scrubbing.add(rec.lsn)
+            self.metrics.counter("scrub.corrupt_found").inc(1)
+            # The in-memory mirrors must agree before repair fetches
+            # start, or we might serve the rotten copy meanwhile.
+            self._mark_share_corrupt(group, instance, share.value_id)
+            self._repair_share(group, rec.lsn, instance, ballot, share)
+
+    def _repair_share(
+        self, group: int, lsn: int, instance: int, ballot, share
+    ) -> None:
+        """Reconstruct a checksum-valid replacement for a rotten share.
+
+        Cheapest path first: a locally held full value re-encodes the
+        fragment with zero network traffic. Otherwise gather clean
+        shares (or a peer-re-coded fragment for our index) via
+        FetchShare and RS-decode; all fetched share bytes are counted
+        as repair traffic. If the cluster cannot currently supply
+        enough clean shares the repair is deferred — the record stays
+        corrupt and the next scrub pass retries.
+        """
+        node = self.groups[group]
+        value_id = share.value_id
+        coding = share.config
+        my_index = share.index
+        rec = node.chosen.get(instance)
+        if rec is not None and rec.value_id != value_id:
+            # Rotten vote for a *losing* proposal: the instance decided
+            # a different value, so this share can never be needed by
+            # any future scan (a later proposal of value_id would
+            # contradict the decision). Its bytes may be globally
+            # unreconstructible — quarantine instead: rewrite the
+            # record checksum-valid with the share durably flagged
+            # corrupt, preserving the vote metadata.
+            quarantined = share.corrupted()
+            self.wal.rewrite_record(
+                lsn, (group, ("accept", instance, ballot, quarantined)),
+                quarantined.size,
+            )
+            self._scrubbing.discard(lsn)
+            self.metrics.counter("scrub.quarantined").inc(1)
+            return
+        if rec is not None and rec.value_id == value_id and rec.value is not None:
+            fixed = encode_one_share(rec.value, coding, my_index, share.members)
+            self._install_repaired(group, lsn, instance, ballot, fixed, 0)
+            return
+
+        gathered: dict[int, CodedShare] = {}
+        state = {"done": False, "bytes": 0, "outstanding": 0}
+
+        def finish(fixed: CodedShare) -> None:
+            state["done"] = True
+            self._install_repaired(
+                group, lsn, instance, ballot, fixed, state["bytes"]
+            )
+
+        def on_reply(reply) -> None:
+            state["outstanding"] -= 1
+            if state["done"] or not self.up:
+                return
+            s = reply.share if isinstance(reply, ShareReply) else None
+            if (
+                s is None or s.corrupt or s.value_id != value_id
+                or s.config != coding
+            ):
+                maybe_defer()
+                return
+            state["bytes"] += s.size
+            if s.index == my_index:
+                # A peer re-coded our exact fragment: install directly.
+                finish(s)
+                return
+            gathered[s.index] = s
+            if len(gathered) >= coding.x:
+                value = node.decode_from_shares(list(gathered.values()))
+                finish(
+                    encode_one_share(value, coding, my_index, share.members)
+                )
+                return
+            maybe_defer()
+
+        def on_timeout() -> None:
+            state["outstanding"] -= 1
+            maybe_defer()
+
+        def maybe_defer() -> None:
+            if state["done"] or state["outstanding"] > 0:
+                return
+            # Every peer answered (or timed out) and the fragment is
+            # still unrecoverable — too many rotten/missing copies
+            # right now. Leave the record corrupt; a later pass
+            # retries once peers recover or repair their own copies.
+            self._scrubbing.discard(lsn)
+            self.metrics.counter("scrub.deferred").inc(1)
+
+        req = FetchShare(
+            group=group, instance=instance, value_id=value_id, reason="scrub"
+        )
+        for nid, host in self.peers.items():
+            if nid == self.node_id:
+                continue
+            state["outstanding"] += 1
+            self.endpoint.request(
+                host, req, req.wire_bytes, on_reply=on_reply,
+                timeout=0.5, retries=2, on_timeout=on_timeout,
+            )
+        if state["outstanding"] == 0:
+            maybe_defer()
+
+    def _install_repaired(
+        self,
+        group: int,
+        lsn: int,
+        instance: int,
+        ballot,
+        fixed: CodedShare,
+        repair_bytes: int,
+    ) -> None:
+        """Write the reconstructed share back: WAL record rewritten in
+        place (checksum recomputed, one device write), in-memory
+        acceptor/learner/store copies replaced with the clean share."""
+        if not self.up:
+            self._scrubbing.discard(lsn)
+            return
+        node = self.groups[group]
+        self.wal.rewrite_record(
+            lsn, (group, ("accept", instance, ballot, fixed)), fixed.size,
+        )
+        st = node.acceptor.state.instances.get(instance)
+        if (
+            st is not None
+            and st.accepted_share is not None
+            and st.accepted_share.value_id == fixed.value_id
+        ):
+            st.accepted_share = fixed
+        rec = node.chosen.get(instance)
+        if rec is not None and rec.value_id == fixed.value_id:
+            if rec.share is None or rec.share.corrupt:
+                rec.share = fixed
+            meta = fixed.meta
+            if isinstance(meta, Command) and meta.op == "put":
+                entry = self.store.get(meta.key)
+                if (
+                    entry is not None
+                    and entry.version == instance
+                    and not entry.complete
+                ):
+                    entry.value = fixed
+                    entry.size = fixed.size
+        self._scrubbing.discard(lsn)
+        self.metrics.counter("scrub.repaired").inc(1)
+        self.metrics.counter("scrub.repair_bytes").inc(repair_bytes)
+        self.tracer.emit(
+            self.sim.now, "scrub",
+            f"{self.name} repaired g{group} inst={instance} lsn={lsn} "
+            f"({repair_bytes}B fetched)",
+        )
 
     # ------------------------------------------------------------------
     # view change (§4.6 / §6.1)

@@ -5,14 +5,21 @@ Public API:
 - :class:`DiskSpec`, :class:`Disk` and the :data:`HDD` / :data:`SSD`
   presets matching the paper's two EBS volume classes (§6.1).
 - :class:`WriteAheadLog`, :class:`WalRecord` — durable log with group
-  commit; the acceptor's persistence substrate.
+  commit, per-record CRC32 checksums and torn-tail recovery; the
+  acceptor's persistence substrate.
 - :class:`LocalStore`, :class:`StoredValue` — the per-replica local KV
   map (LevelDB stand-in) with incomplete-value tags (§4.4).
 """
 
 from .disk import HDD, SSD, Disk, DiskSpec
 from .memkv import LocalStore, StoredValue
-from .wal import RECORD_HEADER_BYTES, WalRecord, WalView, WriteAheadLog
+from .wal import (
+    RECORD_HEADER_BYTES,
+    WalRecord,
+    WalView,
+    WriteAheadLog,
+    record_checksum,
+)
 
 __all__ = [
     "Disk",
@@ -25,4 +32,5 @@ __all__ = [
     "WalRecord",
     "WalView",
     "WriteAheadLog",
+    "record_checksum",
 ]

@@ -35,15 +35,23 @@ class DiskSpec:
         Sequential transfer rate in **bytes**/second.
     name:
         Label used in reports (``hdd`` / ``ssd``).
+    eio_rate:
+        Probability that any given write fails with a transient device
+        error (EIO) after consuming its service time. 0 = fault-free.
+        Callers that pass ``on_error`` see the failure; the write is
+        not retried by the device itself.
     """
 
     iops: float
     bandwidth_bps: float
     name: str = "disk"
+    eio_rate: float = 0.0
 
     def __post_init__(self) -> None:
         if self.iops <= 0 or self.bandwidth_bps <= 0:
             raise ValueError("iops and bandwidth must be positive")
+        if not 0.0 <= self.eio_rate < 1.0:
+            raise ValueError("eio_rate must be in [0, 1)")
 
     def op_time(self, nbytes: int) -> float:
         """Service time for one flush of ``nbytes``."""
@@ -77,22 +85,56 @@ class Disk:
         self.bytes_written = 0
         self.bytes_read = 0
         self.flushes = 0
+        self.write_errors = 0
         # Fault-injection knob: every operation's service time is
         # multiplied by this factor (a "slow disk" / degraded-volume
         # episode). 1.0 = healthy; must stay finite so queued work
         # eventually drains.
         self.slowdown = 1.0
+        # One-shot fault-injection counter: the next N writes fail with
+        # a transient EIO (deterministic, for tests and chaos).
+        self._eio_pending = 0
 
     def _service_time(self, nbytes: int) -> float:
         if self.slowdown < 1.0:
             raise ValueError("disk slowdown factor must be >= 1")
         return self.spec.op_time(nbytes) * self.slowdown
 
-    def write(self, nbytes: int, callback: Callable[[], None]) -> float:
+    def inject_write_errors(self, n: int = 1) -> None:
+        """Make the next ``n`` writes fail with a transient EIO."""
+        self._eio_pending += n
+
+    def _next_write_fails(self) -> bool:
+        if self._eio_pending > 0:
+            self._eio_pending -= 1
+            return True
+        if self.spec.eio_rate > 0.0:
+            rng = self.sim.rng.stream(f"disk.{self.name}.eio")
+            return rng.random() < self.spec.eio_rate
+        return False
+
+    def write(
+        self,
+        nbytes: int,
+        callback: Callable[[], None],
+        on_error: Callable[[], None] | None = None,
+    ) -> float:
         """Queue a durable write; ``callback`` fires when it is on media.
+
+        A write that hits a transient device error (EIO — injected via
+        :meth:`inject_write_errors` or ``spec.eio_rate``) still occupies
+        the device for its full service time, but nothing reaches media:
+        ``on_error`` fires instead of ``callback`` and the bytes are not
+        counted as written. Without an ``on_error`` the failure is
+        silently dropped (legacy callers are fault-free).
 
         Returns the completion time.
         """
+        if self._next_write_fails():
+            self.write_errors += 1
+            return self._queue.submit(
+                self._service_time(nbytes), on_error or (lambda: None)
+            )
         self.bytes_written += nbytes
         self.flushes += 1
         return self._queue.submit(self._service_time(nbytes), callback)

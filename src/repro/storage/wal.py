@@ -1,4 +1,5 @@
-"""Write-ahead log with group commit.
+"""Write-ahead log with group commit, record checksums and torn-tail
+recovery.
 
 Acceptors must persist their promised/accepted state before replying
 (§4.5: "it needs to log all these decisions into disks before sending
@@ -12,28 +13,82 @@ Durability model: a record is durable exactly when its flush completes;
 on crash, non-durable records are lost and durable ones survive (they
 are what ``KVServer.recover`` in :mod:`repro.kvstore.server` replays —
 via :meth:`repro.core.PaxosNode.recover` — to rebuild promised/accepted
-state before the server rejoins, per §4.5).
+state before the server rejoins, per §4.5). Two storage faults refine
+that clean picture:
+
+- **Torn write**: a crash that lands mid-flush may persist a *prefix*
+  of the in-flight batch — whole records up to some byte offset, plus
+  one record truncated at the offset. Recovery scans forward, verifies
+  each record's checksum, and truncates the log at the first torn
+  record (framing past a partial write cannot be trusted), reporting
+  how many records were discarded.
+- **Bit-rot**: a durable record's payload silently decays in place.
+  The record header (length, LSN, type — with its own header CRC) stays
+  readable, so recovery *keeps* the record with its payload marked
+  corrupt instead of truncating: for an accept record that means the
+  acceptor still knows it voted, and for which value, but the coded
+  share bytes are garbage until the scrubber repairs them from peers
+  (see ``KVServer._scrub_pass``).
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Any, Callable
 
 from ..sim import Event, Simulator
 from .disk import Disk
 
-#: Fixed on-disk overhead per WAL record (length, checksum, ids).
-RECORD_HEADER_BYTES = 32
+# On-disk record frame. Every record is laid out as
+#
+#   | length (8) | lsn (8) | type/flags (4) | payload CRC32 (4) | payload |
+#
+# ``length`` frames the scan (how far to the next record), ``lsn``
+# orders and de-duplicates records, the type/flags word distinguishes
+# record kinds and repair tombstones, and the CRC32 covers the payload
+# so recovery and the scrubber can detect torn or rotten records. The
+# header itself carries a separate CRC folded into the type/flags word.
+LENGTH_BYTES = 8
+LSN_BYTES = 8
+TYPE_BYTES = 4
+CRC_BYTES = 4
+
+#: Fixed on-disk overhead per WAL record; matches the frame above and
+#: is exactly what the disk cost model charges per record.
+RECORD_HEADER_BYTES = LENGTH_BYTES + LSN_BYTES + TYPE_BYTES + CRC_BYTES
+
+
+def record_checksum(lsn: int, payload: Any) -> int:
+    """CRC32 over a record's canonical serialization.
+
+    The simulator never materializes real on-disk bytes, so the CRC is
+    computed over the deterministic ``repr`` of ``(lsn, payload)`` —
+    any in-place mutation of the payload (bit-rot injection) makes the
+    stored CRC stale exactly like flipped payload bits would.
+    """
+    return zlib.crc32(repr((lsn, payload)).encode("utf-8", "backslashreplace"))
 
 
 @dataclass(slots=True)
 class WalRecord:
-    """One durable log record."""
+    """One durable log record.
+
+    ``crc`` is the payload checksum as written; ``torn`` marks a record
+    whose tail was cut off by a mid-flush crash (its framing — and
+    everything after it — is unreadable).
+    """
 
     lsn: int
     payload: Any
     size: int
+    crc: int = 0
+    torn: bool = False
+
+    @property
+    def valid(self) -> bool:
+        """True when the stored CRC matches the payload read back."""
+        return not self.torn and self.crc == record_checksum(self.lsn, self.payload)
 
 
 @dataclass
@@ -50,6 +105,10 @@ class WriteAheadLog:
     group_commit_window:
         Seconds to hold appends before flushing them together. ``0``
         flushes every append individually (one device op each).
+    eio_retry:
+        Delay before re-submitting a flush that failed with a transient
+        device error (EIO). The batch is never dropped — callbacks fire
+        only once the records are actually on media.
     """
 
     def __init__(
@@ -58,19 +117,30 @@ class WriteAheadLog:
         disk: Disk,
         group_commit_window: float = 0.0,
         name: str = "wal",
+        eio_retry: float = 0.005,
     ):
         self.sim = sim
         self.disk = disk
         self.group_commit_window = group_commit_window
         self.name = name
+        self.eio_retry = eio_retry
         self._next_lsn = 0
         self._pending: list[_PendingAppend] = []
         self._flush_timer: Event | None = None
         self._flushing = False  # at most one flush in flight
+        self._inflight_batch: list[_PendingAppend] | None = None
         self._epoch = 0  # bumped on crash; orphans in-flight flushes
+        self._torn_frac: float | None = None
         self.durable: list[WalRecord] = []
         self.flushes = 0
+        self.flush_errors = 0
         self.bytes_appended = 0
+        # Set by the last recover(): records dropped by the torn-tail
+        # truncation, and checksum-failed records carried forward for
+        # the scrubber. ``discarded_total`` accumulates across crashes.
+        self.recovery_discarded = 0
+        self.recovery_corrupt = 0
+        self.discarded_total = 0
 
     def append(self, payload: Any, size: int, callback: Callable[[], None]) -> int:
         """Append a record; ``callback`` fires once it is durable.
@@ -88,6 +158,7 @@ class WriteAheadLog:
         if size < 0:
             raise ValueError("negative record size")
         rec = WalRecord(self._next_lsn, payload, size)
+        rec.crc = record_checksum(rec.lsn, payload)
         self._next_lsn += 1
         self.bytes_appended += size
         self._pending.append(_PendingAppend(rec, callback))
@@ -116,6 +187,7 @@ class WriteAheadLog:
         nbytes = sum(p.record.size + RECORD_HEADER_BYTES for p in batch)
         self.flushes += 1
         self._flushing = True
+        self._inflight_batch = batch
         epoch = self._epoch
 
         def on_durable() -> None:
@@ -125,25 +197,91 @@ class WriteAheadLog:
             if epoch != self._epoch:
                 return
             self._flushing = False
+            self._inflight_batch = None
             for p in batch:
                 self.durable.append(p.record)
                 p.callback()
             self._maybe_schedule()
 
-        self.disk.write(nbytes, on_durable)
+        def on_error() -> None:
+            # Transient EIO: the records never reached media. Put the
+            # batch back at the head of the queue (order preserved) and
+            # retry shortly; durability callbacks stay pending.
+            if epoch != self._epoch:
+                return
+            self._flushing = False
+            self._inflight_batch = None
+            self.flush_errors += 1
+            self._pending[0:0] = batch
+            self.sim.call_after(self.eio_retry, self._flush)
+
+        self.disk.write(nbytes, on_durable, on_error=on_error)
 
     def flush_now(self) -> None:
         """Force any held appends toward the device immediately."""
         self._flush()
 
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+
+    def arm_torn_write(self, frac: float) -> None:
+        """The next crash that lands mid-flush tears the in-flight batch
+        at byte offset ``frac * batch_bytes`` instead of losing it
+        atomically: records wholly below the cut are durable, the record
+        straddling it survives truncated (checksum-invalid)."""
+        self._torn_frac = min(max(frac, 0.0), 1.0)
+
+    def corrupt_record(self, lsn: int, payload: Any | None = None) -> bool:
+        """Silent bit-rot on the durable record ``lsn``.
+
+        Replaces the stored payload in place (``payload``, or leaves it
+        as-is and only the decayed-bytes marker applies) without
+        updating the stored CRC — exactly what flipped media bits do.
+        Returns False if no such durable record exists.
+        """
+        for rec in self.durable:
+            if rec.lsn == lsn:
+                if payload is not None:
+                    rec.payload = payload
+                else:
+                    rec.crc ^= 0x5BD1E995  # flip stored checksum bits
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # crash / recovery / integrity
+    # ------------------------------------------------------------------
+
     def crash(self) -> None:
         """Drop volatile (not-yet-durable) appends; keep durable records.
+
+        If a torn write is armed and a flush is in flight, the prefix of
+        the batch below the tear offset persists (the straddling record
+        truncated); no durability callback ever fires for them — the
+        host died before acknowledging.
 
         The containing server is expected to also stop issuing new
         appends; LSNs of lost records are never reused because the
         counter itself is reconstructed from the durable tail on
         recovery (see :meth:`recover`).
         """
+        if self._torn_frac is not None and self._inflight_batch:
+            batch = self._inflight_batch
+            cut = self._torn_frac * sum(
+                p.record.size + RECORD_HEADER_BYTES for p in batch
+            )
+            pos = 0.0
+            for p in batch:
+                end = pos + p.record.size + RECORD_HEADER_BYTES
+                if end <= cut:
+                    self.durable.append(p.record)  # fully on media
+                elif pos < cut:
+                    p.record.torn = True
+                    self.durable.append(p.record)  # truncated mid-record
+                pos = end
+        self._torn_frac = None
+        self._inflight_batch = None
         self._pending.clear()
         self._epoch += 1
         self._flushing = False
@@ -152,11 +290,67 @@ class WriteAheadLog:
             self._flush_timer = None
 
     def recover(self) -> list[WalRecord]:
-        """Return the durable records, resetting the LSN cursor after
-        the last durable entry (lost LSNs are simply skipped)."""
-        if self.durable:
-            self._next_lsn = self.durable[-1].lsn + 1
-        return list(self.durable)
+        """Scan the durable log, verify checksums, truncate the torn
+        tail, and return the surviving records.
+
+        A *torn* record ends the readable log: it and everything after
+        it are discarded (``recovery_discarded``). A checksum-failed but
+        structurally framed record (bit-rot) is kept and counted in
+        ``recovery_corrupt`` — its protocol header survives, so the
+        acceptor can still identify (and later repair) the damaged
+        share. Recovery is idempotent: a second scan of the truncated
+        log discards nothing further.
+
+        Resets the LSN cursor after the last surviving entry (lost LSNs
+        are simply skipped).
+        """
+        survivors: list[WalRecord] = []
+        discarded = 0
+        corrupt = 0
+        for i, rec in enumerate(self.durable):
+            if rec.torn:
+                discarded = len(self.durable) - i
+                break
+            if not rec.valid:
+                corrupt += 1
+            survivors.append(rec)
+        self.durable = survivors
+        self.recovery_discarded = discarded
+        self.recovery_corrupt = corrupt
+        self.discarded_total += discarded
+        if survivors:
+            self._next_lsn = survivors[-1].lsn + 1
+        return list(survivors)
+
+    def verify(self) -> list[WalRecord]:
+        """The durable records whose stored checksum no longer matches
+        their payload — the scrubber's work list."""
+        return [rec for rec in self.durable if not rec.valid]
+
+    def rewrite_record(
+        self,
+        lsn: int,
+        payload: Any,
+        size: int,
+        callback: Callable[[], None] | None = None,
+    ) -> bool:
+        """In-place sector rewrite of record ``lsn`` (scrub repair).
+
+        Replaces the payload, recomputes the checksum, and charges one
+        device write for the record. Returns False if ``lsn`` is not
+        durable.
+        """
+        for rec in self.durable:
+            if rec.lsn == lsn:
+                rec.payload = payload
+                rec.size = size
+                rec.crc = record_checksum(lsn, payload)
+                rec.torn = False
+                self.disk.write(
+                    size + RECORD_HEADER_BYTES, callback or (lambda: None)
+                )
+                return True
+        return False
 
     def __len__(self) -> int:
         return len(self.durable)
@@ -189,9 +383,22 @@ class WalView:
         self._wal.crash()
 
     def recover(self) -> list[WalRecord]:
-        """Durable records of this view only, payloads untagged."""
-        return [
-            WalRecord(rec.lsn, rec.payload[1], rec.size)
-            for rec in self._wal.recover()
-            if rec.payload[0] == self.tag
-        ]
+        """Durable records of this view only, payloads untagged.
+
+        Checksum-failed records are surfaced too (their header, and so
+        their tag, survives bit-rot) so the acceptor can rebuild its
+        vote metadata; the shared log's :meth:`WriteAheadLog.recover`
+        has already truncated any torn tail. Each untagged record's
+        ``valid`` flag mirrors the underlying record's (the stored CRC
+        covers the tagged payload, so it is re-derived here).
+        """
+        out: list[WalRecord] = []
+        for rec in self._wal.recover():
+            if rec.payload[0] != self.tag:
+                continue
+            view_rec = WalRecord(rec.lsn, rec.payload[1], rec.size)
+            view_rec.crc = record_checksum(view_rec.lsn, view_rec.payload)
+            if not rec.valid:
+                view_rec.crc ^= 0x5BD1E995  # stay checksum-invalid
+            out.append(view_rec)
+        return out

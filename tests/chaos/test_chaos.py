@@ -53,15 +53,18 @@ class TestScheduleGenerator:
         assert all(spec.warmup <= e.t <= spec.end for e in events)
 
     def test_every_fault_is_paired_with_repair(self):
-        pairs = {"crash": "recover", "partition": "heal",
-                 "slow-disk": "fix-disk"}
+        # torn-write is a crash variant, so it shares the recover pool;
+        # bit-rot and scrub are unpaired by design (the background
+        # scrubber is bit-rot's repair path).
         for seed in range(10):
             events = gen(seed=seed)
             counts = {}
             for e in events:
                 counts[e.kind] = counts.get(e.kind, 0) + 1
-            for fault, repair in pairs.items():
-                assert counts.get(fault, 0) == counts.get(repair, 0)
+            down = counts.get("crash", 0) + counts.get("torn-write", 0)
+            assert down == counts.get("recover", 0)
+            assert counts.get("partition", 0) == counts.get("heal", 0)
+            assert counts.get("slow-disk", 0) == counts.get("fix-disk", 0)
 
     def test_respects_max_crashed(self):
         for seed in range(10):
@@ -71,8 +74,25 @@ class TestScheduleGenerator:
                 if e.kind == "crash":
                     down.add(e.arg)
                     assert len(down) <= 2
+                elif e.kind == "torn-write":
+                    host, frac = e.arg
+                    down.add(host)
+                    assert len(down) <= 2
+                    assert 0.0 <= frac <= 1.0
                 elif e.kind == "recover":
                     down.discard(e.arg)
+
+    def test_storage_kinds_appear(self):
+        kinds = set()
+        for seed in range(10):
+            kinds |= {e.kind for e in gen(seed=seed)}
+        assert {"torn-write", "bit-rot", "scrub"} <= kinds
+
+    def test_storage_weights_zero_disables(self):
+        spec = ScheduleSpec(storage_weights=(0.0, 0.0, 0.0))
+        for seed in range(5):
+            kinds = {e.kind for e in gen(seed=seed, spec=spec)}
+            assert not kinds & {"torn-write", "bit-rot", "scrub"}
 
 
 class TestEpisodes:
@@ -114,8 +134,18 @@ class TestTeeth:
         # Beyond the static probe: some seed makes the weakening bite
         # at runtime (split-brain chooses two values, or a chosen value
         # becomes undecodable). Deterministic sim => stable outcome.
+        # Storage faults are disabled to keep the schedule crash- and
+        # partition-dense — that is the mix the weakened quorums are
+        # vulnerable to.
+        spec = ChaosSpec(
+            schedule=ScheduleSpec(
+                fault_window=6.0, mean_gap=1.0,
+                storage_weights=(0.0, 0.0, 0.0),
+            ),
+            settle=4.0,
+        )
         runner = ChaosRunner(config=self.UNSAFE, protocol="unsafe",
-                             spec=SHORT_SPEC, bundle_dir=None)
+                             spec=spec, bundle_dir=None)
         kinds = set()
         for seed in range(8):
             result, _ = runner.run_episode(seed)

@@ -82,6 +82,52 @@ class TestMetrics:
         assert sizes == [777]
 
 
+class TestBackoff:
+    def test_delay_grows_exponentially_then_caps(self):
+        c = make()
+        client = c.clients[0]
+        # Half-jittered: delay for retry r lies in [cap/2, cap] where
+        # cap = min(max_backoff, retry_backoff * 2^r).
+        for r in range(12):
+            cap = min(client.max_backoff, client.retry_backoff * (2 ** r))
+            d = client._retry_delay(r)
+            assert cap / 2 <= d <= cap
+        assert client._retry_delay(50) <= client.max_backoff
+
+    def test_jitter_is_deterministic_per_seed(self):
+        a = make().clients[0]
+        b = make().clients[0]
+        assert [a._retry_delay(r) for r in range(5)] == \
+               [b._retry_delay(r) for r in range(5)]
+
+    def test_clients_jitter_differently(self):
+        # Distinct named substreams: two clients retrying at the same
+        # moment must not dogpile the same instant.
+        c = make(num_clients=2)
+        d0 = [c.clients[0]._retry_delay(3) for _ in range(4)]
+        d1 = [c.clients[1]._retry_delay(3) for _ in range(4)]
+        assert d0 != d1
+
+    def test_max_backoff_validated(self):
+        c = make()
+        with pytest.raises(ValueError):
+            KVClient(c.sim, c.net, "X", [c.servers[0].name],
+                     retry_backoff=0.5, max_backoff=0.1)
+
+    def test_retries_still_succeed_under_backoff(self):
+        # End-to-end: with the leader down, backed-off retries rotate
+        # to the new leader and complete.
+        c = make()
+        client = c.clients[0]
+        client.put("seed", 10, on_done=lambda ok: None)
+        c.run(until=3.0)
+        c.crash_server(0)
+        ok = []
+        client.put("x", 64, on_done=lambda o: ok.append(o))
+        c.run(until=25.0)
+        assert ok == [True]
+
+
 class TestConstruction:
     def test_requires_servers(self):
         c = make()

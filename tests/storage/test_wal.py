@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim import Simulator
-from repro.storage import HDD, SSD, Disk, WriteAheadLog
+from repro.storage import HDD, SSD, Disk, WriteAheadLog, record_checksum
 from repro.storage.wal import RECORD_HEADER_BYTES
 
 
@@ -157,3 +157,193 @@ class TestCrashRecovery:
         # The disk op may still "complete" physically, but the batch was
         # dropped before submission, so nothing fires.
         assert fired == []
+
+    def test_crash_mid_group_commit_recovers_only_flushed_prefix(self):
+        # Records a,b flushed durably; c,d appended into the next
+        # group-commit window; crash strikes before that window closes.
+        # Recovery must surface exactly the flushed prefix [a, b].
+        sim, disk, wal = make_wal(window=0.005)
+        acked = []
+        wal.append("a", 10, lambda: acked.append("a"))
+        wal.append("b", 10, lambda: acked.append("b"))
+        sim.run()  # first batch durable
+        assert acked == ["a", "b"]
+        wal.append("c", 10, lambda: acked.append("c"))
+        wal.append("d", 10, lambda: acked.append("d"))
+        wal.crash()  # window still open: c,d never reached the device
+        sim.run()
+        assert acked == ["a", "b"]
+        records = wal.recover()
+        assert [r.payload for r in records] == ["a", "b"]
+        assert wal.recovery_discarded == 0  # nothing torn, just lost
+
+
+class TestChecksums:
+    def test_appended_records_carry_valid_crc(self):
+        sim, disk, wal = make_wal()
+        wal.append(("accept", 1), 100, lambda: None)
+        sim.run()
+        rec = wal.durable[0]
+        assert rec.valid
+        assert rec.crc == record_checksum(rec.lsn, rec.payload)
+
+    def test_corrupt_record_fails_verify(self):
+        sim, disk, wal = make_wal()
+        for i in range(3):
+            wal.append(("accept", i), 50, lambda: None)
+        sim.run()
+        assert wal.verify() == []
+        assert wal.corrupt_record(1)
+        bad = wal.verify()
+        assert [r.lsn for r in bad] == [1]
+        assert not bad[0].valid
+
+    def test_payload_mutation_detected(self):
+        # Bit-rot that swaps the payload bytes without touching the
+        # stored CRC is caught, exactly like flipped media bits.
+        sim, disk, wal = make_wal()
+        wal.append(("accept", 7), 50, lambda: None)
+        sim.run()
+        assert wal.corrupt_record(0, payload=("accept", 8))
+        assert not wal.durable[0].valid
+
+    def test_corrupt_unknown_lsn_is_noop(self):
+        sim, disk, wal = make_wal()
+        assert not wal.corrupt_record(99)
+
+    def test_recovery_carries_corrupt_records(self):
+        # Checksum-failed but structurally framed records survive
+        # recovery (the scrubber repairs them later); only torn tails
+        # are truncated.
+        sim, disk, wal = make_wal()
+        for i in range(3):
+            wal.append(("accept", i), 50, lambda: None)
+        sim.run()
+        wal.corrupt_record(1)
+        wal.crash()
+        records = wal.recover()
+        assert [r.lsn for r in records] == [0, 1, 2]
+        assert wal.recovery_corrupt == 1
+        assert wal.recovery_discarded == 0
+
+    def test_rewrite_record_restores_validity(self):
+        sim, disk, wal = make_wal()
+        wal.append(("accept", 1), 50, lambda: None)
+        sim.run()
+        wal.corrupt_record(0)
+        assert wal.verify()
+        written_before = disk.bytes_written
+        assert wal.rewrite_record(0, ("accept", 1), 50)
+        sim.run()
+        assert wal.verify() == []
+        assert wal.durable[0].valid
+        # The repair charges one device write for the record.
+        assert disk.bytes_written == written_before + 50 + RECORD_HEADER_BYTES
+
+    def test_rewrite_unknown_lsn_is_noop(self):
+        sim, disk, wal = make_wal()
+        assert not wal.rewrite_record(5, "x", 10)
+
+
+class TestTornTail:
+    def flush_in_flight(self, n=5, size=100):
+        """A WAL with an ``n``-record batch submitted but not complete."""
+        sim, disk, wal = make_wal(window=0.002)
+        acked = []
+        for i in range(n):
+            wal.append(("accept", i), size, lambda i=i: acked.append(i))
+        sim.run(until=0.0021)  # window closed, device op in flight
+        assert wal._flushing
+        return sim, disk, wal, acked
+
+    def test_torn_crash_keeps_prefix_truncates_straddler(self):
+        sim, disk, wal, acked = self.flush_in_flight()
+        wal.arm_torn_write(0.5)  # tear halfway through the batch bytes
+        wal.crash()
+        sim.run()
+        assert acked == []  # host died before acknowledging anything
+        records = wal.recover()
+        # 5 equal records, cut at 50%: records 0,1 fully below the cut
+        # survive; record 2 straddles it and is truncated away.
+        assert [r.payload for r in records] == [("accept", 0), ("accept", 1)]
+        assert wal.recovery_discarded == 1
+        assert wal.discarded_total == 1
+        assert all(r.valid for r in records)
+
+    def test_torn_recovery_is_idempotent(self):
+        sim, disk, wal, _ = self.flush_in_flight()
+        wal.arm_torn_write(0.5)
+        wal.crash()
+        first = wal.recover()
+        second = wal.recover()
+        assert [r.lsn for r in second] == [r.lsn for r in first]
+        assert wal.recovery_discarded == 0  # nothing further to drop
+        assert wal.discarded_total == 1     # the historical count stands
+
+    def test_tear_at_zero_loses_whole_batch(self):
+        sim, disk, wal, _ = self.flush_in_flight()
+        wal.arm_torn_write(0.0)
+        wal.crash()
+        assert wal.recover() == []
+
+    def test_lsn_cursor_skips_torn_records(self):
+        sim, disk, wal, _ = self.flush_in_flight(n=5)
+        wal.arm_torn_write(0.5)
+        wal.crash()
+        wal.recover()  # survivors are lsn 0,1
+        lsn = wal.append("fresh", 10, lambda: None)
+        assert lsn == 2  # continues after the surviving tail
+
+    def test_plain_crash_unaffected_by_armed_tear_when_idle(self):
+        # Arming a tear with no flush in flight degrades to a plain
+        # crash: pending records vanish atomically.
+        sim, disk, wal = make_wal(window=10.0)
+        wal.append("x", 10, lambda: None)
+        wal.arm_torn_write(0.5)
+        wal.crash()
+        assert wal.recover() == []
+        assert wal.recovery_discarded == 0
+
+
+class TestTransientEIO:
+    def test_flush_retries_until_durable(self):
+        sim, disk, wal = make_wal()
+        disk.inject_write_errors(2)
+        done = []
+        wal.append("x", 100, lambda: done.append(sim.now))
+        sim.run()
+        assert len(done) == 1
+        assert wal.flush_errors == 2
+        assert disk.write_errors == 2
+        assert wal.durable[0].valid
+        # Failed attempts consume service time plus the retry delay.
+        assert done[0] > 2 * SSD.op_time(100 + RECORD_HEADER_BYTES)
+
+    def test_failed_flush_preserves_order(self):
+        sim, disk, wal = make_wal(window=0.001)
+        disk.inject_write_errors(1)
+        order = []
+        for i in range(3):
+            wal.append(i, 10, lambda i=i: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2]
+        assert [r.payload for r in wal.durable] == [0, 1, 2]
+
+    def test_failed_writes_not_counted_as_flushes(self):
+        sim, disk, wal = make_wal()
+        disk.inject_write_errors(1)
+        wal.append("x", 100, lambda: None)
+        sim.run()
+        assert disk.flushes == 1  # only the successful attempt lands
+        assert disk.bytes_written == 100 + RECORD_HEADER_BYTES
+
+    def test_crash_during_eio_retry_loses_batch(self):
+        sim, disk, wal = make_wal()
+        disk.inject_write_errors(1)
+        done = []
+        wal.append("x", 100, lambda: done.append(1))
+        sim.run(until=0.0001)  # first (failing) attempt in flight
+        wal.crash()
+        sim.run()
+        assert done == []
+        assert wal.recover() == []
