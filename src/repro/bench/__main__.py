@@ -6,7 +6,7 @@ Usage::
     python -m repro.bench table1
     python -m repro.bench fig5 [--full]
     python -m repro.bench all  [--full]
-    python -m repro.bench chaos [--seeds N] [--short]
+    python -m repro.bench chaos [--seeds N] [--short] [--wipe-heavy]
 
 ``chaos`` is the correctness gate rather than a paper figure: it runs
 seeded fault-injection episodes and fails (exit 1, repro bundle on
@@ -54,6 +54,11 @@ def main(argv: list[str] | None = None) -> int:
         "--short", action="store_true",
         help="chaos only: shorter episodes (CI smoke)",
     )
+    parser.add_argument(
+        "--wipe-heavy", action="store_true",
+        help="chaos only: bias the fault mix toward disk wipes + rejoins "
+             "to exercise checkpoint/snapshot rebuild",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -69,7 +74,8 @@ def main(argv: list[str] | None = None) -> int:
         if name == "table1":
             module.main()
         elif name == "chaos":
-            status |= module.main(seeds=args.seeds, short=args.short)
+            status |= module.main(seeds=args.seeds, short=args.short,
+                                  wipe_heavy=args.wipe_heavy)
         else:
             module.main(quick=not args.full)
     return status

@@ -16,20 +16,51 @@ Any failing seed writes a repro bundle under ``chaos-repros/`` and the
 run exits non-zero, which is what makes this usable as a CI gate::
 
     python -m repro.bench chaos --seeds 10 --short
+
+``--wipe-heavy`` biases the fault mix toward disk wipes + rejoins so
+the checkpoint / snapshot-rebuild path dominates the episode — the CI
+smoke gate for the replica-rebuild machinery.
 """
 
 from __future__ import annotations
 
-from ...chaos import SHORT_SPEC, ChaosRunner
+from dataclasses import replace
+
+from ...chaos import SHORT_SPEC, ChaosRunner, ChaosSpec
 
 
-def main(seeds: int = 25, short: bool = False, quick: bool | None = None) -> int:
-    spec = SHORT_SPEC if short else None
+def _wipe_heavy_spec(short: bool) -> ChaosSpec:
+    """A schedule dominated by wipe/rejoin pairs (plus a little of
+    everything else so rebuilds race ordinary faults)."""
+    base = SHORT_SPEC if short else ChaosSpec()
+    return replace(
+        base,
+        schedule=replace(
+            base.schedule,
+            weights=(1.0, 1.0, 1.0, 1.0),
+            storage_weights=(0.5, 0.5, 0.5),
+            wipe_weight=6.0,
+        ),
+    )
+
+
+def main(
+    seeds: int = 25,
+    short: bool = False,
+    wipe_heavy: bool = False,
+    quick: bool | None = None,
+) -> int:
+    if wipe_heavy:
+        spec = _wipe_heavy_spec(short)
+    else:
+        spec = SHORT_SPEC if short else None
     total_failures = 0
     for protocol in ("rs-paxos", "classic"):
         runner = ChaosRunner(protocol=protocol, spec=spec)
-        print(f"-- {protocol}: {seeds} seeded episodes "
-              f"({'short' if short else 'full'} spec)")
+        mode = "short" if short else "full"
+        if wipe_heavy:
+            mode += ", wipe-heavy"
+        print(f"-- {protocol}: {seeds} seeded episodes ({mode} spec)")
         results, failures = runner.run(seeds, verbose=True)
         ops = sum(r.ops_total for r in results)
         print(f"   {len(results) - len(failures)}/{len(results)} clean, "
@@ -41,6 +72,15 @@ def main(seeds: int = 25, short: bool = False, quick: bool | None = None) -> int
         print(f"   storage faults: {rotted} shares rotted, "
               f"{repaired} repaired ({repair_bytes} B repair traffic), "
               f"{discarded} WAL records lost to torn tails")
+        transfers = sum(r.snapshot_transfers for r in results)
+        rebuild_bytes = sum(r.rebuild_bytes for r in results)
+        wal_bytes = sum(r.wal_bytes for r in results)
+        ckpt_bytes = sum(r.checkpoint_bytes for r in results)
+        compacted = sum(r.records_compacted for r in results)
+        print(f"   rebuild/footprint: {transfers} snapshot transfers "
+              f"({rebuild_bytes} B rebuild traffic); final durable state "
+              f"{wal_bytes} B WAL + {ckpt_bytes} B checkpoints, "
+              f"{compacted} records compacted")
         total_failures += len(failures)
     if total_failures:
         print(f"FAIL: {total_failures} episode(s) violated "

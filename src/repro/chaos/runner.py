@@ -50,6 +50,11 @@ class ChaosSpec:
     # settle window so rotten shares injected late in the fault window
     # still get several repair attempts before the integrity probe.
     scrub_interval: float = 0.75
+    # Checkpoint + WAL-compaction cadence. Small relative to the fault
+    # window so wiped servers rebuild from a real checkpoint (not an
+    # empty one) and the bounded-WAL probe exercises several
+    # compactions per episode.
+    checkpoint_interval: float = 1.0
     # Op mix (cumulative): write / fast read / consistent read / delete.
     p_write: float = 0.40
     p_fast_read: float = 0.35
@@ -95,6 +100,14 @@ class EpisodeResult:
     shares_repaired: int = 0
     repair_bytes: int = 0
     wal_discarded: int = 0       # records lost to torn-tail truncation
+    # Rebuild + durable-footprint accounting (checkpointing PR): how
+    # much the episode's wipes cost to repair, and what checkpoints +
+    # compaction left on disk at the end.
+    snapshot_transfers: int = 0
+    rebuild_bytes: int = 0       # snapshot pages + rebuild catch-up traffic
+    wal_bytes: int = 0           # final durable WAL bytes, all servers
+    checkpoint_bytes: int = 0    # final checkpoint bytes, all servers
+    records_compacted: int = 0   # WAL records dropped by truncation
     bundle_path: str | None = None
 
     def to_jsonable(self) -> dict:
@@ -108,6 +121,11 @@ class EpisodeResult:
             "shares_repaired": self.shares_repaired,
             "repair_bytes": self.repair_bytes,
             "wal_discarded": self.wal_discarded,
+            "snapshot_transfers": self.snapshot_transfers,
+            "rebuild_bytes": self.rebuild_bytes,
+            "wal_bytes": self.wal_bytes,
+            "checkpoint_bytes": self.checkpoint_bytes,
+            "records_compacted": self.records_compacted,
             "schedule": [e.to_jsonable() for e in self.schedule],
         }
 
@@ -149,6 +167,7 @@ class ChaosRunner:
             seed=seed,
             client_timeout=spec.client_timeout,
             scrub_interval=spec.scrub_interval,
+            checkpoint_interval=spec.checkpoint_interval,
             trace=trace,
         )
         sim = cluster.sim
@@ -159,6 +178,14 @@ class ChaosRunner:
             if kind in ("crash", "recover") and arg in by_host:
                 srv = by_host[arg]
                 srv.crash() if kind == "crash" else srv.recover()
+            elif kind == "wipe":
+                srv = by_host[arg]
+                if srv.up:
+                    srv.wipe()
+            elif kind == "rejoin":
+                srv = by_host[arg]
+                if not srv.up:
+                    srv.rejoin()
             elif kind == "slow-disk":
                 host, factor = arg
                 by_host[host].disk.slowdown = factor
@@ -219,6 +246,24 @@ class ChaosRunner:
             shares_repaired=int(cluster.metrics.counter("scrub.repaired").value),
             repair_bytes=int(cluster.metrics.counter("scrub.repair_bytes").value),
             wal_discarded=sum(s.wal.discarded_total for s in cluster.servers),
+            snapshot_transfers=int(
+                cluster.metrics.counter("rebuild.snapshot_transfers").value
+            ),
+            rebuild_bytes=int(
+                cluster.metrics.counter("rebuild.snapshot_bytes").value
+                + cluster.metrics.counter("rebuild.catchup_bytes").value
+            ),
+            wal_bytes=sum(
+                s.durable_footprint()["wal_bytes"] for s in cluster.servers
+            ),
+            checkpoint_bytes=sum(
+                s.durable_footprint()["checkpoint_bytes"]
+                for s in cluster.servers
+            ),
+            records_compacted=sum(
+                s.durable_footprint()["records_compacted"]
+                for s in cluster.servers
+            ),
         )
         trace_tail = (
             [str(r) for r in cluster.tracer.records[-400:]] if trace else []

@@ -35,7 +35,7 @@ class ChaosEvent:
 
     t: float
     # crash|recover|partition|heal|loss-burst|slow-disk|fix-disk|
-    # torn-write|bit-rot|scrub
+    # torn-write|bit-rot|scrub|wipe|rejoin
     kind: str
     arg: Any = None
 
@@ -70,6 +70,12 @@ class ScheduleSpec:
     rot_gap: float = 2.5
     # Relative weights: torn-write, bit-rot, scrub. Zero disables.
     storage_weights: tuple[float, float, float] = (1.5, 1.5, 1.0)
+    # Wipe: a crash with total disk loss (WAL + checkpoint destroyed);
+    # its paired "rejoin" brings the server back to rebuild via
+    # snapshot transfer. Counts against max_crashed like a crash.
+    # Zero weight disables.
+    wipe_dur: tuple[float, float] = (1.5, 5.0)
+    wipe_weight: float = 1.5
 
     @property
     def end(self) -> float:
@@ -113,6 +119,8 @@ def generate_schedule(
             choices.append(("slow-disk", spec.weights[3]))
         if len(servers) - len(up) < max_crashed and up:
             choices.append(("torn-write", spec.storage_weights[0]))
+        if len(servers) - len(up) < max_crashed and up:
+            choices.append(("wipe", spec.wipe_weight))
         if up and t - last_rot >= spec.rot_gap:
             choices.append(("bit-rot", spec.storage_weights[1]))
         if up:
@@ -160,6 +168,14 @@ def generate_schedule(
             frac = float(rng.uniform(*spec.torn_frac))
             events.append(ChaosEvent(t, "torn-write", (host, frac)))
             events.append(ChaosEvent(t + d, "recover", host))
+        elif kind == "wipe":
+            # Crash with total disk loss; the rejoin (paired inside the
+            # window like any repair) triggers the snapshot rebuild.
+            host = up[int(rng.integers(len(up)))]
+            d = dur(spec.wipe_dur, t)
+            crashed_until[host] = t + d
+            events.append(ChaosEvent(t, "wipe", host))
+            events.append(ChaosEvent(t + d, "rejoin", host))
         elif kind == "bit-rot":
             host = up[int(rng.integers(len(up)))]
             last_rot = t
@@ -191,6 +207,10 @@ def arm_schedule(faults: FaultSchedule, events: list[ChaosEvent]) -> None:
             faults.partition_at(ev.t, list(a), list(b))
         elif ev.kind == "heal":
             faults.heal_at(ev.t)
+        elif ev.kind == "wipe":
+            faults.wipe_at(ev.t, ev.arg)
+        elif ev.kind == "rejoin":
+            faults.rejoin_at(ev.t, ev.arg)
         elif ev.kind == "loss-burst":
             d, loss, dup = ev.arg
             faults.loss_burst_at(ev.t, d, loss, dup)

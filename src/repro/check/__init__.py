@@ -13,6 +13,7 @@ whole-system exploration.
 from .history import HistoryRecorder, OpRecord
 from .invariants import (
     Violation,
+    check_bounded_wal,
     check_cluster,
     check_config_safety,
     check_decodability,
@@ -26,6 +27,7 @@ __all__ = [
     "LinResult",
     "OpRecord",
     "Violation",
+    "check_bounded_wal",
     "check_cluster",
     "check_config_safety",
     "check_decodability",

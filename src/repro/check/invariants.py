@@ -29,7 +29,8 @@ from ..kvstore.messages import Command
 class Violation:
     """One invariant breach."""
 
-    kind: str     # "config" | "unique-choice" | "decodability" | "durable-integrity"
+    kind: str     # "config" | "unique-choice" | "decodability" |
+                  # "durable-integrity" | "bounded-wal"
     detail: str
 
     def to_jsonable(self) -> dict:
@@ -168,6 +169,62 @@ def check_durable_integrity(servers) -> list[Violation]:
     return violations
 
 
+def check_bounded_wal(servers) -> list[Violation]:
+    """Checkpointing keeps every server's WAL bounded.
+
+    Only meaningful on servers with checkpointing enabled
+    (``checkpoint_interval > 0``); a no-op otherwise. Three probes per
+    up server:
+
+    - no durable record sits below the server's compaction floor
+      (truncation must actually remove the compacted prefix);
+    - the durable record count never exceeds the LSN span above the
+      floor (the WAL cannot silently grow past what compaction left);
+    - checkpoints keep happening — after a few intervals of uptime a
+      server must have completed one recently, else compaction has
+      stalled and the WAL grows without bound.
+    """
+    violations = []
+    for srv in servers:
+        interval = getattr(srv, "checkpoint_interval", 0)
+        if not srv.up or interval <= 0:
+            continue
+        wal = srv.wal
+        floor = wal.compaction_floor
+        below = [rec.lsn for rec in wal.durable if rec.lsn < floor]
+        if below:
+            violations.append(Violation(
+                "bounded-wal",
+                f"{srv.name} holds {len(below)} durable records below its "
+                f"compaction floor {floor} (first lsn={below[0]})",
+            ))
+        span = wal._next_lsn - floor
+        if len(wal.durable) > span:
+            violations.append(Violation(
+                "bounded-wal",
+                f"{srv.name} holds {len(wal.durable)} durable records but "
+                f"only {span} LSNs above the compaction floor",
+            ))
+        # Cadence: give freshly (re)started servers slack — recovery,
+        # catch-up and the staggered first checkpoint all precede the
+        # first save.
+        if srv.sim.now > 4 * interval:
+            if srv.last_checkpoint_at is None:
+                violations.append(Violation(
+                    "bounded-wal",
+                    f"{srv.name} never completed a checkpoint "
+                    f"(interval={interval}, now={srv.sim.now:.2f})",
+                ))
+            elif srv.sim.now - srv.last_checkpoint_at > 4 * interval:
+                violations.append(Violation(
+                    "bounded-wal",
+                    f"{srv.name} last checkpoint at "
+                    f"{srv.last_checkpoint_at:.2f} is stale "
+                    f"(now={srv.sim.now:.2f}, interval={interval})",
+                ))
+    return violations
+
+
 def check_cluster(servers, config) -> list[Violation]:
     """All replicated-state probes in one sweep."""
     return (
@@ -175,4 +232,5 @@ def check_cluster(servers, config) -> list[Violation]:
         + check_unique_choice(servers)
         + check_decodability(servers)
         + check_durable_integrity(servers)
+        + check_bounded_wal(servers)
     )

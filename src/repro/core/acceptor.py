@@ -41,6 +41,21 @@ class AcceptorState:
     floor: Ballot = NULL_BALLOT
     instances: dict[int, AcceptorInstance] = field(default_factory=dict)
 
+    def copy(self) -> "AcceptorState":
+        """Independent copy: fresh AcceptorInstance records (Ballot and
+        CodedShare are immutable, so sharing those is safe)."""
+        return AcceptorState(
+            floor=self.floor,
+            instances={
+                inst: AcceptorInstance(
+                    promised=st.promised,
+                    accepted_ballot=st.accepted_ballot,
+                    accepted_share=st.accepted_share,
+                )
+                for inst, st in self.instances.items()
+            },
+        )
+
 
 class Acceptor:
     """Votes on proposals; one per replica."""
@@ -124,6 +139,11 @@ class Acceptor:
     def export_state(self) -> AcceptorState:
         """Snapshot for durable checkpointing."""
         return self.state
+
+    def snapshot(self) -> AcceptorState:
+        """Independent copy of the durable state, safe to hold across
+        an asynchronous checkpoint write while voting continues."""
+        return self.state.copy()
 
     def restore_state(self, state: AcceptorState) -> None:
         """Install recovered durable state (after a crash)."""

@@ -30,7 +30,7 @@ from typing import Callable, Union
 from ..rpc import Batch, RpcEndpoint
 from ..sim import NULL_TRACER, Simulator, Tracer
 from ..storage import WriteAheadLog
-from .acceptor import Acceptor, AcceptorInstance
+from .acceptor import Acceptor, AcceptorInstance, AcceptorState
 from .ballot import NULL_BALLOT, Ballot
 from .messages import (
     META_BYTES,
@@ -134,6 +134,15 @@ class PaxosNode:
         self._pending_commits: list[Commit] = []
         self._commit_timer = None
         self._down = False
+        # Observer mode (rebuild safety): a replica recovering from
+        # total local-state loss has forgotten its promises and accepted
+        # votes, so letting it vote again could un-promise the past and
+        # break Paxos safety. While ``observer`` is set the node still
+        # learns commits and serves nothing, but refuses prepare/accept;
+        # the KV layer clears it once the snapshot + tail catch-up has
+        # restored state at least as advanced as anything it ever
+        # acknowledged.
+        self.observer = False
 
         # Hooks for the KV layer.
         self.on_apply: Callable[[int, ChosenRecord], None] | None = None
@@ -207,11 +216,49 @@ class PaxosNode:
                 self._learn(instance, ballot, value_id, value=None)
 
     # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+
+    def export_snapshot(self) -> dict:
+        """This group's contribution to a durable checkpoint.
+
+        Everything needed to resume without the compacted WAL prefix:
+        the acceptor's promised/accepted state, learned decisions, and
+        cursors. All mutable containers are copied, so the blob stays
+        frozen while the asynchronous checkpoint write is in flight.
+        """
+        return {
+            "acceptor": self.acceptor.snapshot(),
+            "chosen": {
+                inst: ChosenRecord(rec.value_id, rec.ballot, rec.value, rec.share)
+                for inst, rec in self.chosen.items()
+            },
+            "apply_cursor": self.apply_cursor,
+            "next_instance": self.next_instance,
+            "max_ballot": self._max_ballot_seen,
+        }
+
+    def install_snapshot(self, snap: dict) -> None:
+        """Inverse of :meth:`export_snapshot`, run before WAL tail
+        replay on recovery. Installs *copies* so a later crash can load
+        the same durable blob again uncorrupted. ``max_ballot`` merges
+        (never regresses a ballot learned since the snapshot)."""
+        acc: AcceptorState = snap["acceptor"]
+        self.acceptor.restore_state(acc.copy())
+        self.chosen = {
+            inst: ChosenRecord(rec.value_id, rec.ballot, rec.value, rec.share)
+            for inst, rec in snap["chosen"].items()
+        }
+        self.apply_cursor = snap["apply_cursor"]
+        self.next_instance = max(self.next_instance, snap["next_instance"])
+        self._max_ballot_seen = max(self._max_ballot_seen, snap["max_ballot"])
+
+    # ------------------------------------------------------------------
     # acceptor handlers
     # ------------------------------------------------------------------
 
     def _handle_prepare(self, msg: Prepare, src: str, respond) -> None:
-        if self._down:
+        if self._down or self.observer:
             return
         if self.prepare_gate is not None:
             wait = self.prepare_gate(msg.ballot)
@@ -239,7 +286,7 @@ class PaxosNode:
         )
 
     def _handle_accept(self, msg: Accept, src: str, respond) -> None:
-        if self._down:
+        if self._down or self.observer:
             return
         self._max_ballot_seen = max(self._max_ballot_seen, msg.ballot)
         reply, durable = self.acceptor.on_accept(msg)
@@ -601,6 +648,10 @@ class PaxosNode:
             raise ValueError(f"{len(peers)} peers != configured N={config.n}")
         self.config = config
         self.peers = dict(peers)
+        # A node that was retired by an earlier view and is a member of
+        # this one has been re-admitted (reconfigure-add): un-retire it.
+        # Observer mode, if set, stays until the rebuild completes.
+        self._down = False
         self.tracer.emit(
             self.sim.now, "paxos",
             f"{self.endpoint.name} view -> N={config.n} QR={config.q_r} "

@@ -23,6 +23,7 @@ from .messages import (
     Command,
     ConfirmPlacement,
     FetchShare,
+    FetchSnapshot,
     GetOk,
     Heartbeat,
     HeartbeatAck,
@@ -34,6 +35,8 @@ from .messages import (
     PutOk,
     Redirect,
     ShareReply,
+    SnapshotChunk,
+    SnapshotEntry,
 )
 from .server import KVServer
 from .shard import ShardMap
@@ -49,6 +52,7 @@ __all__ = [
     "Command",
     "ConfirmPlacement",
     "FetchShare",
+    "FetchSnapshot",
     "GetOk",
     "Heartbeat",
     "HeartbeatAck",
@@ -63,5 +67,7 @@ __all__ = [
     "Redirect",
     "ShardMap",
     "ShareReply",
+    "SnapshotChunk",
+    "SnapshotEntry",
     "build_cluster",
 ]

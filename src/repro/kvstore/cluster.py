@@ -55,6 +55,14 @@ class Cluster:
     def recover_server(self, idx: int) -> None:
         self.servers[idx].recover()
 
+    def wipe_server(self, idx: int) -> None:
+        """Crash a server AND destroy its disk (WAL + checkpoint)."""
+        self.servers[idx].wipe()
+
+    def rejoin_server(self, idx: int) -> None:
+        """Bring a wiped server back; it rebuilds via snapshot transfer."""
+        self.servers[idx].rejoin()
+
     def run(self, until: float) -> None:
         self.sim.run(until=until)
 
@@ -76,6 +84,7 @@ def build_cluster(
     initial_leader: int = 0,
     auto_reconfigure: bool = False,
     scrub_interval: float = 0.0,
+    checkpoint_interval: float = 0.0,
     trace: bool = False,
 ) -> Cluster:
     """Wire up a complete cluster.
@@ -114,6 +123,7 @@ def build_cluster(
             initial_leader=initial_leader,
             auto_reconfigure=auto_reconfigure,
             scrub_interval=scrub_interval,
+            checkpoint_interval=checkpoint_interval,
             tracer=tracer,
             metrics=metrics,
         )

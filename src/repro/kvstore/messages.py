@@ -185,10 +185,19 @@ class ShareReply:
 
 @dataclass(frozen=True, slots=True)
 class CatchUp:
-    """Recovered server asks the leader for missed decisions (§4.5)."""
+    """Recovered server asks a peer for missed decisions (§4.5).
+
+    ``max_entries``/``max_bytes`` cap the reply so a far-behind follower
+    pulls the backlog as a paced sequence of bounded messages instead of
+    one unbounded blob (which would distort the NIC serialization
+    model); the responder sets ``next_from`` on the reply when there is
+    more.
+    """
 
     group: int
     from_instance: int
+    max_entries: int = 64
+    max_bytes: int = 256 * 1024
 
     @property
     def wire_bytes(self) -> int:
@@ -206,13 +215,90 @@ class CatchUpEntry:
 
 @dataclass(frozen=True, slots=True)
 class CatchUpReply:
+    """``next_from``: continuation cursor when the reply hit its entry
+    or byte budget (None = nothing further at the responder).
+
+    ``floor``: the responder's compaction floor for the group — every
+    instance below it has been folded into a checkpoint and can no
+    longer be served entry-by-entry. A requester whose cursor is below
+    a peer's floor must switch to snapshot transfer (FetchSnapshot).
+    """
+
     group: int
     entries: tuple[CatchUpEntry, ...] = field(default_factory=tuple)
+    next_from: int | None = None
+    floor: int = 0
 
     @property
     def wire_bytes(self) -> int:
         return KV_META + sum(
             KV_META + (e.share.size if e.share is not None else 0)
+            for e in self.entries
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class FetchSnapshot:
+    """Rebuilding server asks a peer to stream its checkpointed KV
+    state for one group (InstallSnapshot-style, §4.5 extended).
+
+    Used when the requester's apply cursor is below the peer's
+    compaction floor — the WAL prefix it would need is gone, so it
+    receives materialized state instead: the latest surviving version
+    of every key, each carrying a coded share cut *for the requester*.
+    ``cursor`` is the last key already received ("" = start); pages are
+    bounded by ``max_bytes``.
+    """
+
+    group: int
+    cursor: str = ""
+    max_bytes: int = 256 * 1024
+
+    @property
+    def wire_bytes(self) -> int:
+        return KV_META + len(self.cursor)
+
+
+@dataclass(frozen=True, slots=True)
+class SnapshotEntry:
+    """One key's materialized state: its latest version (the Paxos
+    instance that wrote it) plus the requester's re-coded fragment.
+    Tombstones ship share-free (a delete has no data)."""
+
+    key: str
+    version: int
+    value_id: str
+    value_size: int
+    meta: Any
+    share: CodedShare | None
+    tombstone: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class SnapshotChunk:
+    """One page of snapshot state transfer.
+
+    ``next_cursor`` is None on the final page; the final page also
+    carries ``floor`` (the apply cursor the installed state represents
+    — the joiner resumes entry-granularity catch-up from there),
+    ``applied_ops`` (exactly-once dedup keys for this group, so a
+    client retry spanning the rebuild cannot double-apply) and
+    ``max_ballot`` (the server's ballot high-water mark, so the
+    rebuilt node's acceptor floor can be raised past every ballot it
+    might have promised before losing its disk).
+    """
+
+    group: int
+    entries: tuple[SnapshotEntry, ...] = field(default_factory=tuple)
+    next_cursor: str | None = None
+    floor: int = 0
+    applied_ops: tuple = ()
+    max_ballot: Any = None
+
+    @property
+    def wire_bytes(self) -> int:
+        return KV_META + sum(
+            KV_META + len(e.key) + (e.share.size if e.share is not None else 0)
             for e in self.entries
         )
 

@@ -31,8 +31,16 @@ from ..core import (
 from ..net import Network
 from ..rpc import ChannelMux, RpcEndpoint
 from ..sim import MetricSet, NULL_TRACER, Simulator, Tracer
-from ..storage import Disk, DiskSpec, LocalStore, WalView, WriteAheadLog
+from ..storage import (
+    CheckpointStore,
+    Disk,
+    DiskSpec,
+    LocalStore,
+    WalView,
+    WriteAheadLog,
+)
 from .messages import (
+    KV_META,
     CatchUp,
     CatchUpEntry,
     CatchUpReply,
@@ -42,6 +50,7 @@ from .messages import (
     Command,
     ConfirmPlacement,
     FetchShare,
+    FetchSnapshot,
     GetOk,
     Heartbeat,
     HeartbeatAck,
@@ -53,6 +62,8 @@ from .messages import (
     PutOk,
     Redirect,
     ShareReply,
+    SnapshotChunk,
+    SnapshotEntry,
 )
 from .shard import ShardMap
 
@@ -78,6 +89,7 @@ class KVServer:
         initial_leader: int = 0,
         auto_reconfigure: bool = False,
         scrub_interval: float = 0.0,
+        checkpoint_interval: float = 0.0,
         tracer: Tracer = NULL_TRACER,
         metrics: MetricSet | None = None,
     ):
@@ -156,10 +168,35 @@ class KVServer:
         # Background scrubber (disabled when scrub_interval == 0): each
         # pass re-verifies WAL record checksums and repairs corrupt
         # coded shares from peers via the RS decoder. ``_scrubbing``
-        # holds the LSNs of records with a repair already in flight.
+        # holds the (group, instance) pairs with a repair in flight.
         self.scrub_interval = scrub_interval
         self._scrub_timer = None
-        self._scrubbing: set[int] = set()
+        self._scrubbing: set[tuple[int, int]] = set()
+
+        # Checkpointing + WAL compaction (disabled when
+        # checkpoint_interval == 0): periodically persist the applied KV
+        # state + acceptor metadata atomically, then truncate the WAL
+        # prefix the checkpoint subsumes. ``compact_floor[g]`` is the
+        # apply cursor the latest checkpoint captured for group ``g`` —
+        # instances below it can no longer be served entry-by-entry
+        # (CatchUp); a peer that far behind gets snapshot transfer.
+        self.checkpoint_interval = checkpoint_interval
+        self.checkpoint_store = CheckpointStore(sim, self.disk, f"{name}.ckpt")
+        self._ckpt_timer = None
+        self._ckpt_inflight = False
+        self.last_checkpoint_at: float | None = None
+        self.compact_floor: list[int] = [0] * len(self.groups)
+
+        # Replica rebuild (wipe + rejoin) state. ``_wiped`` marks that
+        # the next recover() starts from an empty disk; ``_rebuild_pending``
+        # holds groups still being rebuilt (the node stays an observer —
+        # it learns but does not vote — until its group's rebuild ends);
+        # ``_snap_inflight[g]`` is the host currently streaming group
+        # ``g``'s snapshot to us.
+        self._wiped = False
+        self._rebuild_pending: set[int] = set()
+        self._snap_inflight: dict[int, str] = {}
+        self._rebuild_timer = None
 
         # View / reconfiguration state (§4.6).
         self.view_epoch = 0
@@ -179,6 +216,7 @@ class KVServer:
         self.endpoint.on(HeartbeatAck, self._on_heartbeat_ack)
         self.endpoint.on_request_async(FetchShare, self._on_fetch_share)
         self.endpoint.on_request_async(CatchUp, self._on_catch_up)
+        self.endpoint.on_request_async(FetchSnapshot, self._on_fetch_snapshot)
         self.endpoint.on_request_async(ConfirmPlacement, self._on_confirm_placement)
         self.endpoint.on(InstallShare, self._on_install_share)
 
@@ -194,6 +232,7 @@ class KVServer:
             self._start_election()
         self._arm_monitor()
         self._arm_scrubber()
+        self._arm_checkpointer()
 
     def crash(self) -> None:
         """Fail-stop: volatile state gone, host unreachable."""
@@ -201,6 +240,7 @@ class KVServer:
         self.net.crash_host(self.name)
         for node in self.groups:
             node.crash()
+        self.checkpoint_store.crash()
         self.store.clear()
         self.is_leader_server = False
         self._electing = False
@@ -213,6 +253,11 @@ class KVServer:
         self._read_barrier = [-1] * len(self.groups)
         self._fetching.clear()
         self._scrubbing.clear()
+        self._ckpt_inflight = False
+        self._snap_inflight.clear()
+        # NOTE: _rebuild_pending deliberately survives a crash — a node
+        # that crashed mid-rebuild is still amnesiac and must come back
+        # as an observer until its rebuild completes.
         if self._hb_timer is not None:
             self._hb_timer.cancel()
             self._hb_timer = None
@@ -222,11 +267,47 @@ class KVServer:
         if self._scrub_timer is not None:
             self._scrub_timer.cancel()
             self._scrub_timer = None
+        if self._ckpt_timer is not None:
+            self._ckpt_timer.cancel()
+            self._ckpt_timer = None
+        if self._rebuild_timer is not None:
+            self._rebuild_timer.cancel()
+            self._rebuild_timer = None
+
+    def wipe(self) -> None:
+        """Catastrophic failure: the host goes down AND its disk is lost
+        (WAL + checkpoint). The next :meth:`recover`/:meth:`rejoin`
+        starts from nothing and must rebuild via snapshot transfer,
+        voting suspended (observer mode) until the rebuild completes —
+        an amnesiac acceptor re-voting could contradict promises it
+        made before the wipe."""
+        self.crash()
+        self.wal.wipe()
+        self.checkpoint_store.wipe()
+        self.compact_floor = [0] * len(self.groups)
+        self.last_checkpoint_at = None
+        self._wiped = True
+        self.tracer.emit(self.sim.now, "kv", f"{self.name} disk wiped")
+
+    def rejoin(self) -> None:
+        """Bring a wiped (or merely crashed) server back; alias of
+        :meth:`recover` — the wiped path is taken automatically when
+        the disk was lost."""
+        self.recover()
 
     def recover(self) -> None:
-        """Restart from durable state and catch up from the leader (§4.5)."""
+        """Restart from durable state and catch up from the leader (§4.5).
+
+        Recovery order: checkpoint first (bulk state), then per-group
+        WAL tail replay merges on top of it (replay is idempotent —
+        acceptor records merge under ballot >=, store puts are
+        version-monotone). A wiped server has neither; it enters
+        observer mode and rebuilds from peers via snapshot transfer."""
         self.up = True
         self.net.recover_host(self.name)
+        ckpt = self.checkpoint_store.load()
+        if ckpt is not None:
+            self._install_checkpoint(ckpt.payload)
         for node in self.groups:
             node.recover()
         # Rebuild the heartbeat floor from the durably promised ballots:
@@ -236,11 +317,19 @@ class KVServer:
             (node._max_ballot_seen for node in self.groups),
             default=NULL_BALLOT,
         )
+        if self._wiped:
+            self._wiped = False
+            self._rebuild_pending = set(range(len(self.groups)))
+        for g in self._rebuild_pending:
+            self.groups[g].observer = True
         self.current_leader = None
         self.lease.invalidate()
         self.lease.renew()  # grace period before trying to elect
         self._arm_monitor()
         self._arm_scrubber()
+        self._arm_checkpointer()
+        if self._rebuild_pending:
+            self._rebuild_timer = self.sim.call_after(1.0, self._rebuild_tick)
         self._request_catch_up()
 
     # ------------------------------------------------------------------
@@ -272,6 +361,13 @@ class KVServer:
 
     def _maybe_elect(self) -> None:
         if not self.up or self.is_leader_server:
+            return
+        if self._rebuild_pending:
+            # Still amnesiac: our ballot counter may have reset, so a
+            # fresh ballot could collide with one we issued pre-wipe.
+            # Sit the election out until the rebuild restores
+            # _max_ballot_seen from peers.
+            self._electing = False
             return
         if not self.lease.vacant_for_follower():
             self._electing = False  # a leader reappeared
@@ -832,17 +928,35 @@ class KVServer:
             rec for rec in self.wal.durable
             if rec.valid and rec.payload[1][0] == "accept"
         ]
-        if not candidates:
+        if candidates:
+            rec = candidates[int(rng.integers(len(candidates)))]
+            self.wal.corrupt_record(rec.lsn)
+            group = rec.payload[0]
+            _, instance, _, share = rec.payload[1]
+            self._mark_share_corrupt(group, instance, share.value_id)
+            self.metrics.counter("scrub.rot_injected").inc(1)
+            self.tracer.emit(
+                self.sim.now, "scrub",
+                f"{self.name} bit-rot g{group} inst={instance} lsn={rec.lsn}",
+            )
+            return True
+        # Every accept record may already be compacted into the
+        # checkpoint; media decay does not care which file the bytes
+        # live in, so rot a checkpoint-resident share instead.
+        mem = [
+            (g, inst, st.accepted_share)
+            for g, node in enumerate(self.groups)
+            for inst, st in sorted(node.acceptor.state.instances.items())
+            if st.accepted_share is not None and not st.accepted_share.corrupt
+        ]
+        if not mem:
             return False
-        rec = candidates[int(rng.integers(len(candidates)))]
-        self.wal.corrupt_record(rec.lsn)
-        group = rec.payload[0]
-        _, instance, _, share = rec.payload[1]
+        group, instance, share = mem[int(rng.integers(len(mem)))]
         self._mark_share_corrupt(group, instance, share.value_id)
         self.metrics.counter("scrub.rot_injected").inc(1)
         self.tracer.emit(
             self.sim.now, "scrub",
-            f"{self.name} bit-rot g{group} inst={instance} lsn={rec.lsn}",
+            f"{self.name} bit-rot g{group} inst={instance} (checkpointed)",
         )
         return True
 
@@ -878,26 +992,52 @@ class KVServer:
 
     def scrub_now(self) -> None:
         """One scrub pass: verify every durable record's checksum and
-        start a repair for each corrupt coded share found."""
+        start a repair for each corrupt coded share found — in the WAL
+        and (post-compaction) in checkpoint-resident acceptor state."""
         if not self.up:
             return
         self.metrics.counter("scrub.passes").inc(1)
+        wal_backed: set[tuple[int, int]] = set()
+        for rec in self.wal.durable:
+            if rec.payload[1][0] == "accept":
+                wal_backed.add((rec.payload[0], rec.payload[1][1]))
         for rec in self.wal.verify():
-            if rec.lsn in self._scrubbing:
-                continue
             group, inner = rec.payload
             if inner[0] != "accept":
                 continue  # promise records carry no repairable payload
             _, instance, ballot, share = inner
-            self._scrubbing.add(rec.lsn)
+            key = (group, instance)
+            if key in self._scrubbing:
+                continue
+            self._scrubbing.add(key)
             self.metrics.counter("scrub.corrupt_found").inc(1)
             # The in-memory mirrors must agree before repair fetches
             # start, or we might serve the rotten copy meanwhile.
             self._mark_share_corrupt(group, instance, share.value_id)
             self._repair_share(group, rec.lsn, instance, ballot, share)
+        # Shares whose WAL record was compacted away live only in memory
+        # and the checkpoint; they have no LSN to rewrite but a repair
+        # still restores the copies the next checkpoint will persist.
+        for g, node in enumerate(self.groups):
+            for inst, st in sorted(node.acceptor.state.instances.items()):
+                share = st.accepted_share
+                if share is None or not share.corrupt:
+                    continue
+                key = (g, inst)
+                if key in self._scrubbing or key in wal_backed:
+                    continue
+                rec_ = node.chosen.get(inst)
+                if rec_ is not None and rec_.value_id != share.value_id:
+                    continue  # losing vote, already quarantined in place
+                self._scrubbing.add(key)
+                self.metrics.counter("scrub.corrupt_found").inc(1)
+                self._repair_share(
+                    g, None, inst,
+                    st.accepted_ballot or node.acceptor.state.floor, share,
+                )
 
     def _repair_share(
-        self, group: int, lsn: int, instance: int, ballot, share
+        self, group: int, lsn: int | None, instance: int, ballot, share
     ) -> None:
         """Reconstruct a checksum-valid replacement for a rotten share.
 
@@ -907,12 +1047,15 @@ class KVServer:
         FetchShare and RS-decode; all fetched share bytes are counted
         as repair traffic. If the cluster cannot currently supply
         enough clean shares the repair is deferred — the record stays
-        corrupt and the next scrub pass retries.
+        corrupt and the next scrub pass retries. ``lsn`` is None for
+        shares whose WAL record was already compacted away (only the
+        in-memory/checkpoint copies need fixing).
         """
         node = self.groups[group]
         value_id = share.value_id
         coding = share.config
         my_index = share.index
+        key = (group, instance)
         rec = node.chosen.get(instance)
         if rec is not None and rec.value_id != value_id:
             # Rotten vote for a *losing* proposal: the instance decided
@@ -922,12 +1065,13 @@ class KVServer:
             # unreconstructible — quarantine instead: rewrite the
             # record checksum-valid with the share durably flagged
             # corrupt, preserving the vote metadata.
-            quarantined = share.corrupted()
-            self.wal.rewrite_record(
-                lsn, (group, ("accept", instance, ballot, quarantined)),
-                quarantined.size,
-            )
-            self._scrubbing.discard(lsn)
+            if lsn is not None:
+                quarantined = share.corrupted()
+                self.wal.rewrite_record(
+                    lsn, (group, ("accept", instance, ballot, quarantined)),
+                    quarantined.size,
+                )
+            self._scrubbing.discard(key)
             self.metrics.counter("scrub.quarantined").inc(1)
             return
         if rec is not None and rec.value_id == value_id and rec.value is not None:
@@ -980,7 +1124,7 @@ class KVServer:
             # still unrecoverable — too many rotten/missing copies
             # right now. Leave the record corrupt; a later pass
             # retries once peers recover or repair their own copies.
-            self._scrubbing.discard(lsn)
+            self._scrubbing.discard(key)
             self.metrics.counter("scrub.deferred").inc(1)
 
         req = FetchShare(
@@ -1000,7 +1144,7 @@ class KVServer:
     def _install_repaired(
         self,
         group: int,
-        lsn: int,
+        lsn: int | None,
         instance: int,
         ballot,
         fixed: CodedShare,
@@ -1008,14 +1152,17 @@ class KVServer:
     ) -> None:
         """Write the reconstructed share back: WAL record rewritten in
         place (checksum recomputed, one device write), in-memory
-        acceptor/learner/store copies replaced with the clean share."""
+        acceptor/learner/store copies replaced with the clean share.
+        With ``lsn`` None (record already compacted) only the in-memory
+        copies are fixed; the next checkpoint persists them."""
         if not self.up:
-            self._scrubbing.discard(lsn)
+            self._scrubbing.discard((group, instance))
             return
         node = self.groups[group]
-        self.wal.rewrite_record(
-            lsn, (group, ("accept", instance, ballot, fixed)), fixed.size,
-        )
+        if lsn is not None:
+            self.wal.rewrite_record(
+                lsn, (group, ("accept", instance, ballot, fixed)), fixed.size,
+            )
         st = node.acceptor.state.instances.get(instance)
         if (
             st is not None
@@ -1037,7 +1184,7 @@ class KVServer:
                 ):
                     entry.value = fixed
                     entry.size = fixed.size
-        self._scrubbing.discard(lsn)
+        self._scrubbing.discard((group, instance))
         self.metrics.counter("scrub.repaired").inc(1)
         self.metrics.counter("scrub.repair_bytes").inc(repair_bytes)
         self.tracer.emit(
@@ -1045,6 +1192,123 @@ class KVServer:
             f"{self.name} repaired g{group} inst={instance} lsn={lsn} "
             f"({repair_bytes}B fetched)",
         )
+
+    # ------------------------------------------------------------------
+    # checkpointing + WAL compaction
+    # ------------------------------------------------------------------
+
+    def _arm_checkpointer(self) -> None:
+        if not self.up or self.checkpoint_interval <= 0:
+            return
+        # Stagger per server so the fleet's checkpoint IO (and the
+        # brief extra disk load) does not synchronize.
+        delay = self.checkpoint_interval * (1.0 + 0.07 * self.node_id)
+        self._ckpt_timer = self.sim.call_after(delay, self._ckpt_tick)
+
+    def _ckpt_tick(self) -> None:
+        if not self.up:
+            return
+        self.checkpoint_now()
+        self._ckpt_timer = self.sim.call_after(
+            self.checkpoint_interval, self._ckpt_tick
+        )
+
+    def checkpoint_now(self, on_done: Callable[[], None] | None = None) -> bool:
+        """Persist applied KV state + acceptor metadata atomically, then
+        truncate the WAL prefix the checkpoint subsumes.
+
+        The floor is ``last durable LSN + 1``: everything at or above it
+        may still be pending in the group-commit window, so only the
+        fully durable prefix is dropped. The checkpoint may *lead* the
+        durable WAL (in-memory acceptor state mutates before the WAL
+        append completes, §4.5) — that is strictly conservative: a
+        recovered acceptor remembers votes it never acknowledged, and
+        tail replay merges idempotently on top (ballot >= rule,
+        version-monotone puts).
+        """
+        if not self.up or self._ckpt_inflight:
+            return False
+        self._ckpt_inflight = True
+        floor_lsn = (
+            self.wal.durable[-1].lsn + 1
+            if self.wal.durable else self.wal.compaction_floor
+        )
+        group_floors = [node.apply_cursor for node in self.groups]
+        payload = {
+            "groups": [node.export_snapshot() for node in self.groups],
+            "store": self.store.export_state(),
+            "applied_ops": frozenset(self._applied_ops),
+            "view": (self.view_epoch, tuple(sorted(self.member_ids)),
+                     self.config),
+            "floor_lsn": floor_lsn,
+            "group_floors": group_floors,
+        }
+        size = self._checkpoint_size(payload)
+
+        def durable() -> None:
+            if not self.up:
+                return
+            self._ckpt_inflight = False
+            self.last_checkpoint_at = self.sim.now
+            self.compact_floor = list(group_floors)
+            dropped, dbytes = self.wal.truncate_prefix(floor_lsn)
+            self.metrics.counter("ckpt.saves").inc(1)
+            self.metrics.counter("ckpt.bytes").inc(size)
+            self.metrics.counter("ckpt.records_compacted").inc(dropped)
+            self.metrics.counter("ckpt.compacted_bytes").inc(dbytes)
+            self.metrics.gauge(f"{self.name}.wal_bytes").set(
+                self.wal.durable_bytes())
+            self.metrics.gauge(f"{self.name}.checkpoint_bytes").set(
+                self.checkpoint_store.stored_bytes())
+            self.tracer.emit(
+                self.sim.now, "ckpt",
+                f"{self.name} checkpoint ({size}B, floor_lsn={floor_lsn}, "
+                f"compacted {dropped} records / {dbytes}B)",
+            )
+            if on_done is not None:
+                on_done()
+
+        self.checkpoint_store.save(payload, size, durable)
+        return True
+
+    def _checkpoint_size(self, payload) -> int:
+        """Modeled checkpoint size: store bytes + acceptor share bytes +
+        fixed per-record metadata. The leader's decoded-value cache
+        rides along uncharged — a real implementation would persist
+        shares only (a deliberate modeling simplification)."""
+        size = self.store.stored_bytes()
+        for snap in payload["groups"]:
+            acc = snap["acceptor"]
+            for st in acc.instances.values():
+                size += 16
+                if st.accepted_share is not None:
+                    size += st.accepted_share.size
+            size += 16 * len(snap["chosen"])
+        size += 8 * len(payload["applied_ops"])
+        return size
+
+    def _install_checkpoint(self, payload) -> None:
+        """Load checkpointed state at recovery, before WAL tail replay."""
+        for node, snap in zip(self.groups, payload["groups"]):
+            node.install_snapshot(snap)
+        self.store.install_state(payload["store"])
+        self._applied_ops = set(payload["applied_ops"])
+        self.compact_floor = list(payload["group_floors"])
+        epoch, members, config = payload["view"]
+        if epoch > self.view_epoch:
+            self.view_epoch = epoch
+            self.member_ids = set(members)
+            self.config = config
+
+    def durable_footprint(self) -> dict[str, int]:
+        """Current durable byte usage (WAL + checkpoint) and cumulative
+        compaction work; feeds the chaos episode summaries."""
+        return {
+            "wal_bytes": self.wal.durable_bytes(),
+            "checkpoint_bytes": self.checkpoint_store.stored_bytes(),
+            "records_compacted": self.wal.records_compacted,
+            "compacted_bytes": self.wal.compacted_bytes,
+        }
 
     # ------------------------------------------------------------------
     # view change (§4.6 / §6.1)
@@ -1285,16 +1549,34 @@ class KVServer:
         # Find someone who answers; start with any peer, the leader will
         # be discovered via redirect-like behavior (non-leaders answer
         # with what they know; the leader re-codes shares for us).
-        for g, node in enumerate(self.groups):
-            req = CatchUp(group=g, from_instance=node.apply_cursor)
-            for nid, host in self.peers.items():
-                if nid == self.node_id:
-                    continue
-                self.endpoint.request(
-                    host, req, req.wire_bytes,
-                    on_reply=lambda rep, g=g: self._install_catch_up(rep),
-                    timeout=1.0, retries=3, on_timeout=lambda: None,
-                )
+        for g in range(len(self.groups)):
+            self._catch_up_group(g)
+
+    def _catch_up_group(self, group: int) -> None:
+        if not self.up:
+            return
+        node = self.groups[group]
+        req = CatchUp(group=group, from_instance=node.apply_cursor)
+        for nid, host in self.peers.items():
+            if nid == self.node_id:
+                continue
+            self.endpoint.request(
+                host, req, req.wire_bytes,
+                on_reply=lambda rep, h=host: self._install_catch_up(rep, h),
+                timeout=1.0, retries=3, on_timeout=lambda: None,
+            )
+
+    def _rebuild_tick(self) -> None:
+        """Re-probe peers while a rebuild is pending: the initial
+        catch-up broadcast can be lost wholesale to a partition, and
+        the rebuilt server must not stay an observer forever."""
+        if not self.up or not self._rebuild_pending:
+            self._rebuild_timer = None
+            return
+        for g in sorted(self._rebuild_pending):
+            if g not in self._snap_inflight:
+                self._catch_up_group(g)
+        self._rebuild_timer = self.sim.call_after(1.0, self._rebuild_tick)
 
     def _make_missing_hook(self, group: int) -> Callable[[int], None]:
         """Hook for PaxosNode.on_missing_value: the apply cursor stalled
@@ -1326,7 +1608,7 @@ class KVServer:
                 continue
             self.endpoint.request(
                 host, req, req.wire_bytes,
-                on_reply=lambda rep: self._install_catch_up(rep),
+                on_reply=lambda rep, h=host: self._install_catch_up(rep, h),
                 timeout=1.0, retries=3, on_timeout=lambda: None,
             )
         # Re-poll until some peer supplies the command: the first round
@@ -1334,10 +1616,15 @@ class KVServer:
         # a commit-only record for the instance.
         self.sim.call_after(0.5, lambda: self._fetch_missing(group, instance))
 
-    def _install_catch_up(self, reply) -> None:
+    def _install_catch_up(self, reply, host: str | None = None) -> None:
         if not self.up or not isinstance(reply, CatchUpReply):
             return
         node = self.groups[reply.group]
+        if host is not None and reply.floor > node.apply_cursor:
+            # The peer compacted the prefix we still need: entry
+            # catch-up cannot close the gap; stream its checkpointed
+            # state instead (InstallSnapshot-style).
+            self._start_snapshot_fetch(reply.group, host, reply.floor)
         for e in reply.entries:
             value = None
             if e.share is None and e.meta is not None:
@@ -1352,18 +1639,48 @@ class KVServer:
                 share=e.share,
             )
             node.install_chosen(e.instance, rec)
+        if reply.group in self._rebuild_pending:
+            self.metrics.counter("rebuild.catchup_bytes").inc(reply.wire_bytes)
+        if host is None:
+            return
+        if reply.next_from is not None:
+            # The peer hit its reply budget; pull the next page.
+            req = CatchUp(group=reply.group, from_instance=reply.next_from)
+            self.endpoint.request(
+                host, req, req.wire_bytes,
+                on_reply=lambda rep, h=host: self._install_catch_up(rep, h),
+                timeout=1.0, retries=3, on_timeout=lambda: None,
+            )
+        elif (
+            reply.group in self._rebuild_pending
+            and reply.group not in self._snap_inflight
+            and reply.floor <= node.apply_cursor
+        ):
+            # A full pass over a peer's log completed with nothing
+            # further to pull: this group's rebuild is done.
+            self._group_rebuilt(reply.group)
 
     def _on_catch_up(self, msg: CatchUp, src: str, respond) -> None:
         if not self.up:
             return
         node = self.groups[msg.group]
+        floor = self.compact_floor[msg.group]
         src_id = next(
             (nid for nid, host in self.peers.items() if host == src), None
         )
         entries = []
+        reply_bytes = 0
+        next_from: int | None = None
+        start = max(msg.from_instance, floor)
         for inst in sorted(node.chosen):
-            if inst < msg.from_instance:
+            if inst < start:
                 continue
+            if (
+                (msg.max_entries > 0 and len(entries) >= msg.max_entries)
+                or (msg.max_bytes > 0 and reply_bytes >= msg.max_bytes)
+            ):
+                next_from = inst
+                break
             rec = node.chosen[inst]
             share = None
             if src_id is not None:
@@ -1387,5 +1704,366 @@ class KVServer:
                     value_size=size, meta=meta, share=share,
                 )
             )
-        reply = CatchUpReply(group=msg.group, entries=tuple(entries))
+            reply_bytes += KV_META + (share.size if share is not None else 0)
+        reply = CatchUpReply(
+            group=msg.group, entries=tuple(entries),
+            next_from=next_from, floor=floor,
+        )
         respond(reply, reply.wire_bytes)
+
+    # ------------------------------------------------------------------
+    # snapshot state transfer + rebuild (wipe/rejoin)
+    # ------------------------------------------------------------------
+
+    def _start_snapshot_fetch(self, group: int, host: str, floor: int) -> None:
+        if not self.up or group in self._snap_inflight:
+            return
+        self._snap_inflight[group] = host
+        self.metrics.counter("rebuild.snapshot_transfers").inc(1)
+        self.tracer.emit(
+            self.sim.now, "kv",
+            f"{self.name} snapshot fetch g{group} from {host} "
+            f"(peer floor={floor})",
+        )
+        self._fetch_snapshot_page(group, host, "")
+
+    def _fetch_snapshot_page(self, group: int, host: str, cursor: str) -> None:
+        if not self.up or self._snap_inflight.get(group) != host:
+            return
+        req = FetchSnapshot(group=group, cursor=cursor)
+        self.endpoint.request(
+            host, req, req.wire_bytes,
+            on_reply=lambda rep, h=host: self._install_snapshot_chunk(rep, h),
+            timeout=2.0, retries=3,
+            on_timeout=lambda: self._snapshot_stalled(group, host),
+        )
+
+    def _snapshot_stalled(self, group: int, host: str) -> None:
+        if not self.up or self._snap_inflight.get(group) != host:
+            return
+        # The source died or became unreachable mid-stream. Restart from
+        # scratch shortly — any peer's floor reply re-triggers the
+        # transfer, and installation is idempotent.
+        del self._snap_inflight[group]
+        self.sim.call_after(0.5, lambda: self._catch_up_group(group))
+
+    def _install_snapshot_chunk(self, reply, host: str) -> None:
+        if not self.up or not isinstance(reply, SnapshotChunk):
+            return
+        group = reply.group
+        if self._snap_inflight.get(group) != host:
+            return  # stale page (transfer restarted elsewhere)
+        node = self.groups[group]
+        self.metrics.counter("rebuild.snapshot_bytes").inc(reply.wire_bytes)
+        ballot = node.acceptor.state.floor
+        for e in reply.entries:
+            if e.tombstone:
+                self.store.delete(e.key, e.version)
+                continue
+            if e.share is not None and e.share.config.x == 1:
+                # Classic Paxos: the "share" is the full value.
+                self.store.put(
+                    e.key, e.share.data, e.share.value_size, e.version,
+                    complete=True,
+                )
+            elif e.share is not None:
+                self.store.put(
+                    e.key, e.share, e.share.size, e.version, complete=False,
+                )
+            else:
+                self.store.put(e.key, None, 0, e.version, complete=False)
+            rec = ChosenRecord(
+                value_id=e.value_id, ballot=ballot, value=None, share=e.share,
+            )
+            node.install_chosen(e.version, rec)
+            # Durably hold the fragment like an accepted share (§4.5),
+            # so this node counts toward decodability again.
+            if e.share is not None:
+                st = node.acceptor.state.instances.get(e.version)
+                if st is None or st.accepted_share is None:
+                    from ..core.acceptor import AcceptorInstance
+
+                    node.acceptor.state.instances[e.version] = AcceptorInstance(
+                        promised=ballot, accepted_ballot=ballot,
+                        accepted_share=e.share,
+                    )
+                    node.wal.append(
+                        ("accept", e.version, ballot, e.share),
+                        e.share.size, lambda: None,
+                    )
+        if reply.next_cursor is not None:
+            self._fetch_snapshot_page(group, host, reply.next_cursor)
+            return
+        # Final page: adopt the cursor the streamed state represents,
+        # the dedup identities, and the peer's ballot high-water mark
+        # (feeds the observer's floor bump at _group_rebuilt).
+        if reply.max_ballot is not None:
+            node._max_ballot_seen = max(node._max_ballot_seen, reply.max_ballot)
+        self._applied_ops.update(reply.applied_ops)
+        if reply.floor > node.apply_cursor:
+            node.apply_cursor = reply.floor
+        node.next_instance = max(node.next_instance, reply.floor)
+        node._advance_apply()
+        del self._snap_inflight[group]
+        self.tracer.emit(
+            self.sim.now, "kv",
+            f"{self.name} snapshot installed g{group} (floor={reply.floor})",
+        )
+        # Entry-granularity catch-up for the tail above the snapshot.
+        req = CatchUp(group=group, from_instance=node.apply_cursor)
+        self.endpoint.request(
+            host, req, req.wire_bytes,
+            on_reply=lambda rep, h=host: self._install_catch_up(rep, h),
+            timeout=1.0, retries=3, on_timeout=lambda: None,
+        )
+
+    def _group_rebuilt(self, group: int) -> None:
+        if group not in self._rebuild_pending:
+            return
+        self._rebuild_pending.discard(group)
+        node = self.groups[group]
+        if node.observer:
+            # Close the amnesia window as well as possible without a
+            # view change: refuse every ballot at or below everything
+            # learned during the rebuild before voting again. (The
+            # reconfigure-add path fences fully via a new view epoch.)
+            node.acceptor.state.floor = max(
+                node.acceptor.state.floor, node._max_ballot_seen,
+                self._hb_floor,
+            )
+            node.observer = False
+        self.metrics.counter("rebuild.groups_rebuilt").inc(1)
+        self.tracer.emit(
+            self.sim.now, "kv",
+            f"{self.name} rebuilt g{group} (cursor={node.apply_cursor})",
+        )
+        if not self._rebuild_pending:
+            self.tracer.emit(self.sim.now, "kv", f"{self.name} fully rebuilt")
+
+    def _on_fetch_snapshot(self, msg: FetchSnapshot, src: str, respond) -> None:
+        """Serve one page of materialized group state (latest surviving
+        version per key), each entry carrying a fragment re-coded for
+        the requester — §4.5's "re-code the data and send the
+        corresponding fragment", applied to whole-state transfer."""
+        if not self.up:
+            return
+        group = msg.group
+        node = self.groups[group]
+        src_id = next(
+            (nid for nid, host in self.peers.items() if host == src), None
+        )
+        keys = [
+            k for k in self.store.keys()
+            if self.shard_map.group_of(k) == group and k > msg.cursor
+        ]
+        entries: list[SnapshotEntry] = []
+        state = {"bytes": 0}
+
+        def finish(next_cursor: str | None) -> None:
+            if not self.up:
+                return
+            done = next_cursor is None
+            applied = ()
+            if done:
+                applied = tuple(sorted(
+                    op for op in self._applied_ops if op[0] == group
+                ))
+            chunk = SnapshotChunk(
+                group=group, entries=tuple(entries),
+                next_cursor=next_cursor,
+                floor=node.apply_cursor if done else 0,
+                applied_ops=applied,
+                max_ballot=node._max_ballot_seen if done else None,
+            )
+            self.metrics.counter("rebuild.snapshots_served").inc(1)
+            respond(chunk, chunk.wire_bytes)
+
+        def step(i: int) -> None:
+            # Trampolined, not recursive: _share_for_peer usually calls
+            # its continuation synchronously, and a page can span
+            # thousands of small keys.
+            while True:
+                if not self.up:
+                    return  # requester times out and restarts elsewhere
+                if i >= len(keys):
+                    finish(None)
+                    return
+                if state["bytes"] >= msg.max_bytes:
+                    finish(keys[i - 1])
+                    return
+                key = keys[i]
+                entry = self.store.get_entry(key)
+                if entry is None:
+                    i += 1
+                    continue
+                if entry.tombstone:
+                    entries.append(SnapshotEntry(
+                        key=key, version=entry.version, value_id="",
+                        value_size=0, meta=None, share=None, tombstone=True,
+                    ))
+                    state["bytes"] += KV_META + len(key)
+                    i += 1
+                    continue
+                sync = {"in_call": True, "resume": False}
+
+                def with_share(share, meta, value_id, value_size,
+                               key=key, entry=entry, i=i, sync=sync) -> None:
+                    if not value_id:
+                        # Unreconstructible right now (e.g. too many
+                        # peers down): skip; the joiner fills the hole
+                        # from another peer or a later catch-up pass.
+                        self.metrics.counter("rebuild.entries_skipped").inc(1)
+                    else:
+                        entries.append(SnapshotEntry(
+                            key=key, version=entry.version,
+                            value_id=value_id, value_size=value_size,
+                            meta=meta, share=share,
+                        ))
+                        state["bytes"] += KV_META + len(key) + (
+                            share.size if share is not None else 0
+                        )
+                    if sync["in_call"]:
+                        sync["resume"] = True  # continue the while loop
+                    else:
+                        step(i + 1)  # resumed from an async gather
+
+                self._share_for_peer(group, entry, src_id, with_share)
+                sync["in_call"] = False
+                if sync["resume"]:
+                    i += 1
+                    continue
+                return  # async gather in flight; with_share re-enters
+
+        step(0)
+
+    def _share_for_peer(self, group: int, entry, src_id, cont) -> None:
+        """Produce ``src_id``'s coded fragment of a stored entry:
+        re-encode from a locally held full value when possible, else
+        gather >= X peer shares and decode first, like the scrubber.
+        Calls ``cont(share, meta, value_id, value_size)``; share may be
+        None (metadata-only entry) and value_id "" on failure."""
+        node = self.groups[group]
+        instance = entry.version
+        rec = node.chosen.get(instance)
+        own_share = entry.value if isinstance(entry.value, CodedShare) else None
+        if own_share is None and rec is not None and rec.share is not None:
+            own_share = rec.share
+        if own_share is None:
+            own_share = node.acceptor.accepted_share(instance)
+        value_id = rec.value_id if rec is not None else (
+            own_share.value_id if own_share is not None else None
+        )
+        meta = self._meta_of(rec) if rec is not None else None
+        if meta is None and own_share is not None:
+            meta = own_share.meta
+        if value_id is None:
+            cont(None, None, "", 0)
+            return
+
+        def encode_for(value) -> None:
+            if own_share is not None:
+                coding, members = own_share.config, own_share.members
+            else:
+                coding = node.config.coding
+                members = tuple(sorted(node.peers))
+            if src_id is None or src_id not in members:
+                # Requester outside the stamped membership (value coded
+                # before it joined): hand over our own clean fragment —
+                # any X distinct clean shares decode.
+                fallback = (
+                    own_share
+                    if own_share is not None and not own_share.corrupt
+                    else None
+                )
+                cont(fallback, meta, value_id, value.size)
+                return
+            index = members.index(src_id)
+            cont(
+                encode_one_share(value, coding, index, members),
+                meta, value_id, value.size,
+            )
+
+        if rec is not None and rec.value is not None:
+            encode_for(rec.value)
+            return
+        if entry.complete:
+            data = entry.value if isinstance(entry.value, bytes) else None
+            encode_for(Value(value_id, entry.size, data, meta=meta))
+            return
+        if (
+            own_share is not None
+            and own_share.config.x == 1
+            and not own_share.corrupt
+        ):
+            # Classic full copy: serve it directly.
+            cont(own_share, meta, value_id, own_share.value_size)
+            return
+        # Only a fragment here: decode-and-re-encode via peer gather,
+        # with a watchdog so one unreconstructible value cannot stall
+        # the whole page forever.
+        state = {"fired": False}
+
+        def on_value(value) -> None:
+            if state["fired"]:
+                return
+            state["fired"] = True
+            if rec is not None and rec.value is None:
+                rec.value = value
+            encode_for(value)
+
+        def give_up() -> None:
+            if state["fired"]:
+                return
+            state["fired"] = True
+            cont(None, meta, value_id, 0)
+
+        self.sim.call_after(3.0, give_up)
+        seed = (
+            own_share
+            if own_share is not None and not own_share.corrupt
+            else None
+        )
+        self._gather_shares(group, instance, value_id, seed, on_value)
+
+    # ------------------------------------------------------------------
+    # reconfigure-add: re-admit a rebuilt node (§4.6 inverse of remove)
+    # ------------------------------------------------------------------
+
+    def _grown_config(self, new_n: int):
+        """Inverse of the §6.1 shrink rule: keep the fault-tolerance
+        target F and re-derive quorums/coding at the larger N. For the
+        paper's group this restores N=5, Q=4, θ(3,5) after a rejoin.
+
+        Growth needs no placement confirmation: the new read quorum
+        Q_R' >= Q_R means any post-growth read quorum still contains at
+        least Q_R - 1 >= X_old members of the old view, so values coded
+        under the old θ stay recoverable without re-coding."""
+        from ..core import classic_paxos, rs_paxos
+
+        if not self.config.is_erasure_coded:
+            return classic_paxos(new_n)
+        return rs_paxos(new_n, self.config.f)
+
+    def reconfigure_add(self, new_id: int) -> None:
+        """Re-admit ``new_id`` to every Paxos group via view change.
+
+        Leader-only. The inverse of :meth:`reconfigure_remove`: client
+        writes are fenced while the change runs; once the view commits,
+        every replica (including the rejoining node, which learns both
+        view commands in log order through catch-up) adopts the grown
+        quorum system, and the §4.5 rebuild path gives the newcomer its
+        own RS fragments of pre-join values.
+        """
+        if not self.is_leader_server or self._view_changing:
+            return
+        if new_id in self.member_ids or new_id not in self.peers:
+            return
+        self._view_changing = True
+        members = tuple(sorted(self.member_ids | {new_id}))
+        new_config = self._grown_config(len(members))
+        self.tracer.emit(
+            self.sim.now, "kv",
+            f"{self.name} view change: add {new_id} -> "
+            f"N={new_config.n} Q={new_config.q_w} X={new_config.x}",
+        )
+        self._drain_then(lambda: self._propose_view_change(members, new_config))

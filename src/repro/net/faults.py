@@ -23,7 +23,12 @@ from .network import Network
 
 #: Fault kinds handled by the network itself. Custom kinds (e.g. the
 #: chaos runner's "slow-disk") only reach the registered hooks.
-NET_KINDS = ("crash", "recover", "partition", "heal", "loss-burst", "loss-heal")
+#: "wipe"/"rejoin" are crash/recover at the network layer — the disk
+#: destruction is a server-process concern handled by the hooks.
+NET_KINDS = (
+    "crash", "recover", "partition", "heal", "loss-burst", "loss-heal",
+    "wipe", "rejoin",
+)
 
 
 class FaultSchedule:
@@ -48,9 +53,9 @@ class FaultSchedule:
         self._extra_hooks.append(hook)
 
     def _fire(self, kind: str, arg: Any) -> None:
-        if kind == "crash":
+        if kind == "crash" or kind == "wipe":
             self.net.crash_host(arg)
-        elif kind == "recover":
+        elif kind == "recover" or kind == "rejoin":
             self.net.recover_host(arg)
         elif kind == "partition":
             group_a, group_b = arg
@@ -73,6 +78,19 @@ class FaultSchedule:
 
     def recover_at(self, t: float, host: str) -> None:
         self.sim.call_at(t, lambda: self._fire("recover", host))
+
+    def wipe_at(self, t: float, host: str) -> None:
+        """Crash ``host`` with total durable-state loss (disk wiped).
+
+        The network treats this like a crash; the server-process hook
+        additionally destroys the WAL + checkpoint so the later rejoin
+        exercises full replica rebuild.
+        """
+        self.sim.call_at(t, lambda: self._fire("wipe", host))
+
+    def rejoin_at(self, t: float, host: str) -> None:
+        """Bring a wiped host back online (snapshot rebuild follows)."""
+        self.sim.call_at(t, lambda: self._fire("rejoin", host))
 
     def partition_at(self, t: float, group_a: list[str], group_b: list[str]) -> None:
         arg = (tuple(group_a), tuple(group_b))

@@ -7,18 +7,19 @@ Public API:
 - :class:`FifoResource` — serialized rate-limited server (NIC, disk).
 - :class:`RngRegistry` — named deterministic random substreams.
 - :class:`MetricSet`, :class:`LatencyRecorder`, :class:`ThroughputMeter`,
-  :class:`Counter` — measurement primitives.
+  :class:`Counter`, :class:`Gauge` — measurement primitives.
 - :class:`Tracer` — structured event trace for tests and debugging.
 """
 
 from .loop import Event, SimTimeout, SimulationError, Simulator
-from .metrics import Counter, LatencyRecorder, MetricSet, ThroughputMeter
+from .metrics import Counter, Gauge, LatencyRecorder, MetricSet, ThroughputMeter
 from .resources import FifoResource
 from .rng import RngRegistry
 from .trace import NULL_TRACER, Tracer, TraceRecord
 
 __all__ = [
     "Counter",
+    "Gauge",
     "Event",
     "FifoResource",
     "LatencyRecorder",

@@ -29,6 +29,19 @@ class Counter:
         self.value += amount
 
 
+class Gauge:
+    """A last-value-wins instrument (e.g. current WAL bytes on disk)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+
 class LatencyRecorder:
     """Accumulates latency samples; summarizes on demand."""
 
@@ -132,6 +145,7 @@ class MetricSet:
 
     def __init__(self):
         self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
         self.latencies: dict[str, LatencyRecorder] = {}
         self.throughputs: dict[str, ThroughputMeter] = {}
 
@@ -140,6 +154,12 @@ class MetricSet:
         if c is None:
             c = self.counters[name] = Counter(name)
         return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(name)
+        return g
 
     def latency(self, name: str) -> LatencyRecorder:
         r = self.latencies.get(name)

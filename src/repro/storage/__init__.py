@@ -9,8 +9,11 @@ Public API:
   acceptor's persistence substrate.
 - :class:`LocalStore`, :class:`StoredValue` — the per-replica local KV
   map (LevelDB stand-in) with incomplete-value tags (§4.4).
+- :class:`CheckpointStore`, :class:`CheckpointRecord` — atomic durable
+  state checkpoints, the WAL's compaction partner.
 """
 
+from .checkpoint import CheckpointRecord, CheckpointStore
 from .disk import HDD, SSD, Disk, DiskSpec
 from .memkv import LocalStore, StoredValue
 from .wal import (
@@ -22,6 +25,8 @@ from .wal import (
 )
 
 __all__ = [
+    "CheckpointRecord",
+    "CheckpointStore",
     "Disk",
     "DiskSpec",
     "HDD",

@@ -1,0 +1,124 @@
+"""Durable state checkpoints: the WAL's compaction partner.
+
+A server periodically persists its applied KV state plus acceptor
+metadata as one atomic checkpoint; once the checkpoint is on media the
+WAL prefix it covers can be truncated (:meth:`WriteAheadLog
+.truncate_prefix`), which is what bounds recovery time and disk
+footprint over the life of a cluster (§4.5 alone replays an ever-growing
+log).
+
+Atomicity model (write-new-then-swap, like a LevelDB MANIFEST or a Raft
+snapshot file): the new checkpoint is written to scratch space and only
+*becomes* the checkpoint when its device write completes. A crash
+mid-write keeps the previous checkpoint intact; a crash after the swap
+keeps the new one. Checkpoints are CRC-framed exactly like WAL records,
+so a rotten checkpoint is detected at load time (recovery then falls
+back to full WAL replay — or snapshot transfer from a peer if the WAL
+was already compacted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..sim import Simulator
+from .disk import Disk
+from .wal import RECORD_HEADER_BYTES, record_checksum
+
+
+@dataclass(slots=True)
+class CheckpointRecord:
+    """One durable checkpoint.
+
+    ``seq`` orders checkpoints (monotonic per store); ``payload`` is the
+    opaque state blob the server hands in; ``size`` is the modeled byte
+    footprint charged to the device; ``crc`` is the payload checksum as
+    written.
+    """
+
+    seq: int
+    payload: Any
+    size: int
+    crc: int = 0
+
+    @property
+    def valid(self) -> bool:
+        """True when the stored CRC matches the payload read back."""
+        return self.crc == record_checksum(self.seq, self.size)
+
+
+class CheckpointStore:
+    """At most one durable checkpoint per server, atomically replaced.
+
+    The CRC deliberately covers only the frame (seq, size), not a deep
+    serialization of the payload: checkpoint payloads hold live-object
+    *copies* whose repr is not canonical across mutation, and bit-rot
+    injection targets the frame via :meth:`corrupt` instead.
+    """
+
+    def __init__(self, sim: Simulator, disk: Disk, name: str = "ckpt"):
+        self.sim = sim
+        self.disk = disk
+        self.name = name
+        self.current: CheckpointRecord | None = None
+        self._next_seq = 0
+        self._epoch = 0  # bumped on crash/wipe; orphans in-flight saves
+        self.saves = 0
+        self.bytes_written = 0
+
+    def save(
+        self, payload: Any, size: int, callback: Callable[[], None]
+    ) -> None:
+        """Write a new checkpoint; ``callback`` fires once it is the
+        durable current one (the atomic swap point).
+
+        A crash before the device write completes leaves the previous
+        checkpoint in place and never fires the callback.
+        """
+        if size < 0:
+            raise ValueError("negative checkpoint size")
+        rec = CheckpointRecord(self._next_seq, payload, size)
+        rec.crc = record_checksum(rec.seq, rec.size)
+        self._next_seq += 1
+        epoch = self._epoch
+
+        def on_durable() -> None:
+            if epoch != self._epoch:
+                return  # crashed/wiped mid-write: scratch copy lost
+            self.current = rec
+            self.saves += 1
+            self.bytes_written += size
+            callback()
+
+        self.disk.write(size + RECORD_HEADER_BYTES, on_durable)
+
+    def load(self) -> CheckpointRecord | None:
+        """The durable checkpoint, or None if absent or checksum-bad
+        (a rotten checkpoint must never be installed silently)."""
+        if self.current is None or not self.current.valid:
+            return None
+        return self.current
+
+    def stored_bytes(self) -> int:
+        """Modeled on-disk footprint of the current checkpoint."""
+        if self.current is None:
+            return 0
+        return self.current.size + RECORD_HEADER_BYTES
+
+    def crash(self) -> None:
+        """Orphan any in-flight save; the durable checkpoint survives."""
+        self._epoch += 1
+
+    def wipe(self) -> None:
+        """Disk replaced: the checkpoint is gone too."""
+        self.current = None
+        self._epoch += 1
+
+    def corrupt(self) -> bool:
+        """Bit-rot the durable checkpoint (fault injection). Returns
+        False when there is nothing to rot."""
+        if self.current is None:
+            return False
+        self.current.crc ^= 0x5BD1E995
+        return True

@@ -106,6 +106,23 @@ class LocalStore:
         """Volatile wipe (crash). The WAL is the durable source."""
         self._data.clear()
 
+    def export_state(self) -> dict[str, StoredValue]:
+        """Copy of the full map for durable checkpointing. Entries are
+        copied (StoredValue is mutated in place by scrub repair), so
+        the checkpoint blob stays frozen while serving continues."""
+        return {
+            k: StoredValue(v.value, v.size, v.complete, v.version, v.tombstone)
+            for k, v in self._data.items()
+        }
+
+    def install_state(self, data: dict[str, StoredValue]) -> None:
+        """Inverse of :meth:`export_state` (recovery): install copies
+        so a later crash can reload the same blob uncorrupted."""
+        self._data = {
+            k: StoredValue(v.value, v.size, v.complete, v.version, v.tombstone)
+            for k, v in data.items()
+        }
+
     def __len__(self) -> int:
         return sum(1 for v in self._data.values() if not v.tombstone)
 

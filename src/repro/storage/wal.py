@@ -141,6 +141,11 @@ class WriteAheadLog:
         self.recovery_discarded = 0
         self.recovery_corrupt = 0
         self.discarded_total = 0
+        # Compaction state: every record with lsn < compaction_floor has
+        # been folded into a durable checkpoint and truncated away.
+        self.compaction_floor = 0
+        self.records_compacted = 0
+        self.compacted_bytes = 0
 
     def append(self, payload: Any, size: int, callback: Callable[[], None]) -> int:
         """Append a record; ``callback`` fires once it is durable.
@@ -321,6 +326,55 @@ class WriteAheadLog:
         if survivors:
             self._next_lsn = survivors[-1].lsn + 1
         return list(survivors)
+
+    # ------------------------------------------------------------------
+    # compaction / wipe
+    # ------------------------------------------------------------------
+
+    def truncate_prefix(self, floor_lsn: int) -> tuple[int, int]:
+        """Drop every durable record with ``lsn < floor_lsn``.
+
+        Called after a checkpoint covering those records is itself
+        durable. Modeled as a metadata operation (advancing the log's
+        start pointer, as journaling filesystems and LSM WALs do), so it
+        charges no device write. Returns ``(records, bytes)`` dropped.
+        The floor is monotonic; a stale call is a no-op.
+        """
+        if floor_lsn <= self.compaction_floor:
+            return (0, 0)
+        kept: list[WalRecord] = []
+        dropped = 0
+        dropped_bytes = 0
+        for rec in self.durable:
+            if rec.lsn < floor_lsn:
+                dropped += 1
+                dropped_bytes += rec.size + RECORD_HEADER_BYTES
+            else:
+                kept.append(rec)
+        self.durable = kept
+        self.compaction_floor = floor_lsn
+        self.records_compacted += dropped
+        self.compacted_bytes += dropped_bytes
+        # LSNs below the floor must never be reissued even if the log
+        # is now empty.
+        self._next_lsn = max(self._next_lsn, floor_lsn)
+        return (dropped, dropped_bytes)
+
+    def wipe(self) -> None:
+        """Total local-state loss: the disk was replaced.
+
+        Unlike :meth:`crash`, durable records are gone too. The LSN
+        counter and compaction floor reset — the rebuilt server starts a
+        fresh log (old LSNs are meaningless on a new disk).
+        """
+        self.crash()
+        self.durable = []
+        self._next_lsn = 0
+        self.compaction_floor = 0
+
+    def durable_bytes(self) -> int:
+        """Modeled on-disk footprint of the durable log."""
+        return sum(rec.size + RECORD_HEADER_BYTES for rec in self.durable)
 
     def verify(self) -> list[WalRecord]:
         """The durable records whose stored checksum no longer matches

@@ -54,8 +54,8 @@ class TestScheduleGenerator:
 
     def test_every_fault_is_paired_with_repair(self):
         # torn-write is a crash variant, so it shares the recover pool;
-        # bit-rot and scrub are unpaired by design (the background
-        # scrubber is bit-rot's repair path).
+        # a wipe pairs with its rejoin; bit-rot and scrub are unpaired
+        # by design (the background scrubber is bit-rot's repair path).
         for seed in range(10):
             events = gen(seed=seed)
             counts = {}
@@ -63,6 +63,7 @@ class TestScheduleGenerator:
                 counts[e.kind] = counts.get(e.kind, 0) + 1
             down = counts.get("crash", 0) + counts.get("torn-write", 0)
             assert down == counts.get("recover", 0)
+            assert counts.get("wipe", 0) == counts.get("rejoin", 0)
             assert counts.get("partition", 0) == counts.get("heal", 0)
             assert counts.get("slow-disk", 0) == counts.get("fix-disk", 0)
 
@@ -70,8 +71,11 @@ class TestScheduleGenerator:
         for seed in range(10):
             events = gen(seed=seed, max_crashed=2)
             down = set()
-            for e in sorted(events, key=lambda e: (e.t, e.kind != "recover")):
-                if e.kind == "crash":
+            order = sorted(
+                events, key=lambda e: (e.t, e.kind not in ("recover", "rejoin"))
+            )
+            for e in order:
+                if e.kind in ("crash", "wipe"):
                     down.add(e.arg)
                     assert len(down) <= 2
                 elif e.kind == "torn-write":
@@ -79,7 +83,7 @@ class TestScheduleGenerator:
                     down.add(host)
                     assert len(down) <= 2
                     assert 0.0 <= frac <= 1.0
-                elif e.kind == "recover":
+                elif e.kind in ("recover", "rejoin"):
                     down.discard(e.arg)
 
     def test_storage_kinds_appear(self):
@@ -93,6 +97,18 @@ class TestScheduleGenerator:
         for seed in range(5):
             kinds = {e.kind for e in gen(seed=seed, spec=spec)}
             assert not kinds & {"torn-write", "bit-rot", "scrub"}
+
+    def test_wipe_kind_appears(self):
+        kinds = set()
+        for seed in range(10):
+            kinds |= {e.kind for e in gen(seed=seed)}
+        assert {"wipe", "rejoin"} <= kinds
+
+    def test_wipe_weight_zero_disables(self):
+        spec = ScheduleSpec(wipe_weight=0.0)
+        for seed in range(5):
+            kinds = {e.kind for e in gen(seed=seed, spec=spec)}
+            assert not kinds & {"wipe", "rejoin"}
 
 
 class TestEpisodes:
@@ -116,6 +132,31 @@ class TestEpisodes:
     def test_unknown_protocol_rejected(self):
         with pytest.raises(ValueError):
             ChaosRunner(protocol="raft")
+
+    def test_wipe_episode_rebuilds_clean(self):
+        # A schedule biased hard toward wipes: the wiped server must
+        # rebuild (snapshot + tail) and the episode still come out
+        # linearizable with every invariant — including bounded-wal —
+        # intact.
+        spec = ChaosSpec(
+            schedule=ScheduleSpec(
+                fault_window=5.0, mean_gap=0.8,
+                weights=(1.0, 1.0, 1.0, 1.0),
+                storage_weights=(0.5, 0.5, 0.5),
+                wipe_weight=8.0,
+            ),
+            settle=4.0, num_clients=2, num_keys=4,
+        )
+        runner = ChaosRunner(protocol="rs-paxos", spec=spec, bundle_dir=None)
+        saw_wipe = False
+        for seed in range(6):
+            result, _ = runner.run_episode(seed)
+            assert result.ok, (result.violations, result.lin_failures)
+            if any(e.kind == "wipe" for e in result.schedule):
+                saw_wipe = True
+                assert result.rebuild_bytes > 0
+                break
+        assert saw_wipe, "no seed in range produced a wipe"
 
 
 class TestTeeth:

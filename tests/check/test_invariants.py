@@ -9,6 +9,7 @@ the chaos suite.
 from types import SimpleNamespace
 
 from repro.check import (
+    check_bounded_wal,
     check_config_safety,
     check_decodability,
     check_unique_choice,
@@ -117,3 +118,59 @@ class TestDecodability:
             server("S2", {3: rec(share=share(0))}),
         ]
         assert len(check_decodability(servers)) == 1
+
+
+def wal_server(
+    name="S0", durable_lsns=(), next_lsn=0, floor=0, interval=1.0,
+    last_ckpt=None, now=10.0, up=True,
+):
+    wal = SimpleNamespace(
+        durable=[SimpleNamespace(lsn=lsn) for lsn in durable_lsns],
+        _next_lsn=next_lsn, compaction_floor=floor,
+    )
+    return SimpleNamespace(
+        name=name, up=up, wal=wal, checkpoint_interval=interval,
+        last_checkpoint_at=last_ckpt, sim=SimpleNamespace(now=now),
+    )
+
+
+class TestBoundedWal:
+    def test_healthy_server_passes(self):
+        srv = wal_server(durable_lsns=(5, 6), next_lsn=7, floor=5,
+                         last_ckpt=9.5)
+        assert check_bounded_wal([srv]) == []
+
+    def test_record_below_floor_caught(self):
+        srv = wal_server(durable_lsns=(2, 5, 6), next_lsn=8, floor=5,
+                         last_ckpt=9.5)
+        violations = check_bounded_wal([srv])
+        assert [v.kind for v in violations] == ["bounded-wal"]
+        assert "below its" in violations[0].detail
+
+    def test_log_larger_than_lsn_span_caught(self):
+        srv = wal_server(durable_lsns=(5, 5, 6), next_lsn=7, floor=5,
+                         last_ckpt=9.5)
+        violations = check_bounded_wal([srv])
+        assert [v.kind for v in violations] == ["bounded-wal"]
+
+    def test_never_checkpointed_caught(self):
+        srv = wal_server(next_lsn=3, last_ckpt=None, now=10.0)
+        violations = check_bounded_wal([srv])
+        assert [v.kind for v in violations] == ["bounded-wal"]
+        assert "never completed" in violations[0].detail
+
+    def test_stale_checkpoint_caught(self):
+        srv = wal_server(next_lsn=3, floor=3, last_ckpt=1.0, now=10.0)
+        violations = check_bounded_wal([srv])
+        assert [v.kind for v in violations] == ["bounded-wal"]
+        assert "stale" in violations[0].detail
+
+    def test_young_server_gets_slack(self):
+        # Within 4 intervals of start, no cadence complaint yet.
+        srv = wal_server(next_lsn=3, last_ckpt=None, now=3.0)
+        assert check_bounded_wal([srv]) == []
+
+    def test_down_or_unconfigured_servers_skipped(self):
+        down = wal_server(last_ckpt=None, up=False)
+        no_ckpt = wal_server(interval=0.0, last_ckpt=None)
+        assert check_bounded_wal([down, no_ckpt]) == []

@@ -1,0 +1,208 @@
+"""Integration tests for checkpointing, WAL compaction, and full
+replica rebuild (wipe -> rejoin -> snapshot transfer).
+
+The §4.5 recovery path alone replays an ever-growing log; with
+checkpoints the WAL stays bounded, and a replica that lost its disk
+entirely rebuilds from a peer snapshot plus the log tail — receiving
+its *own* RS fragments, not full copies — instead of replaying history
+that no longer exists anywhere.
+"""
+
+from repro.check import check_bounded_wal, check_cluster
+from repro.core import rs_paxos
+from repro.kvstore import build_cluster
+
+SIZE = 3000          # theta(3,5) => 1000 B fragment per replica
+FRAGMENT = SIZE // 3
+
+
+def make(seed=11, interval=0.5, **kw):
+    cluster = build_cluster(
+        rs_paxos(5, 1), seed=seed, num_groups=2,
+        checkpoint_interval=interval, **kw,
+    )
+    cluster.start()
+    cluster.run(until=1.0)
+    return cluster
+
+
+def pump(cluster, ops):
+    """Issue ``(key, size)`` puts strictly one after another; returns a
+    list that fills with each op's outcome as the sim runs."""
+    results = []
+    client = cluster.clients[0]
+
+    def issue(i):
+        if i >= len(ops):
+            return
+        key, size = ops[i]
+
+        def done(ok, i=i):
+            results.append(ok)
+            issue(i + 1)
+
+        client.put(key, size, on_done=done)
+
+    issue(0)
+    return results
+
+
+class TestCheckpointCadence:
+    def test_wal_stays_bounded_under_load(self):
+        c = make()
+        results = pump(c, [(f"k{i % 8}", SIZE) for i in range(60)])
+        c.run(until=6.0)
+        assert all(results) and len(results) == 60
+        for srv in c.servers:
+            assert srv.last_checkpoint_at is not None
+            assert srv.wal.compaction_floor > 0
+            assert srv.wal.records_compacted > 0
+            # The live log is only the tail since the last checkpoint.
+            assert len(srv.wal.durable) <= srv.wal._next_lsn - srv.wal.compaction_floor
+        assert check_bounded_wal(c.servers) == []
+
+    def test_footprint_gauges_and_counters(self):
+        c = make()
+        pump(c, [(f"k{i}", SIZE) for i in range(10)])
+        c.run(until=4.0)
+        assert c.metrics.counter("ckpt.saves").value > 0
+        assert c.metrics.counter("ckpt.records_compacted").value > 0
+        for srv in c.servers:
+            fp = srv.durable_footprint()
+            assert fp["checkpoint_bytes"] > 0
+            assert fp["records_compacted"] > 0
+            assert c.metrics.gauges[f"{srv.name}.wal_bytes"].value >= 0
+
+    def test_recovery_loads_checkpoint_then_tail(self):
+        # A plain crash/recover after compaction must come back from
+        # checkpoint + tail: the truncated prefix no longer exists.
+        c = make()
+        results = pump(c, [(f"k{i}", SIZE) for i in range(12)])
+        c.run(until=4.0)
+        assert all(results) and len(results) == 12
+        srv = c.servers[2]
+        assert srv.wal.compaction_floor > 0
+        c.crash_server(2)
+        c.run(until=5.0)
+        c.recover_server(2)
+        c.run(until=8.0)
+        assert srv.up
+        for i in range(12):
+            entry = srv.store.get_entry(f"k{i}")
+            assert entry is not None
+        assert check_cluster(c.servers, c.servers[0].config) == []
+
+    def test_disabled_by_default(self):
+        c = build_cluster(rs_paxos(5, 1), seed=3, num_groups=2)
+        c.start()
+        c.run(until=1.0)
+        pump(c, [("a", SIZE)])
+        c.run(until=4.0)
+        for srv in c.servers:
+            assert srv.last_checkpoint_at is None
+            assert srv.wal.compaction_floor == 0
+        assert check_bounded_wal(c.servers) == []  # probe is a no-op
+
+
+class TestWipeRejoin:
+    def test_rebuild_end_to_end(self):
+        c = make(seed=21)
+        results = pump(c, [(f"old{i}", SIZE) for i in range(8)])
+        c.run(until=3.0)
+        assert all(results) and len(results) == 8
+        # Total disk loss on a follower.
+        c.wipe_server(3)
+        c.run(until=4.0)
+        late = pump(c, [(f"new{i}", SIZE) for i in range(4)])
+        c.run(until=5.0)
+        assert all(late) and len(late) == 4
+        c.rejoin_server(3)
+        c.run(until=10.0)
+
+        srv = c.servers[3]
+        assert srv.up
+        assert not srv._rebuild_pending
+        assert all(not node.observer for node in srv.groups)
+        # The rebuild went through snapshot transfer, not log replay of
+        # a prefix that no longer exists anywhere.
+        assert c.metrics.counter("rebuild.snapshot_transfers").value >= 1
+        assert c.metrics.counter("rebuild.groups_rebuilt").value >= len(srv.groups)
+        # The rebuilt replica holds its OWN RS fragments (1/3 of each
+        # value), both for pre-wipe and while-down writes.
+        for key in [f"old{i}" for i in range(8)] + [f"new{i}" for i in range(4)]:
+            entry = srv.store.get_entry(key)
+            assert entry is not None, key
+            assert not entry.complete
+            assert entry.size == FRAGMENT
+        # Full-cluster sweep: decodable, unique, checksum-clean, bounded.
+        assert check_cluster(c.servers, c.servers[0].config) == []
+
+    def test_rebuilt_server_accepts_again(self):
+        # After rebuild the ex-observer votes again: with one *other*
+        # server crashed, Q=4 of 5 needs the rebuilt node's vote.
+        c = make(seed=22)
+        results = pump(c, [(f"k{i}", SIZE) for i in range(6)])
+        c.run(until=3.0)
+        assert all(results)
+        c.wipe_server(3)
+        c.run(until=4.0)
+        c.rejoin_server(3)
+        c.run(until=8.0)
+        assert not c.servers[3]._rebuild_pending
+        c.crash_server(4)
+        done = pump(c, [("quorum-needs-3", SIZE)])
+        c.run(until=12.0)
+        assert done == [True]
+
+    def test_wipe_then_rejoin_without_checkpoints(self):
+        # With checkpointing off nothing was ever compacted, so plain
+        # entry-granularity catch-up can rebuild the whole store.
+        c = build_cluster(rs_paxos(5, 1), seed=23, num_groups=2)
+        c.start()
+        c.run(until=1.0)
+        results = pump(c, [(f"k{i}", SIZE) for i in range(6)])
+        c.run(until=3.0)
+        assert all(results)
+        c.wipe_server(2)
+        c.run(until=4.0)
+        c.rejoin_server(2)
+        c.run(until=8.0)
+        srv = c.servers[2]
+        assert srv.up and not srv._rebuild_pending
+        for i in range(6):
+            assert srv.store.get_entry(f"k{i}") is not None
+        assert check_cluster(c.servers, c.servers[0].config) == []
+
+
+class TestRebuildTraffic:
+    def test_rebuild_moves_state_not_history(self):
+        # 4 keys overwritten 25 times each: full history replay would
+        # ship ~100 fragments; a snapshot ships ~4 (latest versions
+        # only) plus the post-checkpoint tail.
+        c = make(seed=31)
+        ops = [(f"hot{i % 4}", SIZE) for i in range(100)]
+        results = pump(c, ops)
+        c.run(until=5.0)
+        assert all(results) and len(results) == 100
+        assert c.metrics.counter("rebuild.snapshot_bytes").value == 0
+
+        c.wipe_server(3)
+        c.run(until=6.0)
+        c.rejoin_server(3)
+        c.run(until=10.0)
+        assert not c.servers[3]._rebuild_pending
+
+        rebuild_bytes = (
+            c.metrics.counter("rebuild.snapshot_bytes").value
+            + c.metrics.counter("rebuild.catchup_bytes").value
+        )
+        history_bytes = len(ops) * FRAGMENT  # what full replay would ship
+        assert rebuild_bytes > 0
+        assert rebuild_bytes < 0.5 * history_bytes
+        # And the rebuilt state is the *latest* version of each key.
+        srv = c.servers[3]
+        for i in range(4):
+            entry = srv.store.get_entry(f"hot{i}")
+            assert entry is not None
+            assert entry.size == FRAGMENT
+        assert check_cluster(c.servers, c.servers[0].config) == []

@@ -125,6 +125,70 @@ class TestExplicitViewChange:
         assert c.leader().view_epoch == 0
 
 
+class TestReconfigureAdd:
+    """The inverse of the shrink rule: a rebuilt node is re-admitted
+    and the view grows back to N=5, Q=4, θ(3,5)."""
+
+    def test_full_remove_rejoin_add_lifecycle(self):
+        c = make(seed=5, checkpoint_interval=0.5)
+        done0 = []
+        c.clients[0].put("era0", 3000, on_done=lambda ok: done0.append(ok))
+        c.run(until=3.0)
+        assert done0 == [True]
+        # Crash + remove: cluster shrinks to N=4, Q=3, θ(2,4).
+        c.crash_server(4)
+        c.run(until=4.0)
+        c.leader().reconfigure_remove(4)
+        c.run(until=8.0)
+        done1 = []
+        c.clients[0].put("era1", 3000, on_done=lambda ok: done1.append(ok))
+        c.run(until=10.0)
+        assert done1 == [True]
+        # The node comes back with a wiped disk, rebuilds via snapshot
+        # transfer, and is re-admitted by the leader.
+        c.servers[4].wal.wipe()
+        c.servers[4].checkpoint_store.wipe()
+        c.recover_server(4)
+        c.run(until=14.0)
+        c.leader().reconfigure_add(4)
+        c.run(until=20.0)
+        for s in c.servers:
+            assert s.view_epoch == 2
+            assert s.member_ids == {0, 1, 2, 3, 4}
+            assert s.config.n == 5
+            assert (s.config.q_r, s.config.q_w, s.config.x) == (4, 4, 3)
+        # Writes work under the restored coding, and the whole history
+        # — both eras — stays readable.
+        done2 = []
+        c.clients[0].put("era2", 3000, on_done=lambda ok: done2.append(ok))
+        c.run(until=24.0)
+        assert done2 == [True]
+        got = []
+        for key in ("era0", "era1", "era2"):
+            c.clients[0].get(key, on_done=lambda ok, size: got.append((ok, size)))
+        c.run(until=28.0)
+        assert got == [(True, 3000)] * 3
+
+    def test_add_requires_leader(self):
+        c = make(seed=6)
+        follower = next(s for s in c.servers if not s.is_leader_server)
+        follower.reconfigure_add(0)
+        c.run(until=3.0)
+        assert all(s.view_epoch == 0 for s in c.servers)
+
+    def test_add_existing_member_is_noop(self):
+        c = make(seed=7)
+        c.leader().reconfigure_add(2)
+        c.run(until=3.0)
+        assert all(s.view_epoch == 0 for s in c.servers)
+
+    def test_add_unknown_peer_is_noop(self):
+        c = make(seed=8)
+        c.leader().reconfigure_add(9)
+        c.run(until=3.0)
+        assert all(s.view_epoch == 0 for s in c.servers)
+
+
 class TestAutoReconfigure:
     def test_silent_member_dropped_automatically(self):
         c = build_cluster(

@@ -45,6 +45,25 @@ class TestHookDispatch:
         ]
         assert sched.fired == events
 
+    def test_wipe_and_rejoin_reach_hooks_and_network(self):
+        """wipe/rejoin act like crash/recover at the network layer —
+        the disk-loss semantics live in the hook consumer."""
+        sim, net = make_net()
+        sched = FaultSchedule(sim, net)
+        events = collect_hooks(sched, sim)
+        got = []
+        net.set_handler("B", lambda env: got.append(env.payload))
+
+        sched.wipe_at(1.0, "B")
+        sched.rejoin_at(2.0, "B")
+        sim.call_at(1.5, lambda: net.send("A", "B", "while-wiped", size=0))
+        sim.call_at(2.5, lambda: net.send("A", "B", "after-rejoin", size=0))
+        sim.run()
+
+        assert events == [(1.0, "wipe", "B"), (2.0, "rejoin", "B")]
+        assert got == ["after-rejoin"]
+        assert net.hosts["B"].up
+
     def test_partition_at_cuts_and_heal_restores(self):
         """partition_at / heal_at act on the network, not only on hooks."""
         sim, net = make_net()

@@ -1,0 +1,168 @@
+"""Unit tests for the checkpoint store and WAL prefix compaction.
+
+The two halves of the log-bounding story: a checkpoint becomes durable
+atomically (write-new-then-swap), and only then may the WAL prefix it
+covers be truncated. These tests pin the crash semantics of both.
+"""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.storage import SSD, CheckpointStore, Disk, WriteAheadLog
+from repro.storage.wal import RECORD_HEADER_BYTES
+
+
+def make_store():
+    sim = Simulator()
+    disk = Disk(sim, SSD)
+    store = CheckpointStore(sim, disk, "S0.ckpt")
+    return sim, disk, store
+
+
+def make_wal():
+    sim = Simulator()
+    disk = Disk(sim, SSD)
+    wal = WriteAheadLog(sim, disk, group_commit_window=0.0)
+    return sim, disk, wal
+
+
+class TestCheckpointStore:
+    def test_save_then_load(self):
+        sim, disk, store = make_store()
+        done = []
+        store.save({"state": 1}, 500, lambda: done.append(sim.now))
+        assert store.load() is None  # not durable yet
+        sim.run()
+        assert len(done) == 1
+        rec = store.load()
+        assert rec is not None
+        assert rec.payload == {"state": 1}
+        assert store.stored_bytes() == 500 + RECORD_HEADER_BYTES
+
+    def test_newer_checkpoint_replaces_older(self):
+        sim, disk, store = make_store()
+        store.save("old", 100, lambda: None)
+        sim.run()
+        store.save("new", 200, lambda: None)
+        sim.run()
+        rec = store.load()
+        assert rec.payload == "new"
+        assert rec.seq == 1
+        assert store.saves == 2
+        # Only the current checkpoint occupies disk (atomic swap).
+        assert store.stored_bytes() == 200 + RECORD_HEADER_BYTES
+
+    def test_crash_mid_save_keeps_previous(self):
+        sim, disk, store = make_store()
+        store.save("v1", 100, lambda: None)
+        sim.run()
+        fired = []
+        store.save("v2", 100, lambda: fired.append(1))
+        store.crash()  # device write still in flight: scratch copy lost
+        sim.run()
+        assert fired == []
+        assert store.load().payload == "v1"
+
+    def test_crash_with_no_prior_checkpoint(self):
+        sim, disk, store = make_store()
+        store.save("v1", 100, lambda: None)
+        store.crash()
+        sim.run()
+        assert store.load() is None
+
+    def test_wipe_destroys_checkpoint(self):
+        sim, disk, store = make_store()
+        store.save("v1", 100, lambda: None)
+        sim.run()
+        store.wipe()
+        assert store.load() is None
+        assert store.stored_bytes() == 0
+
+    def test_corrupt_checkpoint_not_loaded(self):
+        sim, disk, store = make_store()
+        store.save("v1", 100, lambda: None)
+        sim.run()
+        assert store.corrupt()
+        assert store.load() is None  # rotten checkpoints never install
+
+    def test_corrupt_without_checkpoint_is_noop(self):
+        sim, disk, store = make_store()
+        assert not store.corrupt()
+
+    def test_negative_size_rejected(self):
+        sim, disk, store = make_store()
+        with pytest.raises(ValueError):
+            store.save("x", -1, lambda: None)
+
+    def test_save_after_crash_works(self):
+        sim, disk, store = make_store()
+        store.save("v1", 100, lambda: None)
+        store.crash()
+        sim.run()
+        store.save("v2", 100, lambda: None)
+        sim.run()
+        assert store.load().payload == "v2"
+
+
+class TestTruncatePrefix:
+    def durable_wal(self, n=5, size=100):
+        sim, disk, wal = make_wal()
+        for i in range(n):
+            wal.append(("accept", i), size, lambda: None)
+        sim.run()
+        return sim, disk, wal
+
+    def test_drops_exactly_the_prefix(self):
+        sim, disk, wal = self.durable_wal()
+        dropped, dbytes = wal.truncate_prefix(3)
+        assert dropped == 3
+        assert dbytes == 3 * (100 + RECORD_HEADER_BYTES)
+        assert [r.lsn for r in wal.durable] == [3, 4]
+        assert wal.compaction_floor == 3
+        assert wal.records_compacted == 3
+
+    def test_charges_no_device_write(self):
+        sim, disk, wal = self.durable_wal()
+        before = disk.bytes_written
+        wal.truncate_prefix(5)
+        assert disk.bytes_written == before  # metadata-only operation
+
+    def test_floor_is_monotonic(self):
+        sim, disk, wal = self.durable_wal()
+        wal.truncate_prefix(4)
+        assert wal.truncate_prefix(2) == (0, 0)  # stale call: no-op
+        assert wal.compaction_floor == 4
+
+    def test_lsns_below_floor_never_reissued(self):
+        sim, disk, wal = self.durable_wal(n=3)
+        wal.truncate_prefix(3)  # log now empty
+        lsn = wal.append("fresh", 10, lambda: None)
+        assert lsn == 3
+
+    def test_durable_bytes_shrinks(self):
+        sim, disk, wal = self.durable_wal()
+        full = wal.durable_bytes()
+        wal.truncate_prefix(4)
+        assert wal.durable_bytes() == full - 4 * (100 + RECORD_HEADER_BYTES)
+
+    def test_recovery_after_truncate_replays_tail_only(self):
+        sim, disk, wal = self.durable_wal()
+        wal.truncate_prefix(3)
+        wal.crash()
+        records = wal.recover()
+        assert [r.lsn for r in records] == [3, 4]
+
+
+class TestWalWipe:
+    def test_wipe_loses_everything_and_resets(self):
+        sim, disk, wal = make_wal()
+        for i in range(4):
+            wal.append(i, 50, lambda: None)
+        sim.run()
+        wal.truncate_prefix(2)
+        wal.wipe()
+        assert wal.durable == []
+        assert wal.durable_bytes() == 0
+        assert wal.compaction_floor == 0
+        # A fresh disk starts a fresh log at LSN 0.
+        assert wal.append("first", 10, lambda: None) == 0
