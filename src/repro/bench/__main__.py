@@ -7,11 +7,14 @@ Usage::
     python -m repro.bench fig5 [--full]
     python -m repro.bench all  [--full]
     python -m repro.bench chaos [--seeds N] [--short] [--wipe-heavy]
+    python -m repro.bench overload [--full]
 
 ``chaos`` is the correctness gate rather than a paper figure: it runs
 seeded fault-injection episodes and fails (exit 1, repro bundle on
 disk) if any history is non-linearizable or any protocol invariant
-breaks.
+breaks. ``overload`` is the robustness gate: it drives the cluster
+past saturation and fails (exit 1) if admission control cannot hold
+goodput at 2x offered load.
 """
 
 from __future__ import annotations
@@ -19,7 +22,9 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .experiments import chaos, cpu_cost, fig5, fig6, fig7, fig8, table1
+from .experiments import (
+    chaos, cpu_cost, fig5, fig6, fig7, fig8, overload, table1,
+)
 
 EXPERIMENTS = {
     "table1": ("Table 1: quorum configurations at N=7", table1),
@@ -29,6 +34,8 @@ EXPERIMENTS = {
     "fig8": ("Figure 8: failover timelines", fig8),
     "cpu": ("§6.2.3: CPU cost of coding", cpu_cost),
     "chaos": ("Chaos sweep: linearizability + invariants under faults", chaos),
+    "overload": ("Overload: goodput vs offered load, admission on/off",
+                 overload),
 }
 
 
@@ -76,6 +83,8 @@ def main(argv: list[str] | None = None) -> int:
         elif name == "chaos":
             status |= module.main(seeds=args.seeds, short=args.short,
                                   wipe_heavy=args.wipe_heavy)
+        elif name == "overload":
+            status |= module.main(quick=not args.full)
         else:
             module.main(quick=not args.full)
     return status

@@ -13,8 +13,13 @@ shapes the paper reports hold in both modes.
 - :mod:`.cpu_cost` — §6.2.3, CPU cost accounting.
 - :mod:`.chaos` — not a figure: randomized fault exploration with
   linearizability + invariant checking (:mod:`repro.chaos`).
+- :mod:`.overload` — not a figure: goodput vs offered load past the
+  saturation knee, admission control on vs off.
 """
 
-from . import chaos, cpu_cost, fig5, fig6, fig7, fig8, table1
+from . import chaos, cpu_cost, fig5, fig6, fig7, fig8, overload, table1
 
-__all__ = ["chaos", "cpu_cost", "fig5", "fig6", "fig7", "fig8", "table1"]
+__all__ = [
+    "chaos", "cpu_cost", "fig5", "fig6", "fig7", "fig8", "overload",
+    "table1",
+]

@@ -2,7 +2,8 @@
 
 Not a paper figure — a correctness gate. Runs N seeded chaos episodes
 (crashes, partitions, loss/dup bursts, slow disks, torn WAL writes,
-bit-rot on stored coded shares) against both the paper's headline
+bit-rot on stored coded shares, client overload bursts, gray slow
+nodes) against both the paper's headline
 RS-Paxos setup (N=5, F=1, θ(3,5)) and classic Paxos at N=5, checking
 every episode's client history for per-key linearizability and the
 final replicated state for the paper's safety invariants (unique
@@ -81,6 +82,13 @@ def main(
               f"({rebuild_bytes} B rebuild traffic); final durable state "
               f"{wal_bytes} B WAL + {ckpt_bytes} B checkpoints, "
               f"{compacted} records compacted")
+        shed = sum(r.requests_shed for r in results)
+        hedges = sum(r.hedges_issued for r in results)
+        hedge_wins = sum(r.hedge_wins for r in results)
+        adaptations = sum(r.timeout_adaptations for r in results)
+        print(f"   overload/gray: {shed} requests shed, "
+              f"{hedges} hedged fetches ({hedge_wins} won), "
+              f"{adaptations} retransmit-timeout adaptations")
         total_failures += len(failures)
     if total_failures:
         print(f"FAIL: {total_failures} episode(s) violated "

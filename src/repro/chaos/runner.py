@@ -2,7 +2,8 @@
 
 One *episode* = build a cluster from a seed, run a randomized
 client workload while a randomized fault schedule (crashes, partitions,
-loss/dup bursts, slow disks) plays out, heal everything, then check
+loss/dup bursts, slow disks, client overload bursts, gray slow-nodes)
+plays out, heal everything, then check
 
 1. the client-observed history for per-key linearizability
    (:mod:`repro.check.linearize`), and
@@ -108,6 +109,14 @@ class EpisodeResult:
     wal_bytes: int = 0           # final durable WAL bytes, all servers
     checkpoint_bytes: int = 0    # final checkpoint bytes, all servers
     records_compacted: int = 0   # WAL records dropped by truncation
+    # Overload / gray-failure accounting (admission control + hedging
+    # PR): how often leaders shed load, how often hedged share fetches
+    # fired and paid off, and how often the adaptive RTT estimators
+    # materially re-tuned a retransmit timeout.
+    requests_shed: int = 0
+    hedges_issued: int = 0
+    hedge_wins: int = 0
+    timeout_adaptations: int = 0
     bundle_path: str | None = None
 
     def to_jsonable(self) -> dict:
@@ -126,6 +135,10 @@ class EpisodeResult:
             "wal_bytes": self.wal_bytes,
             "checkpoint_bytes": self.checkpoint_bytes,
             "records_compacted": self.records_compacted,
+            "requests_shed": self.requests_shed,
+            "hedges_issued": self.hedges_issued,
+            "hedge_wins": self.hedge_wins,
+            "timeout_adaptations": self.timeout_adaptations,
             "schedule": [e.to_jsonable() for e in self.schedule],
         }
 
@@ -173,6 +186,9 @@ class ChaosRunner:
         sim = cluster.sim
         by_host = {srv.name: srv for srv in cluster.servers}
         rot_rng = sim.rng.stream("chaos.bitrot")
+        # Filled by _start_workload: lets the "overload" fault reach
+        # into the workload and open its loop for a burst.
+        workload_ctl: dict = {}
 
         def on_fault(kind: str, arg) -> None:
             if kind in ("crash", "recover") and arg in by_host:
@@ -203,6 +219,18 @@ class ChaosRunner:
                 srv = by_host[arg]
                 if srv.up:
                     srv.scrub_now()
+            elif kind == "overload":
+                d, factor = arg
+                workload_ctl["burst"](d, factor)
+            elif kind == "slow-node":
+                # Gray failure: the whole node slows — disk AND NIC —
+                # but stays up and keeps answering (late).
+                host, factor = arg
+                by_host[host].disk.slowdown = factor
+                cluster.net.set_nic_slowdown(host, factor)
+            elif kind == "fix-node":
+                by_host[arg].disk.slowdown = 1.0
+                cluster.net.set_nic_slowdown(arg, 1.0)
 
         cluster.faults.on_fault(on_fault)
 
@@ -215,7 +243,7 @@ class ChaosRunner:
         arm_schedule(cluster.faults, schedule)
 
         recorder = HistoryRecorder()
-        self._start_workload(cluster, recorder)
+        self._start_workload(cluster, recorder, workload_ctl)
 
         violations: list[dict] = []
         try:
@@ -264,18 +292,48 @@ class ChaosRunner:
                 s.durable_footprint()["records_compacted"]
                 for s in cluster.servers
             ),
+            requests_shed=sum(s.requests_shed for s in cluster.servers),
+            hedges_issued=sum(s.hedges_issued for s in cluster.servers),
+            hedge_wins=sum(s.hedge_wins for s in cluster.servers),
+            timeout_adaptations=sum(
+                s.endpoint.timeouts_adapted for s in cluster.servers
+            ),
         )
         trace_tail = (
             [str(r) for r in cluster.tracer.records[-400:]] if trace else []
         )
         return result, trace_tail
 
-    def _start_workload(self, cluster, recorder: HistoryRecorder) -> None:
-        """Closed-loop clients with unique write sizes per key."""
+    def _start_workload(
+        self, cluster, recorder: HistoryRecorder, ctl: dict | None = None,
+    ) -> None:
+        """Closed-loop clients with unique write sizes per key.
+
+        ``ctl`` (when given) receives a ``"burst"`` callable: the
+        "overload" chaos event opens the loop for a window — each
+        client temporarily runs ``factor - 1`` extra concurrent op
+        chains, multiplying the offered load without changing the
+        steady-state workload's RNG draws.
+        """
         spec = self.spec
         sim = cluster.sim
         stop_at = spec.schedule.end
         write_seq: dict[str, int] = {}
+
+        def one_op(client, rng, on_done) -> None:
+            key = f"k{int(rng.integers(spec.num_keys))}"
+            x = float(rng.random())
+            if x < spec.p_write:
+                seq = write_seq.get(key, 0) + 1
+                write_seq[key] = seq
+                # Never-repeated size = distinguishable register value.
+                client.put(key, 64 + seq, on_done=on_done)
+            elif x < spec.p_write + spec.p_fast_read:
+                client.get(key, mode="fast", on_done=on_done)
+            elif x < spec.p_write + spec.p_fast_read + spec.p_consistent_read:
+                client.get(key, mode="consistent", on_done=on_done)
+            else:
+                client.delete(key, on_done=on_done)
 
         for client in cluster.clients:
             client.history = recorder
@@ -289,21 +347,33 @@ class ChaosRunner:
                 def again(*_ignored) -> None:
                     sim.call_after(spec.think_time, loop)
 
-                key = f"k{int(rng.integers(spec.num_keys))}"
-                x = float(rng.random())
-                if x < spec.p_write:
-                    seq = write_seq.get(key, 0) + 1
-                    write_seq[key] = seq
-                    # Never-repeated size = distinguishable register value.
-                    client.put(key, 64 + seq, on_done=again)
-                elif x < spec.p_write + spec.p_fast_read:
-                    client.get(key, mode="fast", on_done=again)
-                elif x < spec.p_write + spec.p_fast_read + spec.p_consistent_read:
-                    client.get(key, mode="consistent", on_done=again)
-                else:
-                    client.delete(key, on_done=again)
+                one_op(client, rng, again)
 
             sim.call_soon(loop)
+
+        def spawn_chain(client, rng, until: float) -> None:
+            def chain(*_ignored) -> None:
+                if sim.now >= until or sim.now >= stop_at:
+                    return
+                one_op(
+                    client, rng,
+                    lambda *_: sim.call_after(spec.think_time, chain),
+                )
+
+            sim.call_soon(chain)
+
+        def burst(duration: float, factor: float) -> None:
+            until = min(sim.now + duration, stop_at)
+            extra = max(1, int(round(factor)) - 1)
+            for client in cluster.clients:
+                # Separate substream per client: burst draws must not
+                # perturb the steady workload's sequence.
+                brng = sim.rng.stream(f"chaos.overload.{client.name}")
+                for _ in range(extra):
+                    spawn_chain(client, brng, until)
+
+        if ctl is not None:
+            ctl["burst"] = burst
 
     # -- batches ----------------------------------------------------------
 

@@ -35,7 +35,7 @@ class ChaosEvent:
 
     t: float
     # crash|recover|partition|heal|loss-burst|slow-disk|fix-disk|
-    # torn-write|bit-rot|scrub|wipe|rejoin
+    # torn-write|bit-rot|scrub|wipe|rejoin|overload|slow-node|fix-node
     kind: str
     arg: Any = None
 
@@ -76,6 +76,20 @@ class ScheduleSpec:
     # Zero weight disables.
     wipe_dur: tuple[float, float] = (1.5, 5.0)
     wipe_weight: float = 1.5
+    # Overload: an open-loop client burst — for its duration the
+    # workload multiplies its offered load by the drawn factor,
+    # exercising admission control / load shedding. One at a time.
+    # Zero weight disables.
+    overload_dur: tuple[float, float] = (1.0, 3.0)
+    overload_factor: tuple[float, float] = (4.0, 12.0)
+    overload_weight: float = 1.5
+    # Slow node (gray failure): one server's disk AND NIC slow down by
+    # the drawn factor — alive, reachable, late. Pairs with fix-node;
+    # at most one gray node at a time, never stacked on a slow disk.
+    # Zero weight disables.
+    node_slow_factor: tuple[float, float] = (5.0, 25.0)
+    node_slow_dur: tuple[float, float] = (1.0, 4.0)
+    slow_node_weight: float = 1.5
 
     @property
     def end(self) -> float:
@@ -92,8 +106,10 @@ def generate_schedule(
     events: list[ChaosEvent] = []
     crashed_until: dict[str, float] = {}
     slow_until: dict[str, float] = {}
+    node_slow_until: dict[str, float] = {}
     partition_until = 0.0
     burst_until = 0.0
+    overload_until = 0.0
     last_rot = -spec.rot_gap
     t = spec.warmup
 
@@ -114,7 +130,13 @@ def generate_schedule(
             choices.append(("partition", spec.weights[1]))
         if burst_until <= t:
             choices.append(("loss-burst", spec.weights[2]))
-        healthy_disks = [s for s in up if slow_until.get(s, 0.0) <= t]
+        # Neither slowdown may stack on the other: slow-node sets (and
+        # fix-node resets) disk.slowdown too, so an overlap would let
+        # one fault's repair silently undo the other.
+        healthy_disks = [
+            s for s in up
+            if slow_until.get(s, 0.0) <= t and node_slow_until.get(s, 0.0) <= t
+        ]
         if healthy_disks:
             choices.append(("slow-disk", spec.weights[3]))
         if len(servers) - len(up) < max_crashed and up:
@@ -125,6 +147,14 @@ def generate_schedule(
             choices.append(("bit-rot", spec.storage_weights[1]))
         if up:
             choices.append(("scrub", spec.storage_weights[2]))
+        if overload_until <= t:
+            choices.append(("overload", spec.overload_weight))
+        healthy_nodes = [
+            s for s in up
+            if node_slow_until.get(s, 0.0) <= t and slow_until.get(s, 0.0) <= t
+        ]
+        if healthy_nodes:
+            choices.append(("slow-node", spec.slow_node_weight))
         choices = [(k, w) for k, w in choices if w > 0]
         if not choices:
             continue
@@ -183,6 +213,18 @@ def generate_schedule(
         elif kind == "scrub":
             host = up[int(rng.integers(len(up)))]
             events.append(ChaosEvent(t, "scrub", host))
+        elif kind == "overload":
+            d = dur(spec.overload_dur, t)
+            overload_until = t + d
+            factor = float(rng.uniform(*spec.overload_factor))
+            events.append(ChaosEvent(t, "overload", (d, factor)))
+        elif kind == "slow-node":
+            host = healthy_nodes[int(rng.integers(len(healthy_nodes)))]
+            d = dur(spec.node_slow_dur, t)
+            node_slow_until[host] = t + d
+            factor = float(rng.uniform(*spec.node_slow_factor))
+            events.append(ChaosEvent(t, "slow-node", (host, factor)))
+            events.append(ChaosEvent(t + d, "fix-node", host))
         else:  # slow-disk
             host = healthy_disks[int(rng.integers(len(healthy_disks)))]
             d = dur(spec.slow_dur, t)
@@ -214,7 +256,10 @@ def arm_schedule(faults: FaultSchedule, events: list[ChaosEvent]) -> None:
         elif ev.kind == "loss-burst":
             d, loss, dup = ev.arg
             faults.loss_burst_at(ev.t, d, loss, dup)
-        elif ev.kind in ("slow-disk", "fix-disk", "torn-write", "bit-rot", "scrub"):
+        elif ev.kind in (
+            "slow-disk", "fix-disk", "torn-write", "bit-rot", "scrub",
+            "overload", "slow-node", "fix-node",
+        ):
             faults.custom_at(ev.t, ev.kind, ev.arg)
         else:
             raise ValueError(f"unknown chaos event kind {ev.kind!r}")

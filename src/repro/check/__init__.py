@@ -18,6 +18,7 @@ from .invariants import (
     check_config_safety,
     check_decodability,
     check_durable_integrity,
+    check_no_starvation,
     check_unique_choice,
 )
 from .linearize import LinResult, check_history, check_key
@@ -34,5 +35,6 @@ __all__ = [
     "check_durable_integrity",
     "check_history",
     "check_key",
+    "check_no_starvation",
     "check_unique_choice",
 ]

@@ -225,6 +225,36 @@ def check_bounded_wal(servers) -> list[Violation]:
     return violations
 
 
+def check_no_starvation(servers) -> list[Violation]:
+    """Admission control must shed or serve — never park forever.
+
+    After the cluster settles (faults healed, workload stopped, clients
+    drained), no live server may still hold queued admissions or open
+    pipeline slots: a non-empty queue at quiescence means requests were
+    admitted into a pipeline that stopped draining (a starved client
+    never got *any* answer — not even Busy), and a stuck open-proposal
+    count means a release path leaked.
+    """
+    violations = []
+    for srv in servers:
+        if not srv.up:
+            continue
+        queued = len(srv._admission_queue)
+        if queued:
+            violations.append(Violation(
+                "no-starvation",
+                f"{srv.name} still holds {queued} queued admission(s) "
+                f"at quiescence",
+            ))
+        if srv._open_proposals:
+            violations.append(Violation(
+                "no-starvation",
+                f"{srv.name} reports {srv._open_proposals} open "
+                f"proposal slot(s) at quiescence",
+            ))
+    return violations
+
+
 def check_cluster(servers, config) -> list[Violation]:
     """All replicated-state probes in one sweep."""
     return (
@@ -233,4 +263,5 @@ def check_cluster(servers, config) -> list[Violation]:
         + check_decodability(servers)
         + check_durable_integrity(servers)
         + check_bounded_wal(servers)
+        + check_no_starvation(servers)
     )

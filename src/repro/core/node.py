@@ -98,6 +98,9 @@ class PaxosNode:
         config: AnyConfig,
         node_id: int,
         peers: dict[int, str],
+        # Fallback retransmit timeout: prepare/accept rounds run with
+        # adaptive per-peer timeouts (endpoint RTT estimator) and only
+        # use this value until the first sample toward a peer exists.
         rpc_timeout: float = 0.25,
         commit_interval: float = 0.005,
         codec_bw: float = 2e9,
@@ -352,7 +355,7 @@ class PaxosNode:
             self.endpoint.request(
                 host, msg, msg.wire_bytes,
                 on_reply=lambda r, nid=node_id: on_reply(nid, r),
-                timeout=self.rpc_timeout, retries=-1,
+                timeout=self.rpc_timeout, retries=-1, adaptive=True,
             )
 
     def _finish_prepare(
@@ -472,7 +475,7 @@ class PaxosNode:
             self.endpoint.request(
                 host, msg, msg.wire_bytes,
                 on_reply=lambda r, nid=node_id: on_reply(nid, r),
-                timeout=self.rpc_timeout, retries=-1,
+                timeout=self.rpc_timeout, retries=-1, adaptive=True,
             )
 
     def _run_accept_round(
@@ -529,7 +532,7 @@ class PaxosNode:
             self.endpoint.request(
                 self.peers[node_id], msg, msg.wire_bytes,
                 on_reply=on_reply,
-                timeout=self.rpc_timeout, retries=-1,
+                timeout=self.rpc_timeout, retries=-1, adaptive=True,
             )
 
     def _preempted(self, higher: Ballot) -> None:

@@ -14,6 +14,7 @@ Public API:
 from .client import KVClient
 from .cluster import Cluster, build_cluster
 from .messages import (
+    Busy,
     CatchUp,
     CatchUpEntry,
     CatchUpReply,
@@ -42,6 +43,7 @@ from .server import KVServer
 from .shard import ShardMap
 
 __all__ = [
+    "Busy",
     "CatchUp",
     "CatchUpEntry",
     "CatchUpReply",

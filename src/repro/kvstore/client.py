@@ -18,6 +18,7 @@ from ..rpc import RpcEndpoint
 from ..sim import MetricSet, Simulator
 
 from .messages import (
+    Busy,
     ClientDelete,
     ClientGet,
     ClientPut,
@@ -81,12 +82,17 @@ class KVClient:
     def _retry_delay(self, retry: int) -> float:
         """Capped exponential backoff with decorrelating jitter.
 
-        ``retry`` counts consecutive retries of one operation. The
-        delay is uniform in [cap/2, cap) where cap doubles per retry up
-        to ``max_backoff`` — after a leader crash, clients that all
-        failed at the same instant spread out instead of hammering the
-        new leader in lockstep.
+        ``retry`` counts consecutive retries of one operation. Retry 0
+        (e.g. a prompt follow-up on a fresh Redirect hint) draws from
+        [0, retry_backoff) — pure desynchronizing jitter with no built-in
+        floor, so the common single-retry path stays fast. Later retries
+        are uniform in [cap/2, cap) where cap doubles per retry up to
+        ``max_backoff`` — after a leader crash, clients that all failed
+        at the same instant spread out instead of hammering the new
+        leader in lockstep.
         """
+        if retry == 0:
+            return self._backoff_rng.random() * self.retry_backoff
         cap = min(self.max_backoff, self.retry_backoff * (2 ** retry))
         return cap / 2 + self._backoff_rng.random() * cap / 2
 
@@ -191,6 +197,17 @@ class KVClient:
                         self.sim.call_after(
                             self._retry_delay(attempts["retries"]), attempt
                         )
+                elif isinstance(reply, Busy):
+                    # Load shed: the leader is alive but at capacity.
+                    # Keep the leader cache (it IS the leader) and wait
+                    # out the server's own estimate plus client-side
+                    # jitter so shed clients do not return in lockstep.
+                    attempts["retries"] += 1
+                    self.sim.call_after(
+                        reply.retry_after
+                        + self._retry_delay(attempts["retries"]),
+                        attempt,
+                    )
                 elif isinstance(reply, NotReady):
                     # Leadership transition in progress: back off
                     # exponentially so clients don't storm the new

@@ -85,6 +85,10 @@ def build_cluster(
     auto_reconfigure: bool = False,
     scrub_interval: float = 0.0,
     checkpoint_interval: float = 0.0,
+    admission_control: bool = True,
+    max_inflight_proposals: int = 32,
+    max_queued_requests: int = 128,
+    hedge_fetches: bool = True,
     trace: bool = False,
 ) -> Cluster:
     """Wire up a complete cluster.
@@ -124,6 +128,10 @@ def build_cluster(
             auto_reconfigure=auto_reconfigure,
             scrub_interval=scrub_interval,
             checkpoint_interval=checkpoint_interval,
+            admission_control=admission_control,
+            max_inflight_proposals=max_inflight_proposals,
+            max_queued_requests=max_queued_requests,
+            hedge_fetches=hedge_fetches,
             tracer=tracer,
             metrics=metrics,
         )

@@ -115,6 +115,20 @@ class NotReady:
         return KV_META
 
 
+@dataclass(frozen=True, slots=True)
+class Busy:
+    """Load shed: the leader's proposal pipeline and admission queue
+    are full. An explicit reply, not a silent drop — the client folds
+    ``retry_after`` (the server's estimate of when capacity frees up)
+    into its backoff instead of blind-retrying into the storm."""
+
+    retry_after: float = 0.05
+
+    @property
+    def wire_bytes(self) -> int:
+        return KV_META
+
+
 # ---------------------------------------------------------------------------
 # Server <-> server
 # ---------------------------------------------------------------------------

@@ -13,6 +13,7 @@ One :class:`KVServer` per host. It owns:
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Callable
 
 from ..core import (
@@ -41,6 +42,7 @@ from ..storage import (
 )
 from .messages import (
     KV_META,
+    Busy,
     CatchUp,
     CatchUpEntry,
     CatchUpReply,
@@ -90,6 +92,10 @@ class KVServer:
         auto_reconfigure: bool = False,
         scrub_interval: float = 0.0,
         checkpoint_interval: float = 0.0,
+        admission_control: bool = True,
+        max_inflight_proposals: int = 32,
+        max_queued_requests: int = 128,
+        hedge_fetches: bool = True,
         tracer: Tracer = NULL_TRACER,
         metrics: MetricSet | None = None,
     ):
@@ -164,6 +170,34 @@ class KVServer:
         self.fast_reads = 0
         self.consistent_reads = 0
         self.snapshot_reads = 0
+
+        # Admission control (overload protection): the leader bounds its
+        # proposal pipeline. Up to ``max_inflight_proposals`` client
+        # mutations may have a Paxos instance in flight; the next
+        # ``max_queued_requests`` wait in FIFO order; anything beyond
+        # that is shed with an explicit Busy(retry_after) instead of
+        # silently queueing into collapse. ``_admission_epoch`` fences
+        # stale release callbacks across crash/step-down flushes, and
+        # ``_svc_ewma`` (smoothed admit->reply service time) feeds the
+        # retry_after estimate handed to shed clients.
+        self.admission_control = admission_control
+        self.max_inflight_proposals = max_inflight_proposals
+        self.max_queued_requests = max_queued_requests
+        self._open_proposals = 0
+        self._admission_queue: deque = deque()
+        self._admission_epoch = 0
+        self._svc_ewma = 0.0
+        self.requests_shed = 0
+
+        # Hedged share/snapshot fetches (gray-failure tolerance): a
+        # recovery read needs only X of N-1 peers, so fetches go to the
+        # X currently-fastest peers (by the RTT estimator) and a hedge
+        # is sent to the next-fastest when the primary fanout overruns
+        # its expected completion time — one slow-but-alive peer no
+        # longer gates the read tail.
+        self.hedge_fetches = hedge_fetches
+        self.hedges_issued = 0
+        self.hedge_wins = 0
 
         # Background scrubber (disabled when scrub_interval == 0): each
         # pass re-verifies WAL record checksums and repairs corrupt
@@ -255,6 +289,7 @@ class KVServer:
         self._scrubbing.clear()
         self._ckpt_inflight = False
         self._snap_inflight.clear()
+        self._flush_admissions()
         # NOTE: _rebuild_pending deliberately survives a crash — a node
         # that crashed mid-rebuild is still amnesiac and must come back
         # as an observer until its rebuild completes.
@@ -485,6 +520,7 @@ class KVServer:
                 f"{self.name} steps down for {msg.leader_id}",
             )
             self.is_leader_server = False
+            self._flush_admissions()
         if msg.ballot is not None:
             self._hb_floor = max(self._hb_floor, msg.ballot)
         self.current_leader = msg.leader_id
@@ -534,6 +570,7 @@ class KVServer:
             )
         self.is_leader_server = False
         self.current_leader = None
+        self._flush_admissions()
 
     # ------------------------------------------------------------------
     # apply hook: Paxos decisions -> local store (§4.4)
@@ -601,6 +638,26 @@ class KVServer:
             self._apply_view_cmd(group, meta.arg)
         # op == "read": consistency marker, no state change.
 
+    def _release_skipped_waiters(self, group: int) -> None:
+        """Release replies parked on instances a cursor jump skipped.
+
+        A snapshot install advances ``apply_cursor`` without running
+        the apply hook over the covered range — the streamed pages
+        (latest store entries + dedup identities) already reflect
+        those instances, so any reply parked inside the range is
+        servable now. Leaving it parked would leak its admission slot
+        forever (``check_no_starvation``): nothing ever applies an
+        instance below the cursor again.
+        """
+        node = self.groups[group]
+        skipped = [
+            k for k in self._apply_waiters
+            if k[0] == group and k[1] < node.apply_cursor
+        ]
+        for key in skipped:
+            for cb in self._apply_waiters.pop(key):
+                cb()
+
     def _respond_after_apply(
         self, group: int, instance: int, cb: Callable[[], None]
     ) -> None:
@@ -641,6 +698,94 @@ class KVServer:
     def _already_applied(self, group: int, client: str, op_id: int) -> bool:
         return bool(client) and (group, client, op_id) in self._applied_ops
 
+    # -- admission control (overload protection) -----------------------
+
+    def _admit(self, respond, start: Callable) -> None:
+        """Gate one proposal-bearing client request through the bounded
+        pipeline. ``start(respond)`` runs the request body — immediately
+        if a slot is free, later when the FIFO queue drains, or never
+        (the client gets Busy) when queue and pipeline are both full."""
+        if not self.admission_control:
+            start(respond)
+            return
+        if self._open_proposals < self.max_inflight_proposals:
+            self._begin(respond, start)
+            return
+        if len(self._admission_queue) < self.max_queued_requests:
+            self._admission_queue.append((respond, start))
+            return
+        self.requests_shed += 1
+        self.metrics.counter("admission.shed").inc(1)
+        r = Busy(retry_after=self._retry_after())
+        respond(r, r.wire_bytes)
+
+    def _begin(self, respond, start: Callable) -> None:
+        """Occupy a pipeline slot; the slot is released exactly once,
+        when the wrapped respond fires (decided+applied, NotReady, ...).
+        A request whose reply never comes (leadership lost mid-flight)
+        leaks no slot: the flush bumps the epoch and resets the count,
+        and a late release under an old epoch is a no-op."""
+        self._open_proposals += 1
+        epoch = self._admission_epoch
+        admitted_at = self.sim.now
+        state = {"released": False}
+
+        def release() -> None:
+            if state["released"]:
+                return
+            state["released"] = True
+            if epoch != self._admission_epoch:
+                return  # flushed since; counters already reset
+            self._open_proposals -= 1
+            svc = self.sim.now - admitted_at
+            if self._svc_ewma == 0.0:
+                self._svc_ewma = svc
+            else:
+                self._svc_ewma += 0.2 * (svc - self._svc_ewma)
+            self._pump_admissions()
+
+        def respond_release(reply, nbytes: int = 0) -> None:
+            release()
+            respond(reply, nbytes)
+
+        start(respond_release)
+
+    def _pump_admissions(self) -> None:
+        while (
+            self._admission_queue
+            and self._open_proposals < self.max_inflight_proposals
+        ):
+            respond, start = self._admission_queue.popleft()
+            self._begin(respond, start)
+
+    def _retry_after(self) -> float:
+        """Estimate when capacity frees up: smoothed service time scaled
+        by how deep the backlog is relative to the pipeline."""
+        est = self._svc_ewma if self._svc_ewma > 0.0 else 0.02
+        backlog = len(self._admission_queue)
+        return min(
+            1.0,
+            max(0.02, est * (1.0 + backlog / max(1, self.max_inflight_proposals))),
+        )
+
+    def _flush_admissions(self) -> None:
+        """Reset the admission pipeline on crash or loss of leadership.
+
+        Queued requests would otherwise wait on proposals this server
+        can no longer drive; answer them NotReady (when still up — a
+        crashed host just goes silent) so clients re-resolve the leader.
+        The epoch bump voids every outstanding release callback."""
+        self._admission_epoch += 1
+        self._open_proposals = 0
+        queue, self._admission_queue = self._admission_queue, deque()
+        if not self.up:
+            return
+        for respond, _start in queue:
+            r = NotReady()
+            respond(r, r.wire_bytes)
+
+    # -- client write/read handlers ------------------------------------
+
     def _on_put(self, msg: ClientPut, src: str, respond) -> None:
         if not self._leader_guard(respond):
             return
@@ -648,6 +793,15 @@ class KVServer:
         if self._already_applied(group, msg.client, msg.op_id):
             # Retry of a write that already committed (the first reply
             # was lost): acknowledge without burning a new instance.
+            reply = PutOk(msg.key)
+            respond(reply, reply.wire_bytes)
+            return
+        self._admit(respond, lambda r: self._put_admitted(msg, r))
+
+    def _put_admitted(self, msg: ClientPut, respond) -> None:
+        group = self.shard_map.group_of(msg.key)
+        if self._already_applied(group, msg.client, msg.op_id):
+            # Committed while this retry sat in the admission queue.
             reply = PutOk(msg.key)
             respond(reply, reply.wire_bytes)
             return
@@ -681,6 +835,14 @@ class KVServer:
     def _on_delete(self, msg: ClientDelete, src: str, respond) -> None:
         if not self._leader_guard(respond):
             return
+        group = self.shard_map.group_of(msg.key)
+        if self._already_applied(group, msg.client, msg.op_id):
+            reply = PutOk(msg.key)
+            respond(reply, reply.wire_bytes)
+            return
+        self._admit(respond, lambda r: self._delete_admitted(msg, r))
+
+    def _delete_admitted(self, msg: ClientDelete, respond) -> None:
         group = self.shard_map.group_of(msg.key)
         if self._already_applied(group, msg.client, msg.op_id):
             reply = PutOk(msg.key)
@@ -741,29 +903,36 @@ class KVServer:
             self._serve_read(msg.key, start, respond)
         elif msg.mode == "consistent":
             # Consistent read (§4.4): an explicit Paxos instance as a
-            # marker; correct regardless of lease health.
+            # marker; correct regardless of lease health. It burns a
+            # proposal, so it rides the same admission pipeline as
+            # writes.
             self.consistent_reads += 1
-            group = self.shard_map.group_of(msg.key)
-            node = self.groups[group]
-            marker = Value(
-                fresh_value_id(self.node_id), 0, None,
-                meta=Command("read", msg.key),
+            self._admit(
+                respond, lambda r: self._consistent_get_admitted(msg, start, r)
             )
-
-            def decided(instance: int, v: Value) -> None:
-                if self.up:
-                    self._respond_after_apply(
-                        group, instance,
-                        lambda: self.up and self._serve_read(msg.key, start, respond),
-                    )
-
-            try:
-                node.propose(marker, decided)
-            except RuntimeError:
-                r = NotReady()
-                respond(r, r.wire_bytes)
         else:
             raise ValueError(f"unknown read mode {msg.mode!r}")
+
+    def _consistent_get_admitted(self, msg: ClientGet, start: float, respond) -> None:
+        group = self.shard_map.group_of(msg.key)
+        node = self.groups[group]
+        marker = Value(
+            fresh_value_id(self.node_id), 0, None,
+            meta=Command("read", msg.key),
+        )
+
+        def decided(instance: int, v: Value) -> None:
+            if self.up:
+                self._respond_after_apply(
+                    group, instance,
+                    lambda: self.up and self._serve_read(msg.key, start, respond),
+                )
+
+        try:
+            node.propose(marker, decided)
+        except RuntimeError:
+            r = NotReady()
+            respond(r, r.wire_bytes)
 
     def _serve_read(self, key: str, start: float, respond) -> None:
         entry = self.store.get(key)
@@ -813,6 +982,23 @@ class KVServer:
 
         self._gather_shares(group, instance, value_id, share, on_value)
 
+    def _peers_by_latency(self) -> list[str]:
+        """Peer hosts fastest-first by the endpoint's RTT estimator.
+
+        Peers with no unambiguous sample yet sort after measured ones
+        (unknown is not the same as fast); ties break by name so the
+        order — and everything hedging derives from it — is
+        deterministic."""
+        hosts = [
+            h for nid, h in sorted(self.peers.items()) if nid != self.node_id
+        ]
+
+        def rank(h: str):
+            st = self.endpoint.peer_stats(h)
+            return (0 if st.samples else 1, st.ewma, h)
+
+        return sorted(hosts, key=rank)
+
     def _gather_shares(
         self, group: int, instance: int, value_id: str, seed_share, on_value
     ) -> None:
@@ -823,45 +1009,149 @@ class KVServer:
         configuration (not the group's current one): values written
         before a view change keep their original θ(X, N) and must be
         gathered under it.
+
+        Only ``missing()`` of the N-1 peers must answer, so fetches go
+        to the currently-fastest peers only (instead of broadcast);
+        unusable replies and exhausted retries widen the fanout from
+        the ranked list, cycling back to the top once exhausted (a
+        chosen value's shares reappear as crashed peers recover, §3.1).
+        With ``hedge_fetches`` on, a *hedge* is additionally issued to
+        the next-fastest unqueried peer when the slowest outstanding
+        fetch overruns its adaptive RTO — gray-failure tolerance: one
+        slow-but-alive peer no longer gates the read tail — and
+        leftover fetches are cancelled the moment the value decodes.
         """
         node = self.groups[group]
         shares: dict[int, object] = {}
         if seed_share is not None:
             shares[seed_share.index] = seed_share
-        state = {"done": False}
+        state = {"done": False, "next": 0}
 
         def needed() -> int:
             if shares:
                 return next(iter(shares.values())).config.x
             return node.config.coding.x
 
-        def maybe_finish() -> None:
-            if state["done"] or not shares or len(shares) < needed():
-                return
-            state["done"] = True
-            on_value(node.decode_from_shares(list(shares.values())))
-
-        def on_share(reply) -> None:
-            if state["done"] or not self.up:
-                return
+        def usable(reply) -> object | None:
             if not isinstance(reply, ShareReply) or reply.share is None:
-                return
+                return None
             if reply.share.value_id != value_id:
-                return
+                return None
             if shares and reply.share.config != next(iter(shares.values())).config:
-                return  # never mix shares from different codings
-            shares[reply.share.index] = reply.share
-            maybe_finish()
+                return None  # never mix shares from different codings
+            return reply.share
 
         req = FetchShare(group=group, instance=instance, value_id=value_id)
-        for nid, host in self.peers.items():
-            if nid == self.node_id:
-                continue
-            self.endpoint.request(
+
+        hosts = self._peers_by_latency()
+        outstanding: dict[int, str] = {}  # req_id -> host
+        hedged: set[str] = set()
+        hedge_timer: list = [None]
+
+        def missing() -> int:
+            return max(0, needed() - len(shares))
+
+        def finish() -> None:
+            state["done"] = True
+            if hedge_timer[0] is not None:
+                hedge_timer[0].cancel()
+                hedge_timer[0] = None
+            for rid in outstanding:
+                self.endpoint.cancel_request(rid)
+            outstanding.clear()
+            on_value(node.decode_from_shares(list(shares.values())))
+
+        def issue(host: str, hedge: bool) -> None:
+            holder = {"rid": -1}
+
+            def on_share(reply, host=host) -> None:
+                outstanding.pop(holder["rid"], None)
+                if state["done"] or not self.up:
+                    return
+                share = usable(reply)
+                if share is not None:
+                    if host in hedged:
+                        self.hedge_wins += 1
+                        self.metrics.counter("hedge.wins").inc(1)
+                    shares[share.index] = share
+                    if len(shares) >= needed():
+                        finish()
+                        return
+                ensure_fanout()
+
+            def on_timeout() -> None:
+                outstanding.pop(holder["rid"], None)
+                if state["done"] or not self.up:
+                    return
+                ensure_fanout()
+
+            rid = self.endpoint.request(
                 host, req, req.wire_bytes, on_reply=on_share,
-                timeout=0.5, retries=8, on_timeout=lambda: None,
+                timeout=0.5, retries=8, adaptive=True,
+                on_timeout=on_timeout,
             )
-        maybe_finish()
+            holder["rid"] = rid
+            outstanding[rid] = host
+            if hedge:
+                hedged.add(host)
+                self.hedges_issued += 1
+                self.metrics.counter("hedge.issued").inc(1)
+
+        def hedge_delay() -> float:
+            # Expected completion of the *slowest* outstanding fetch:
+            # if it overruns this, a hedge is cheaper than waiting.
+            return max(
+                self.endpoint.rto(h, 0.5) for h in outstanding.values()
+            )
+
+        def arm_hedge() -> None:
+            if (
+                state["done"]
+                or hedge_timer[0] is not None
+                or not outstanding
+                or state["next"] >= len(hosts)
+            ):
+                return
+            hedge_timer[0] = self.sim.call_after(hedge_delay(), fire_hedge)
+
+        def fire_hedge() -> None:
+            hedge_timer[0] = None
+            if state["done"] or not self.up:
+                return
+            if state["next"] < len(hosts) and len(shares) < needed():
+                host = hosts[state["next"]]
+                state["next"] += 1
+                issue(host, hedge=True)
+            arm_hedge()
+
+        def ensure_fanout() -> None:
+            # Keep (at least) one fetch in flight per still-missing
+            # share; replenish from the ranked list as fetches fail.
+            if state["done"]:
+                return
+            if not outstanding and state["next"] >= len(hosts) and missing():
+                # Every ranked peer was tried and the value still is
+                # not reconstructible. Start another pass: a chosen
+                # value's shares reappear as crashed peers recover, so
+                # cycling is the read-side analogue of unbounded
+                # retransmission (§3.1 liveness).
+                state["next"] = 0
+                hedged.clear()
+            while (
+                not state["done"]
+                and len(outstanding) < missing()
+                and state["next"] < len(hosts)
+            ):
+                host = hosts[state["next"]]
+                state["next"] += 1
+                issue(host, hedge=False)
+            if self.hedge_fetches:
+                arm_hedge()
+
+        if shares and len(shares) >= needed():
+            finish()
+            return
+        ensure_fanout()
 
     def _on_fetch_share(self, msg: FetchShare, src: str, respond) -> None:
         if not self.up:
@@ -1136,7 +1426,7 @@ class KVServer:
             state["outstanding"] += 1
             self.endpoint.request(
                 host, req, req.wire_bytes, on_reply=on_reply,
-                timeout=0.5, retries=2, on_timeout=on_timeout,
+                timeout=0.5, retries=2, adaptive=True, on_timeout=on_timeout,
             )
         if state["outstanding"] == 0:
             maybe_defer()
@@ -1563,7 +1853,7 @@ class KVServer:
             self.endpoint.request(
                 host, req, req.wire_bytes,
                 on_reply=lambda rep, h=host: self._install_catch_up(rep, h),
-                timeout=1.0, retries=3, on_timeout=lambda: None,
+                timeout=1.0, retries=3, adaptive=True, on_timeout=lambda: None,
             )
 
     def _rebuild_tick(self) -> None:
@@ -1609,7 +1899,7 @@ class KVServer:
             self.endpoint.request(
                 host, req, req.wire_bytes,
                 on_reply=lambda rep, h=host: self._install_catch_up(rep, h),
-                timeout=1.0, retries=3, on_timeout=lambda: None,
+                timeout=1.0, retries=3, adaptive=True, on_timeout=lambda: None,
             )
         # Re-poll until some peer supplies the command: the first round
         # may race a partition, or every reachable peer may itself hold
@@ -1649,7 +1939,7 @@ class KVServer:
             self.endpoint.request(
                 host, req, req.wire_bytes,
                 on_reply=lambda rep, h=host: self._install_catch_up(rep, h),
-                timeout=1.0, retries=3, on_timeout=lambda: None,
+                timeout=1.0, retries=3, adaptive=True, on_timeout=lambda: None,
             )
         elif (
             reply.group in self._rebuild_pending
@@ -1734,7 +2024,7 @@ class KVServer:
         self.endpoint.request(
             host, req, req.wire_bytes,
             on_reply=lambda rep, h=host: self._install_snapshot_chunk(rep, h),
-            timeout=2.0, retries=3,
+            timeout=2.0, retries=3, adaptive=True,
             on_timeout=lambda: self._snapshot_stalled(group, host),
         )
 
@@ -1804,6 +2094,7 @@ class KVServer:
             node.apply_cursor = reply.floor
         node.next_instance = max(node.next_instance, reply.floor)
         node._advance_apply()
+        self._release_skipped_waiters(group)
         del self._snap_inflight[group]
         self.tracer.emit(
             self.sim.now, "kv",
@@ -1814,7 +2105,7 @@ class KVServer:
         self.endpoint.request(
             host, req, req.wire_bytes,
             on_reply=lambda rep, h=host: self._install_catch_up(rep, h),
-            timeout=1.0, retries=3, on_timeout=lambda: None,
+            timeout=1.0, retries=3, adaptive=True, on_timeout=lambda: None,
         )
 
     def _group_rebuilt(self, group: int) -> None:

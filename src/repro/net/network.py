@@ -62,6 +62,12 @@ class Network:
         # loss/dup probabilities (chaos "loss-burst" episodes).
         self.extra_loss_prob = 0.0
         self.extra_dup_prob = 0.0
+        # Per-host NIC degradation (chaos "slow-node" episodes): the
+        # gray-failure half of a slow-but-alive node. A factor > 1
+        # multiplies the host's egress AND ingress serialization time —
+        # the node stays reachable, it just drains its NIC queues
+        # slowly. Factor 1.0 removes the entry.
+        self._nic_slowdown: dict[str, float] = {}
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
@@ -117,6 +123,26 @@ class Network:
         self.hosts[name].recover()
         self.tracer.emit(self.sim.now, "net", f"recover {name}")
 
+    def set_nic_slowdown(self, name: str, factor: float) -> None:
+        """Degrade (factor > 1) or restore (factor == 1) one host's NIC.
+
+        Models a gray failure: serialization through ``name``'s egress
+        and ingress queues takes ``factor`` times longer, so the host
+        falls behind under load while still answering every probe.
+        """
+        if factor < 1.0:
+            raise ValueError("NIC slowdown factor must be >= 1")
+        if name not in self.hosts:
+            raise KeyError(f"unknown host {name!r}")
+        if factor == 1.0:
+            self._nic_slowdown.pop(name, None)
+        else:
+            self._nic_slowdown[name] = factor
+        self.tracer.emit(self.sim.now, "net", f"nic-slowdown {name} x{factor}")
+
+    def nic_slowdown(self, name: str) -> float:
+        return self._nic_slowdown.get(name, 1.0)
+
     def set_impairment(self, loss_prob: float, dup_prob: float = 0.0) -> None:
         """Degrade (or restore, with zeros) every link at once.
 
@@ -162,6 +188,7 @@ class Network:
 
         # 1. Egress serialization (shared per-host queue).
         ser = spec.serialization_time(env.wire_size)
+        ser *= self._nic_slowdown.get(src, 1.0)
         sender.egress.submit(ser, lambda: self._propagate(env, spec))
 
     def _propagate(self, env: Envelope, spec: LinkSpec) -> None:
@@ -192,6 +219,7 @@ class Network:
     def _arrive(self, env: Envelope, spec: LinkSpec) -> None:
         receiver = self.hosts[env.dst]
         ser = spec.serialization_time(env.wire_size)
+        ser *= self._nic_slowdown.get(env.dst, 1.0)
         receiver.ingress.submit(ser, lambda: self._deliver(env))
 
     def _deliver(self, env: Envelope) -> None:

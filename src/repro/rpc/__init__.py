@@ -3,13 +3,16 @@
 Public API:
 
 - :class:`RpcEndpoint` — per-host messaging facade with typed dispatch,
-  request/reply with retransmission, and IO batching.
+  request/reply with retransmission, IO batching, and per-peer latency
+  tracking with adaptive (Jacobson/Karn) retransmit timeouts.
+- :class:`PeerStats` — one destination's RTT estimator snapshot.
 - :class:`Request`, :class:`Reply`, :class:`Batch` — wire wrappers.
 - :exc:`RequestTimeout`, :exc:`RpcError`.
 """
 
 from .endpoint import (
     Batch,
+    PeerStats,
     Reply,
     Request,
     RequestTimeout,
@@ -23,6 +26,7 @@ __all__ = [
     "Channel",
     "ChannelMsg",
     "ChannelMux",
+    "PeerStats",
     "Reply",
     "Request",
     "RequestTimeout",

@@ -10,7 +10,14 @@ module (§5). It provides:
   arrives" guarantee;
 - **batching** (§7, "IO batching"): outgoing messages to the same
   destination can be held for a small window and shipped as a single
-  wire message, amortizing the per-message header.
+  wire message, amortizing the per-message header;
+- **per-peer latency tracking**: every request/reply round feeds a
+  Jacobson-style RTT estimator (EWMA + mean deviation, Karn's rule for
+  retransmit ambiguity) per destination. Callers can opt into
+  *adaptive* retransmit timeouts derived from it — under an overloaded
+  or gray-failed peer the retransmit timer stretches with the observed
+  tail instead of hammering a fixed interval, and under a healthy LAN
+  it tightens well below any hand-picked constant.
 """
 
 from __future__ import annotations
@@ -56,6 +63,27 @@ class RequestTimeout(RpcError):
     """A request exhausted its retransmission budget."""
 
 
+@dataclass(slots=True)
+class PeerStats:
+    """Reply-latency estimate for one destination (Jacobson/Karn).
+
+    ``ewma`` is the smoothed round-trip time, ``dev`` the smoothed mean
+    deviation. Unambiguous samples (replies to requests transmitted
+    exactly once — Karn's rule) update them freely; replies after a
+    retransmit contribute only the one-sided since-first-transmit bound,
+    and only upward, so congestion can stretch the estimate but never
+    shrink it. ``rto`` is the last retransmit timeout derived from them.
+    """
+
+    ewma: float = 0.0
+    dev: float = 0.0
+    samples: int = 0
+    rto: float = 0.0
+
+    def snapshot(self) -> "PeerStats":
+        return PeerStats(self.ewma, self.dev, self.samples, self.rto)
+
+
 @dataclass
 class _PendingRequest:
     dst: str
@@ -65,8 +93,13 @@ class _PendingRequest:
     on_timeout: Callable[[], None] | None
     timeout: float
     retries_left: int  # -1 means unbounded
+    adaptive: bool = False
     timer: Event | None = None
     done: bool = False
+    transmits: int = 0
+    first_tx: float = 0.0
+    last_tx: float = 0.0
+    cur_timeout: float = 0.0
 
 
 class RpcEndpoint:
@@ -81,7 +114,17 @@ class RpcEndpoint:
     batch_window:
         If > 0, one-way sends are buffered per destination for this many
         seconds (or until ``batch_max`` items) and flushed together.
+    rto_floor, rto_ceil, rto_k:
+        Clamps and deviation multiplier for adaptive retransmit
+        timeouts: ``rto = clamp(ewma + k*dev, floor, ceil)``. The floor
+        keeps tiny LAN RTT estimates from firing spurious retransmits on
+        ordinary queueing noise (TCP's minimum-RTO rationale); the
+        ceiling bounds how long a gray-failed peer can stall a caller.
     """
+
+    #: EWMA gains of the RTT estimator (Jacobson's 1/8 and 1/4).
+    RTO_ALPHA = 0.125
+    RTO_BETA = 0.25
 
     def __init__(
         self,
@@ -90,12 +133,18 @@ class RpcEndpoint:
         name: str,
         batch_window: float = 0.0,
         batch_max: int = 64,
+        rto_floor: float = 0.02,
+        rto_ceil: float = 2.0,
+        rto_k: float = 4.0,
     ):
         self.sim = sim
         self.net = net
         self.name = name
         self.batch_window = batch_window
         self.batch_max = batch_max
+        self.rto_floor = rto_floor
+        self.rto_ceil = rto_ceil
+        self.rto_k = rto_k
         self._handlers: dict[type, Callable[[Any, str], None]] = {}
         self._request_handlers: dict[type, Callable[[Any, str], Any]] = {}
         self._async_request_handlers: dict[
@@ -104,10 +153,18 @@ class RpcEndpoint:
         self._pending: dict[int, _PendingRequest] = {}
         self._batches: dict[str, list[tuple[Any, int]]] = {}
         self._batch_timers: dict[str, Event] = {}
+        self._peer_stats: dict[str, PeerStats] = {}
         net.set_handler(name, self._on_envelope)
         # Accounting (per-endpoint; network keeps the global totals).
         self.requests_sent = 0
         self.requests_timed_out = 0
+        # Replies that arrived for a request no longer pending — a
+        # duplicate delivery, or a reply landing after the final timeout
+        # already fired its continuation. Dropped, never dispatched.
+        self.stale_replies_dropped = 0
+        # Times the derived adaptive timeout for some peer moved by more
+        # than 25% — i.e. the estimator actually re-tuned, not noise.
+        self.timeouts_adapted = 0
 
     # -- registration -----------------------------------------------------
 
@@ -174,6 +231,51 @@ class RpcEndpoint:
         for dst in list(self._batches):
             self._flush(dst)
 
+    # -- per-peer latency tracking ---------------------------------------
+
+    def peer_stats(self, dst: str) -> PeerStats:
+        """Snapshot of the RTT estimator for ``dst`` (zeros if unseen)."""
+        st = self._peer_stats.get(dst)
+        return st.snapshot() if st is not None else PeerStats()
+
+    def peer_rtt(self, dst: str) -> float | None:
+        """Smoothed reply latency toward ``dst``, or None before any
+        unambiguous sample."""
+        st = self._peer_stats.get(dst)
+        return st.ewma if st is not None and st.samples else None
+
+    def rto(self, dst: str, fallback: float) -> float:
+        """Adaptive retransmit timeout toward ``dst``.
+
+        Jacobson's ``ewma + k*dev``, clamped to
+        ``[rto_floor, rto_ceil]``; ``fallback`` (the caller's static
+        timeout) is used until the first RTT sample exists.
+        """
+        st = self._peer_stats.get(dst)
+        if st is None or st.samples == 0:
+            return fallback
+        return self._derived_rto(st)
+
+    def _derived_rto(self, st: PeerStats) -> float:
+        return min(self.rto_ceil, max(self.rto_floor, st.ewma + self.rto_k * st.dev))
+
+    def _record_rtt(self, dst: str, sample: float) -> None:
+        st = self._peer_stats.get(dst)
+        if st is None:
+            st = self._peer_stats[dst] = PeerStats()
+        if st.samples == 0:
+            st.ewma = sample
+            st.dev = sample / 2
+        else:
+            err = sample - st.ewma
+            st.ewma += self.RTO_ALPHA * err
+            st.dev += self.RTO_BETA * (abs(err) - st.dev)
+        st.samples += 1
+        rto = self._derived_rto(st)
+        if st.rto > 0.0 and abs(rto - st.rto) > 0.25 * st.rto:
+            self.timeouts_adapted += 1
+        st.rto = rto
+
     # -- request/reply --------------------------------------------------------
 
     def request(
@@ -186,6 +288,7 @@ class RpcEndpoint:
         retries: int = -1,
         on_timeout: Callable[[], None] | None = None,
         reply_size: int = 0,
+        adaptive: bool = False,
     ) -> int:
         """Send ``body`` to ``dst``; invoke ``on_reply(reply_body)`` once.
 
@@ -195,12 +298,18 @@ class RpcEndpoint:
         ``on_timeout`` fires (or :class:`RequestTimeout` is raised into
         the void if none was given).
 
+        With ``adaptive=True`` the per-transmit timeout is derived from
+        the destination's RTT estimator instead (``timeout`` remains the
+        fallback until a sample exists), and each retransmission doubles
+        the interval up to ``rto_ceil`` (Karn's exponential backoff).
+
         Returns the request id (usable with :meth:`cancel_request`).
         """
         req_id = next(_request_ids)
         pending = _PendingRequest(
             dst=dst, body=body, size=size, on_reply=on_reply,
             on_timeout=on_timeout, timeout=timeout, retries_left=retries,
+            adaptive=adaptive,
         )
         self._pending[req_id] = pending
         self.requests_sent += 1
@@ -217,9 +326,17 @@ class RpcEndpoint:
     def _transmit(self, req_id: int, pending: _PendingRequest) -> None:
         if pending.done:
             return
+        if pending.transmits == 0:
+            pending.first_tx = self.sim.now
+            pending.cur_timeout = (
+                self.rto(pending.dst, pending.timeout)
+                if pending.adaptive else pending.timeout
+            )
+        pending.transmits += 1
+        pending.last_tx = self.sim.now
         self.net.send(self.name, pending.dst, Request(req_id, pending.body), pending.size)
         pending.timer = self.sim.call_after(
-            pending.timeout, lambda: self._on_request_timer(req_id)
+            pending.cur_timeout, lambda: self._on_request_timer(req_id)
         )
 
     def _on_request_timer(self, req_id: int) -> None:
@@ -227,14 +344,23 @@ class RpcEndpoint:
         if pending is None or pending.done:
             return
         if pending.retries_left == 0:
+            # Finalize *before* the continuation runs: a reply that
+            # arrives from here on finds no pending entry and is
+            # dropped, never dispatched to the dead continuation.
             self._pending.pop(req_id, None)
             pending.done = True
+            pending.timer = None
             self.requests_timed_out += 1
             if pending.on_timeout is not None:
                 pending.on_timeout()
             return
         if pending.retries_left > 0:
             pending.retries_left -= 1
+        if pending.adaptive:
+            # Karn backoff: every retransmission doubles the interval —
+            # a congested or gray-failed peer gets geometrically less
+            # retransmit pressure, not a fixed-rate hammering.
+            pending.cur_timeout = min(self.rto_ceil, pending.cur_timeout * 2)
         self._transmit(req_id, pending)
 
     # -- dispatch -----------------------------------------------------------
@@ -270,10 +396,33 @@ class RpcEndpoint:
         if isinstance(payload, Reply):
             pending = self._pending.pop(payload.req_id, None)
             if pending is None or pending.done:
-                return  # duplicate or late reply
+                # Duplicate delivery, or a reply landing after the final
+                # timeout / a cancel already retired the request: the
+                # continuation is dead, so the reply must be dropped
+                # here — never dispatched.
+                self.stale_replies_dropped += 1
+                return
             pending.done = True
             if pending.timer is not None:
                 pending.timer.cancel()
+            if pending.transmits == 1:
+                # Karn's rule: only un-retransmitted requests yield an
+                # unambiguous RTT sample.
+                self._record_rtt(pending.dst, self.sim.now - pending.last_tx)
+            else:
+                # Ambiguous — the reply cannot be attributed to one
+                # transmit. But the time since the *first* transmit is a
+                # one-sided bound: no copy can have taken longer. Feed
+                # it only when it would raise the estimate, so a
+                # congested peer inflates the RTO (breaking the
+                # retransmit->queue->retransmit spiral) while the bound
+                # can never drag the estimate down. This is the safe
+                # half of what TCP timestamps (RFC 7323) buy back from
+                # Karn's rule.
+                st = self._peer_stats.get(pending.dst)
+                sample = self.sim.now - pending.first_tx
+                if st is not None and st.samples and sample > st.ewma:
+                    self._record_rtt(pending.dst, sample)
             pending.on_reply(payload.body)
             return
         handler = self._handlers.get(type(payload))

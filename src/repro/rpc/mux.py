@@ -65,12 +65,22 @@ class Channel:
         timeout: float = 0.5,
         retries: int = -1,
         on_timeout: Callable[[], None] | None = None,
+        adaptive: bool = False,
     ) -> int:
         return self._mux.endpoint.request(
             dst, ChannelMsg(self.key, body), size,
             on_reply=on_reply, timeout=timeout,
             retries=retries, on_timeout=on_timeout,
+            adaptive=adaptive,
         )
+
+    def peer_stats(self, dst: str):
+        """Latency snapshot for ``dst`` (shared across all channels —
+        the RTT estimator lives on the underlying host endpoint)."""
+        return self._mux.endpoint.peer_stats(dst)
+
+    def rto(self, dst: str, fallback: float) -> float:
+        return self._mux.endpoint.rto(dst, fallback)
 
 
 class ChannelMux:

@@ -24,9 +24,10 @@ class TestCli:
 
     def test_experiment_registry_complete(self):
         # One CLI entry per table/figure of the paper + the CPU section
-        # + the chaos correctness gate.
+        # + the chaos correctness gate + the overload robustness gate.
         assert set(EXPERIMENTS) == {
             "table1", "fig5", "fig6", "fig7", "fig8", "cpu", "chaos",
+            "overload",
         }
 
     def test_chaos_gate(self, capsys):

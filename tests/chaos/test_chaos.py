@@ -66,6 +66,7 @@ class TestScheduleGenerator:
             assert counts.get("wipe", 0) == counts.get("rejoin", 0)
             assert counts.get("partition", 0) == counts.get("heal", 0)
             assert counts.get("slow-disk", 0) == counts.get("fix-disk", 0)
+            assert counts.get("slow-node", 0) == counts.get("fix-node", 0)
 
     def test_respects_max_crashed(self):
         for seed in range(10):
@@ -109,6 +110,62 @@ class TestScheduleGenerator:
         for seed in range(5):
             kinds = {e.kind for e in gen(seed=seed, spec=spec)}
             assert not kinds & {"wipe", "rejoin"}
+
+    def test_overload_and_slow_node_kinds_appear(self):
+        kinds = set()
+        for seed in range(10):
+            kinds |= {e.kind for e in gen(seed=seed)}
+        assert {"overload", "slow-node", "fix-node"} <= kinds
+
+    def test_overload_weight_zero_disables(self):
+        spec = ScheduleSpec(overload_weight=0.0)
+        for seed in range(5):
+            kinds = {e.kind for e in gen(seed=seed, spec=spec)}
+            assert "overload" not in kinds
+
+    def test_slow_node_weight_zero_disables(self):
+        spec = ScheduleSpec(slow_node_weight=0.0)
+        for seed in range(5):
+            kinds = {e.kind for e in gen(seed=seed, spec=spec)}
+            assert not kinds & {"slow-node", "fix-node"}
+
+    def test_zero_weight_new_kinds_preserve_rng_draws(self):
+        # A zero-weighted kind must consume *no* RNG: with the weight
+        # at zero, every other parameter of the disabled kind is inert
+        # and the rest of the schedule's draws line up event-for-event.
+        baseline = ScheduleSpec(overload_weight=0.0, slow_node_weight=0.0)
+        perturbed = ScheduleSpec(
+            overload_weight=0.0, slow_node_weight=0.0,
+            overload_dur=(9.0, 9.0), overload_factor=(99.0, 99.0),
+            node_slow_factor=(99.0, 99.0), node_slow_dur=(9.0, 9.0),
+        )
+        for seed in range(5):
+            assert gen(seed=seed, spec=baseline) == \
+                gen(seed=seed, spec=perturbed)
+
+    def test_slow_node_never_stacks_on_slow_disk_or_itself(self):
+        # At most one gray episode per host at a time, and never on a
+        # host whose disk is already slowed — overlapping slowdowns
+        # would repair each other on fix.
+        for seed in range(10):
+            events = sorted(gen(seed=seed), key=lambda e: e.t)
+            slowed = set()
+            gray = set()
+            for e in events:
+                if e.kind == "slow-disk":
+                    host, _ = e.arg
+                    assert host not in gray
+                    slowed.add(host)
+                elif e.kind == "fix-disk":
+                    slowed.discard(e.arg)
+                elif e.kind == "slow-node":
+                    host, factor = e.arg
+                    assert host not in gray and host not in slowed
+                    assert factor >= 1.0
+                    gray.add(host)
+                elif e.kind == "fix-node":
+                    assert e.arg in gray
+                    gray.discard(e.arg)
 
 
 class TestEpisodes:
@@ -182,6 +239,7 @@ class TestTeeth:
             schedule=ScheduleSpec(
                 fault_window=6.0, mean_gap=1.0,
                 storage_weights=(0.0, 0.0, 0.0),
+                overload_weight=0.0, slow_node_weight=0.0,
             ),
             settle=4.0,
         )

@@ -86,9 +86,12 @@ class TestBackoff:
     def test_delay_grows_exponentially_then_caps(self):
         c = make()
         client = c.clients[0]
-        # Half-jittered: delay for retry r lies in [cap/2, cap] where
-        # cap = min(max_backoff, retry_backoff * 2^r).
-        for r in range(12):
+        # Retry 0 is pure jitter in [0, retry_backoff); later retries
+        # are half-jittered: delay for retry r lies in [cap/2, cap]
+        # where cap = min(max_backoff, retry_backoff * 2^r).
+        for _ in range(8):
+            assert 0.0 <= client._retry_delay(0) < client.retry_backoff
+        for r in range(1, 12):
             cap = min(client.max_backoff, client.retry_backoff * (2 ** r))
             d = client._retry_delay(r)
             assert cap / 2 <= d <= cap

@@ -139,6 +139,217 @@ class TestRequestReply:
         assert timeouts == [1]
 
 
+class TestLateReplies:
+    def test_late_reply_after_final_timeout_dropped(self):
+        # Regression: a reply landing after the final RequestTimeout
+        # already fired must be dropped by the endpoint, never
+        # dispatched to the (dead) continuation.
+        sim, net, eps = make_endpoints()
+
+        def slow(msg, src, respond):
+            sim.call_after(1.0, lambda: respond(Pong(1), 0))
+
+        eps["B"].on_request_async(Ping, slow)
+        timeouts = []
+        eps["A"].request(
+            "B", Ping(), size=10,
+            on_reply=lambda r: pytest.fail("late reply must not dispatch"),
+            timeout=0.01, retries=3,
+            on_timeout=lambda: timeouts.append(sim.now),
+        )
+        sim.run(until=5.0)
+        assert timeouts == [pytest.approx(0.04, abs=1e-6)]
+        # All 4 transmits eventually drew a (late) reply; every one of
+        # them must land in the stale bucket.
+        assert eps["A"].stale_replies_dropped == 4
+
+    def test_reply_after_cancel_dropped(self):
+        sim, net, eps = make_endpoints()
+        eps["B"].on_request(Ping, lambda msg, src: Pong())
+        rid = eps["A"].request(
+            "B", Ping(), size=0,
+            on_reply=lambda r: pytest.fail("cancelled"), timeout=10.0,
+        )
+        eps["A"].cancel_request(rid)
+        sim.run(until=1.0)
+        assert eps["A"].stale_replies_dropped == 1
+
+
+class TestAdaptiveTimeouts:
+    def test_peer_stats_empty_before_any_sample(self):
+        sim, net, eps = make_endpoints()
+        st = eps["A"].peer_stats("B")
+        assert st.samples == 0
+        assert eps["A"].peer_rtt("B") is None
+        assert eps["A"].rto("B", 0.7) == 0.7  # fallback until a sample
+
+    def test_first_sample_seeds_estimator(self):
+        sim, net, eps = make_endpoints()
+        eps["B"].on_request(Ping, lambda msg, src: Pong())
+        eps["A"].request("B", Ping(), size=10, on_reply=lambda r: None)
+        sim.run()
+        st = eps["A"].peer_stats("B")
+        assert st.samples == 1
+        assert st.ewma == pytest.approx(0.002, rel=0.2)  # ~2x 1ms delay
+        assert st.dev == pytest.approx(st.ewma / 2)
+        # ewma + 4*dev is far below the floor on this quiet link.
+        assert eps["A"].rto("B", 9.9) == eps["A"].rto_floor
+
+    def test_karn_no_sample_from_retransmitted_exchange(self):
+        # The first-ever exchange needs a retransmit: Karn's rule says
+        # no clean sample, and with no prior estimate the one-sided
+        # bound has nothing to raise — the estimator stays empty.
+        sim, net, eps = make_endpoints()
+        calls = []
+
+        def second_time_lucky(msg, src, respond):
+            calls.append(sim.now)
+            if len(calls) == 2:
+                respond(Pong(), 0)
+
+        eps["B"].on_request_async(Ping, second_time_lucky)
+        got = []
+        eps["A"].request(
+            "B", Ping(), size=10, on_reply=got.append,
+            timeout=0.05, retries=-1,
+        )
+        sim.run(until=2.0)
+        assert len(got) == 1
+        assert eps["A"].peer_stats("B").samples == 0
+
+    def test_ambiguous_reply_raises_estimate_under_congestion(self):
+        # A clean fast sample first, then an exchange whose reply only
+        # arrives after a retransmit: the since-first-transmit bound
+        # must pull the estimate *up* (this is what breaks the
+        # retransmit->queue->retransmit spiral under overload).
+        sim, net, eps = make_endpoints()
+        calls = []
+
+        def handler(msg, src, respond):
+            if msg.n == 0:
+                respond(Pong(), 0)
+            else:
+                calls.append(sim.now)
+                if len(calls) == 2:
+                    respond(Pong(), 0)
+
+        eps["B"].on_request_async(Ping, handler)
+        got = []
+        eps["A"].request("B", Ping(0), size=10, on_reply=got.append)
+        sim.run(until=1.0)
+        base = eps["A"].peer_stats("B")
+        assert base.samples == 1
+        eps["A"].request(
+            "B", Ping(1), size=10, on_reply=got.append,
+            timeout=0.05, retries=-1,
+        )
+        sim.run(until=2.0)
+        st = eps["A"].peer_stats("B")
+        assert len(got) == 2
+        assert st.samples == 2
+        assert st.ewma > base.ewma
+
+    def test_ambiguous_reply_never_lowers_estimate(self):
+        # Seed a *slow* clean estimate, then a retransmitted exchange
+        # that completes quickly: the ambiguous bound may only raise,
+        # so the slow estimate must survive untouched.
+        sim, net, eps = make_endpoints()
+        calls = []
+
+        def handler(msg, src, respond):
+            if msg.n == 0:
+                sim.call_after(0.5, lambda: respond(Pong(), 0))
+            else:
+                calls.append(sim.now)
+                if len(calls) == 2:
+                    respond(Pong(), 0)
+
+        eps["B"].on_request_async(Ping, handler)
+        got = []
+        eps["A"].request(
+            "B", Ping(0), size=10, on_reply=got.append, timeout=2.0,
+        )
+        sim.run(until=3.0)
+        base = eps["A"].peer_stats("B")
+        assert base.samples == 1
+        assert base.ewma == pytest.approx(0.502, rel=0.05)
+        eps["A"].request(
+            "B", Ping(1), size=10, on_reply=got.append,
+            timeout=0.05, retries=-1,
+        )
+        sim.run(until=5.0)
+        st = eps["A"].peer_stats("B")
+        assert len(got) == 2
+        assert st.samples == 1  # fast ambiguous bound discarded
+        assert st.ewma == base.ewma
+
+    def test_adaptive_request_uses_derived_rto_not_fallback(self):
+        # After learning a ~0.5s RTT, an adaptive request to a silent
+        # peer must wait ewma + 4*dev (~1.5s), not the 0.05s fallback.
+        sim, net, eps = make_endpoints()
+
+        def handler(msg, src, respond):
+            if msg.n == 0:
+                sim.call_after(0.5, lambda: respond(Pong(), 0))
+            # n != 0: silence.
+
+        eps["B"].on_request_async(Ping, handler)
+        got = []
+        eps["A"].request(
+            "B", Ping(0), size=10, on_reply=got.append, timeout=2.0,
+        )
+        sim.run(until=3.0)
+        expected = eps["A"].rto("B", 0.05)
+        assert expected > 1.0
+        start = sim.now
+        timeouts = []
+        eps["A"].request(
+            "B", Ping(1), size=10,
+            on_reply=lambda r: pytest.fail("peer is silent"),
+            timeout=0.05, retries=0, adaptive=True,
+            on_timeout=lambda: timeouts.append(sim.now - start),
+        )
+        sim.run(until=start + 10.0)
+        assert timeouts == [pytest.approx(expected, rel=1e-6)]
+
+    def test_adaptive_backoff_doubles_per_retransmit(self):
+        # No samples yet: the fallback seeds the first interval, then
+        # each retransmission doubles it (0.1 + 0.2 + 0.4).
+        sim, net, eps = make_endpoints()
+        timeouts = []
+        eps["A"].request(
+            "B", Ping(), size=0,
+            on_reply=lambda r: pytest.fail("no handler registered"),
+            timeout=0.1, retries=2, adaptive=True,
+            on_timeout=lambda: timeouts.append(sim.now),
+        )
+        sim.run()
+        assert timeouts == [pytest.approx(0.7, abs=1e-6)]
+
+    def test_timeouts_adapted_counts_material_moves(self):
+        # A fast sample then a much slower one moves the derived RTO by
+        # far more than 25% — the adaptation counter must tick.
+        sim, net, eps = make_endpoints()
+
+        def handler(msg, src, respond):
+            delay = 0.0 if msg.n == 0 else 0.3
+            sim.call_after(delay, lambda: respond(Pong(), 0))
+
+        eps["B"].on_request_async(Ping, handler)
+        got = []
+        eps["A"].request(
+            "B", Ping(0), size=10, on_reply=got.append, timeout=2.0,
+        )
+        sim.run(until=1.0)
+        assert eps["A"].timeouts_adapted == 0
+        eps["A"].request(
+            "B", Ping(1), size=10, on_reply=got.append, timeout=2.0,
+        )
+        sim.run(until=2.0)
+        assert len(got) == 2
+        assert eps["A"].timeouts_adapted == 1
+
+
 class TestBatching:
     def test_batch_flushes_on_window(self):
         sim, net, eps = make_endpoints(batch_window=0.01)
