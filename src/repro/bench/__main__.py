@@ -23,7 +23,7 @@ import argparse
 import sys
 
 from .experiments import (
-    chaos, cpu_cost, fig5, fig6, fig7, fig8, overload, table1,
+    batching, chaos, cpu_cost, fig5, fig6, fig7, fig8, overload, table1,
 )
 
 EXPERIMENTS = {
@@ -36,6 +36,8 @@ EXPERIMENTS = {
     "chaos": ("Chaos sweep: linearizability + invariants under faults", chaos),
     "overload": ("Overload: goodput vs offered load, admission on/off",
                  overload),
+    "batching": ("Batching: small-write goodput vs batch size",
+                 batching),
 }
 
 
@@ -83,7 +85,7 @@ def main(argv: list[str] | None = None) -> int:
         elif name == "chaos":
             status |= module.main(seeds=args.seeds, short=args.short,
                                   wipe_heavy=args.wipe_heavy)
-        elif name == "overload":
+        elif name in ("overload", "batching"):
             status |= module.main(quick=not args.full)
         else:
             module.main(quick=not args.full)

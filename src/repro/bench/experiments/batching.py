@@ -1,0 +1,159 @@
+"""Batching experiment: goodput vs batch size on the Fig. 6 setup.
+
+Not a paper figure — the throughput gate for leader-side command
+batching. The paper's small-value regime (Fig. 6/7) is per-command
+overhead bound: every put pays its own RS encode, WAL append, and
+Accept quorum round, and the leader's proposal pipeline bounds how many
+such instances are in flight. Batching packs up to ``batch_max_commands``
+commands into ONE instance (one encode, one append, one quorum round),
+so at a fixed pipeline depth the command throughput scales with the
+batch size until another resource saturates — the classic Paxos result
+(Marandi et al.: batching dominates every other tuning knob), composed
+with RS-Paxos' amortized coding cost.
+
+Method: a closed loop of many clients issues back-to-back small writes
+against one Paxos group (batches form per group), sweeping batch size x
+value size. Goodput counts in-window acknowledged completions; the
+encode amortization is read off ``rs.encode_calls`` per completed write.
+
+The gate: at 64 B values, batch=32 goodput must be >= 2x batch=1, with
+encode calls per op dropping proportionally (<= 1/4 at batch=32). Exit
+code 1 otherwise.
+"""
+
+from __future__ import annotations
+
+from ..report import table
+from ..setups import Setup, make_cluster
+
+BATCH_SIZES = (1, 8, 32)
+VALUE_SIZES_QUICK = (64, 1024)
+VALUE_SIZES_FULL = (64, 256, 1024)
+
+#: The CI gates, evaluated at 64 B values (the paper's smallest point).
+GOODPUT_GAIN_FLOOR = 2.0
+ENCODE_RATIO_CEIL = 0.25
+
+NUM_CLIENTS = 128
+NUM_GROUPS = 1  # batches accumulate per group; one group concentrates them
+BATCH_LINGER = 0.0005
+
+
+def run_point(
+    batch: int, value_size: int, duration: float, seed: int = 0,
+) -> dict:
+    setup = Setup(
+        protocol="rs-paxos", env="lan", disk="ssd",
+        num_groups=NUM_GROUPS, num_clients=NUM_CLIENTS, seed=seed,
+    )
+    cluster = make_cluster(
+        setup,
+        batch_max_commands=batch,
+        batch_linger=BATCH_LINGER,
+        settle=1.0,
+    )
+    sim = cluster.sim
+    t0 = sim.now
+    encodes0 = cluster.metrics.counter("rs.encode_calls").value
+    done = {"n": 0}
+
+    for i, client in enumerate(cluster.clients):
+        def loop(client=client, i=i, seq=[0]) -> None:
+            if sim.now >= t0 + duration:
+                return
+
+            def again(ok: bool) -> None:
+                if ok and sim.now <= t0 + duration:
+                    done["n"] += 1
+                loop()
+
+            seq[0] += 1
+            client.put(f"b{i}-{seq[0]}", value_size, on_done=again)
+
+        sim.call_soon(loop)
+
+    cluster.run(until=t0 + duration)
+    ops = done["n"]
+    encodes = cluster.metrics.counter("rs.encode_calls").value - encodes0
+    hist = cluster.metrics.histograms.get("batch.commands")
+    mean_batch = (
+        hist.mean() if hist is not None and len(hist) else 1.0
+    )
+    return {
+        "batch": batch,
+        "size": value_size,
+        "ops_s": ops / duration,
+        "mbps": cluster.metrics.throughput("write").mbps(t0, t0 + duration),
+        "encodes_per_op": encodes / max(1, ops),
+        "mean_batch": mean_batch,
+        "shed": sum(s.requests_shed for s in cluster.servers),
+    }
+
+
+def run(quick: bool = True) -> list[dict]:
+    duration = 1.5 if quick else 4.0
+    sizes = VALUE_SIZES_QUICK if quick else VALUE_SIZES_FULL
+    return [
+        run_point(batch, size, duration)
+        for size in sizes
+        for batch in BATCH_SIZES
+    ]
+
+
+def render(results: list[dict]) -> str:
+    rows = [
+        [
+            f"{p['size']}",
+            f"{p['batch']}",
+            f"{p['mean_batch']:.1f}",
+            f"{p['ops_s']:.0f}",
+            f"{p['mbps']:.2f}",
+            f"{p['encodes_per_op']:.3f}",
+            f"{p['shed']}",
+        ]
+        for p in results
+    ]
+    return table(
+        "small-write goodput vs batch size (RS-Paxos, LAN, SSD, 1 group)",
+        ["value B", "batch max", "batch mean", "ops/s", "Mbps",
+         "encodes/op", "shed"],
+        rows,
+    )
+
+
+def main(quick: bool = True) -> int:
+    results = run(quick)
+    print(render(results))
+    smallest = min(p["size"] for p in results)
+    base = next(
+        p for p in results if p["size"] == smallest and p["batch"] == 1
+    )
+    best = next(
+        p for p in results
+        if p["size"] == smallest and p["batch"] == max(BATCH_SIZES)
+    )
+    gain = best["ops_s"] / base["ops_s"] if base["ops_s"] else 0.0
+    ratio = (
+        best["encodes_per_op"] / base["encodes_per_op"]
+        if base["encodes_per_op"] else 1.0
+    )
+    goodput_ok = gain >= GOODPUT_GAIN_FLOOR
+    encode_ok = ratio <= ENCODE_RATIO_CEIL
+    print(
+        f"\n{smallest} B goodput gain batch={max(BATCH_SIZES)} vs 1: "
+        f"{gain:.2f}x (floor {GOODPUT_GAIN_FLOOR:.1f}x) -> "
+        f"{'OK' if goodput_ok else 'FAIL'}"
+    )
+    print(
+        f"{smallest} B encode calls per op: {best['encodes_per_op']:.3f} vs "
+        f"{base['encodes_per_op']:.3f} = {ratio:.2f}x "
+        f"(ceiling {ENCODE_RATIO_CEIL:.2f}x) -> "
+        f"{'OK' if encode_ok else 'FAIL'}"
+    )
+    return 0 if goodput_ok and encode_ok else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

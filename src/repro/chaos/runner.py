@@ -60,6 +60,10 @@ class ChaosSpec:
     p_write: float = 0.40
     p_fast_read: float = 0.35
     p_consistent_read: float = 0.15
+    # Leader-side command batching. The default (1) is batching off —
+    # byte-for-byte the pre-batching pipeline.
+    batch_max_commands: int = 1
+    batch_linger: float = 0.001
 
     @property
     def horizon(self) -> float:
@@ -76,6 +80,7 @@ class ChaosSpec:
             "num_clients": self.num_clients,
             "num_keys": self.num_keys,
             "num_groups": self.num_groups,
+            "batch_max_commands": self.batch_max_commands,
         }
 
 
@@ -181,6 +186,8 @@ class ChaosRunner:
             client_timeout=spec.client_timeout,
             scrub_interval=spec.scrub_interval,
             checkpoint_interval=spec.checkpoint_interval,
+            batch_max_commands=spec.batch_max_commands,
+            batch_linger=spec.batch_linger,
             trace=trace,
         )
         sim = cluster.sim

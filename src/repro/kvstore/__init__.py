@@ -11,6 +11,15 @@ Public API:
 - message types in :mod:`repro.kvstore.messages`.
 """
 
+from .batch import (
+    BatchItem,
+    BatchMeta,
+    FrameError,
+    FramedCommand,
+    decode_frame,
+    encode_frame,
+    frame_size,
+)
 from .client import KVClient
 from .cluster import Cluster, build_cluster
 from .messages import (
@@ -43,6 +52,8 @@ from .server import KVServer
 from .shard import ShardMap
 
 __all__ = [
+    "BatchItem",
+    "BatchMeta",
     "Busy",
     "CatchUp",
     "CatchUpEntry",
@@ -55,6 +66,8 @@ __all__ = [
     "ConfirmPlacement",
     "FetchShare",
     "FetchSnapshot",
+    "FrameError",
+    "FramedCommand",
     "GetOk",
     "Heartbeat",
     "HeartbeatAck",
@@ -72,4 +85,7 @@ __all__ = [
     "SnapshotChunk",
     "SnapshotEntry",
     "build_cluster",
+    "decode_frame",
+    "encode_frame",
+    "frame_size",
 ]

@@ -89,6 +89,9 @@ def build_cluster(
     max_inflight_proposals: int = 32,
     max_queued_requests: int = 128,
     hedge_fetches: bool = True,
+    batch_max_commands: int = 1,
+    batch_max_bytes: int = 256 * 1024,
+    batch_linger: float = 0.001,
     trace: bool = False,
 ) -> Cluster:
     """Wire up a complete cluster.
@@ -132,6 +135,9 @@ def build_cluster(
             max_inflight_proposals=max_inflight_proposals,
             max_queued_requests=max_queued_requests,
             hedge_fetches=hedge_fetches,
+            batch_max_commands=batch_max_commands,
+            batch_max_bytes=batch_max_bytes,
+            batch_linger=batch_linger,
             tracer=tracer,
             metrics=metrics,
         )

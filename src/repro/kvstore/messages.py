@@ -327,14 +327,16 @@ class Command:
     followers must see which keys are modified without decoding).
 
     ``arg`` carries the payload of control commands (the new view for
-    ``op == "view"``); it is None for data operations.
+    ``op == "view"``, the :class:`~repro.kvstore.batch.BatchMeta` for
+    ``op == "batch"``); it is None for data operations.
 
     ``client``/``op_id`` propagate the originating client operation for
     exactly-once apply of puts and deletes (empty for internal
-    commands: noops, read markers, views).
+    commands: noops, read markers, views — and for batches, which carry
+    per-command identities in their items instead).
     """
 
-    op: str  # "put" | "delete" | "read" | "view"
+    op: str  # "put" | "delete" | "read" | "view" | "batch"
     key: str
     arg: Any = None
     client: str = ""

@@ -40,6 +40,15 @@ from ..storage import (
     WalView,
     WriteAheadLog,
 )
+from .batch import (
+    BatchItem,
+    BatchMeta,
+    FrameError,
+    FramedCommand,
+    decode_frame,
+    encode_frame,
+    frame_size,
+)
 from .messages import (
     KV_META,
     Busy,
@@ -70,6 +79,23 @@ from .messages import (
 from .shard import ShardMap
 
 
+class _BatchEntry:
+    """One admitted command parked in a leader's pending batch."""
+
+    __slots__ = ("op", "key", "size", "data", "client", "op_id",
+                 "finish", "respond")
+
+    def __init__(self, op, key, size, data, client, op_id, finish, respond):
+        self.op = op
+        self.key = key
+        self.size = size
+        self.data = data
+        self.client = client
+        self.op_id = op_id
+        self.finish = finish    # per-command success reply (after apply)
+        self.respond = respond  # raw responder, for failure paths
+
+
 class KVServer:
     """One replica server hosting every shard's Paxos group."""
 
@@ -96,6 +122,9 @@ class KVServer:
         max_inflight_proposals: int = 32,
         max_queued_requests: int = 128,
         hedge_fetches: bool = True,
+        batch_max_commands: int = 1,
+        batch_max_bytes: int = 256 * 1024,
+        batch_linger: float = 0.001,
         tracer: Tracer = NULL_TRACER,
         metrics: MetricSet | None = None,
     ):
@@ -198,6 +227,21 @@ class KVServer:
         self.hedge_fetches = hedge_fetches
         self.hedges_issued = 0
         self.hedge_wins = 0
+
+        # Leader-side command batching: admitted mutations accumulate in
+        # a per-group pending batch, closed by count (batch_max_commands),
+        # framed bytes (batch_max_bytes), or the linger timer on the sim
+        # clock — whichever fires first. One closed batch becomes ONE
+        # Paxos value (one RS encode, one WAL append, one Accept round);
+        # the apply path unpacks it and releases each parked client reply
+        # individually. batch_max_commands <= 1 takes the original
+        # single-command path untouched (bit-for-bit determinism).
+        self.batch_max_commands = max(1, batch_max_commands)
+        self.batch_max_bytes = batch_max_bytes
+        self.batch_linger = batch_linger
+        self._pending_batch: dict[int, list] = {}
+        self._batch_timers: dict[int, object] = {}
+        self.batches_proposed = 0
 
         # Background scrubber (disabled when scrub_interval == 0): each
         # pass re-verifies WAL record checksums and repairs corrupt
@@ -597,6 +641,9 @@ class KVServer:
             meta = rec.share.meta
         if not isinstance(meta, Command):
             return  # no-op filler or unknown decision: nothing to apply
+        if meta.op == "batch":
+            self._apply_batch(group, instance, rec, meta.arg)
+            return
         if meta.op in ("put", "delete") and meta.client:
             # Exactly-once apply: client retries and duplicated requests
             # can commit the same operation in two instances; only the
@@ -637,6 +684,101 @@ class KVServer:
         elif meta.op == "view":
             self._apply_view_cmd(group, meta.arg)
         # op == "read": consistency marker, no state change.
+
+    def _apply_batch(self, group: int, instance: int, rec: ChosenRecord,
+                     bmeta) -> None:
+        """Apply one batched instance: every command in frame order,
+        atomically at this log position (identical order on every
+        replica). Per-command dedup mirrors the single-command path;
+        same-key commands later in the frame win because LocalStore
+        overwrites at equal version."""
+        items = bmeta.items if isinstance(bmeta, BatchMeta) else ()
+        have_full, datas = self._batch_payloads(rec, items)
+        version = instance
+        for idx, item in enumerate(items):
+            if item.op in ("put", "delete") and item.client:
+                ident = (group, item.client, item.op_id)
+                if ident in self._applied_ops:
+                    continue
+                self._applied_ops.add(ident)
+            if item.op == "put":
+                if have_full:
+                    self.store.put(
+                        item.key, datas[idx], item.size, version,
+                        complete=True,
+                    )
+                elif rec.share is not None:
+                    # Follower: the whole batch's coded share stands in
+                    # for each key it wrote; a recovery read decodes the
+                    # batch and extracts the key's payload.
+                    self.store.put(
+                        item.key, rec.share, rec.share.size, version,
+                        complete=False,
+                    )
+                else:
+                    self.store.put(item.key, None, 0, version, complete=False)
+            elif item.op == "delete":
+                self.store.delete(item.key, version)
+            # "read": consistency marker, no state change.
+
+    def _batch_payloads(self, rec: ChosenRecord, items):
+        """(have_full, per-item payloads) for a batched record.
+
+        have_full is True when this replica can materialize complete
+        entries: it holds the whole value (leader / decoded earlier) or
+        a classic θ(1, N) "share" that *is* the frame. The payload list
+        is all-None in modeled mode or if the frame fails validation —
+        CRC damage never applies a partial batch."""
+        raw = None
+        if rec.value is not None:
+            raw = rec.value.data
+        elif rec.share is not None and rec.share.config.x == 1:
+            if rec.share.corrupt:
+                return False, None
+            raw = rec.share.data
+        else:
+            return False, None
+        if raw is None:
+            return True, [None] * len(items)  # modeled: sizes only
+        try:
+            cmds = decode_frame(raw)
+        except FrameError:
+            return True, [None] * len(items)
+        if len(cmds) != len(items):
+            return True, [None] * len(items)
+        return True, [c.data for c in cmds]
+
+    @staticmethod
+    def _is_batch(meta) -> bool:
+        return isinstance(meta, Command) and meta.op == "batch"
+
+    @staticmethod
+    def _payload_for_key(value: Value, key: str):
+        """(data, size) that ``key`` holds after ``value`` applies: the
+        value itself for a plain put; for a batch, the last framed write
+        to the key (frame order is apply order)."""
+        meta = value.meta
+        if not (isinstance(meta, Command) and meta.op == "batch"):
+            return value.data, value.size
+        items = meta.arg.items if isinstance(meta.arg, BatchMeta) else ()
+        datas = None
+        if value.data is not None:
+            try:
+                cmds = decode_frame(value.data)
+                if len(cmds) == len(items):
+                    datas = [c.data for c in cmds]
+            except FrameError:
+                datas = None
+        data, size = None, 0
+        for idx, item in enumerate(items):
+            if item.key != key:
+                continue
+            if item.op == "put":
+                data = datas[idx] if datas is not None else None
+                size = item.size
+            elif item.op == "delete":
+                data, size = None, 0
+        return data, size
 
     def _release_skipped_waiters(self, group: int) -> None:
         """Release replies parked on instances a cursor jump skipped.
@@ -708,7 +850,7 @@ class KVServer:
         if not self.admission_control:
             start(respond)
             return
-        if self._open_proposals < self.max_inflight_proposals:
+        if self._open_proposals < self._inflight_budget():
             self._begin(respond, start)
             return
         if len(self._admission_queue) < self.max_queued_requests:
@@ -718,6 +860,14 @@ class KVServer:
         self.metrics.counter("admission.shed").inc(1)
         r = Busy(retry_after=self._retry_after())
         respond(r, r.wire_bytes)
+
+    def _inflight_budget(self) -> int:
+        """Admitted-command budget. ``max_inflight_proposals`` bounds
+        Paxos *instances* in flight; with batching each instance carries
+        up to ``batch_max_commands`` commands, so the command-level
+        budget scales accordingly (at batch_max_commands=1 this is
+        exactly the original per-command bound)."""
+        return self.max_inflight_proposals * self.batch_max_commands
 
     def _begin(self, respond, start: Callable) -> None:
         """Occupy a pipeline slot; the slot is released exactly once,
@@ -729,6 +879,11 @@ class KVServer:
         epoch = self._admission_epoch
         admitted_at = self.sim.now
         state = {"released": False}
+        # The EWMA estimates *per-command* service time. A batched
+        # command's admit->reply span covers the whole batch's instance,
+        # so _close_batch sets this divisor to the batch size — without
+        # it, shed clients would back off ~batch-size× too long.
+        divisor = [1]
 
         def release() -> None:
             if state["released"]:
@@ -737,7 +892,7 @@ class KVServer:
             if epoch != self._admission_epoch:
                 return  # flushed since; counters already reset
             self._open_proposals -= 1
-            svc = self.sim.now - admitted_at
+            svc = (self.sim.now - admitted_at) / max(1, divisor[0])
             if self._svc_ewma == 0.0:
                 self._svc_ewma = svc
             else:
@@ -748,24 +903,26 @@ class KVServer:
             release()
             respond(reply, nbytes)
 
+        respond_release.svc_divisor = divisor
         start(respond_release)
 
     def _pump_admissions(self) -> None:
         while (
             self._admission_queue
-            and self._open_proposals < self.max_inflight_proposals
+            and self._open_proposals < self._inflight_budget()
         ):
             respond, start = self._admission_queue.popleft()
             self._begin(respond, start)
 
     def _retry_after(self) -> float:
-        """Estimate when capacity frees up: smoothed service time scaled
-        by how deep the backlog is relative to the pipeline."""
+        """Estimate when capacity frees up: smoothed per-command service
+        time scaled by how deep the backlog is relative to the
+        pipeline's command budget."""
         est = self._svc_ewma if self._svc_ewma > 0.0 else 0.02
         backlog = len(self._admission_queue)
         return min(
             1.0,
-            max(0.02, est * (1.0 + backlog / max(1, self.max_inflight_proposals))),
+            max(0.02, est * (1.0 + backlog / max(1, self._inflight_budget()))),
         )
 
     def _flush_admissions(self) -> None:
@@ -774,15 +931,125 @@ class KVServer:
         Queued requests would otherwise wait on proposals this server
         can no longer drive; answer them NotReady (when still up — a
         crashed host just goes silent) so clients re-resolve the leader.
-        The epoch bump voids every outstanding release callback."""
+        The epoch bump voids every outstanding release callback.
+        Pending (not yet proposed) batches are failed the same way: the
+        batch was never an instance, so none of its commands may be
+        acked — atomicity on step-down and crash."""
         self._admission_epoch += 1
         self._open_proposals = 0
         queue, self._admission_queue = self._admission_queue, deque()
+        self._flush_batches()
         if not self.up:
             return
         for respond, _start in queue:
             r = NotReady()
             respond(r, r.wire_bytes)
+
+    def _flush_batches(self) -> None:
+        """Drop every pending batch: cancel linger timers and answer the
+        parked commands NotReady (silently when crashed)."""
+        for timer in self._batch_timers.values():
+            timer.cancel()
+        self._batch_timers.clear()
+        pending, self._pending_batch = self._pending_batch, {}
+        if not self.up:
+            return
+        for entries in pending.values():
+            self._fail_batch(entries)
+
+    # -- leader-side command batching ----------------------------------
+
+    def _enqueue_batched(self, group: int, entry: _BatchEntry) -> None:
+        """Park an admitted command in ``group``'s pending batch; close
+        the batch when full (count or framed bytes), else (re)arm the
+        linger timer. linger=0 still coalesces commands arriving at the
+        same sim instant: the close runs as a zero-delay event."""
+        pending = self._pending_batch.setdefault(group, [])
+        pending.append(entry)
+        if (
+            len(pending) >= self.batch_max_commands
+            or self._pending_frame_bytes(pending) >= self.batch_max_bytes
+        ):
+            self._close_batch(group)
+        elif group not in self._batch_timers:
+            self._batch_timers[group] = self.sim.call_after(
+                max(0.0, self.batch_linger),
+                lambda: self._close_batch(group),
+            )
+
+    def _pending_frame_bytes(self, pending: list) -> int:
+        return frame_size(
+            BatchItem(e.op, e.key, e.size, e.client, e.op_id)
+            for e in pending
+        )
+
+    def _close_batch(self, group: int) -> None:
+        """Seal ``group``'s pending batch into one Paxos value and
+        propose it. Every parked command is released together: all of
+        them on decide+apply (each with its own reply), or none (the
+        whole batch fails NotReady if leadership is already gone)."""
+        timer = self._batch_timers.pop(group, None)
+        if timer is not None:
+            timer.cancel()
+        entries = self._pending_batch.pop(group, None)
+        if not entries or not self.up:
+            return
+        node = self.groups[group]
+        if not self.is_leader_server or self._view_changing:
+            self._fail_batch(entries)
+            return
+        n = len(entries)
+        # Busy/shed accounting stays per command: each entry keeps its
+        # own admission slot until its own reply fires, but its EWMA
+        # contribution is the batch service time split across the batch.
+        for e in entries:
+            holder = getattr(e.respond, "svc_divisor", None)
+            if holder is not None:
+                holder[0] = n
+        items = tuple(
+            BatchItem(e.op, e.key, e.size, e.client, e.op_id)
+            for e in entries
+        )
+        # Concrete mode iff every put carries real bytes; otherwise the
+        # frame is modeled by exact size only (dual-mode values).
+        concrete = all(e.data is not None for e in entries if e.op == "put")
+        if concrete:
+            payload = encode_frame(tuple(
+                FramedCommand(e.op, e.key, e.data or b"", e.client, e.op_id)
+                for e in entries
+            ))
+            size = len(payload)
+        else:
+            payload = None
+            size = frame_size(items)
+        value = Value(
+            fresh_value_id(self.node_id), size, payload,
+            meta=Command("batch", "", arg=BatchMeta(items)),
+        )
+
+        def decided(instance: int, v: Value) -> None:
+            if not self.up:
+                return
+
+            def release_all() -> None:
+                for e in entries:
+                    e.finish()
+
+            self._respond_after_apply(group, instance, release_all)
+
+        self.batches_proposed += 1
+        self.metrics.histogram("batch.commands").record(n)
+        self.metrics.histogram("batch.bytes").record(size)
+        try:
+            node.propose(value, decided)
+            self.metrics.counter("rs.encode_calls").inc(1)
+        except RuntimeError:
+            self._fail_batch(entries)
+
+    def _fail_batch(self, entries: list) -> None:
+        for e in entries:
+            r = NotReady()
+            e.respond(r, r.wire_bytes)
 
     # -- client write/read handlers ------------------------------------
 
@@ -806,6 +1073,21 @@ class KVServer:
             respond(reply, reply.wire_bytes)
             return
         start = self.sim.now
+
+        def reply_now() -> None:
+            if not self.up:
+                return
+            self.metrics.latency("write").record(self.sim.now - start)
+            self.metrics.throughput("write").record(self.sim.now, msg.size)
+            reply = PutOk(msg.key)
+            respond(reply, reply.wire_bytes)
+
+        if self.batch_max_commands > 1:
+            self._enqueue_batched(group, _BatchEntry(
+                "put", msg.key, msg.size, msg.data, msg.client, msg.op_id,
+                reply_now, respond,
+            ))
+            return
         node = self.groups[group]
         value = Value(
             fresh_value_id(self.node_id), msg.size, msg.data,
@@ -815,19 +1097,11 @@ class KVServer:
         def decided(instance: int, v: Value) -> None:
             if not self.up:
                 return
-
-            def reply_now() -> None:
-                if not self.up:
-                    return
-                self.metrics.latency("write").record(self.sim.now - start)
-                self.metrics.throughput("write").record(self.sim.now, msg.size)
-                reply = PutOk(msg.key)
-                respond(reply, reply.wire_bytes)
-
             self._respond_after_apply(group, instance, reply_now)
 
         try:
             node.propose(value, decided)
+            self.metrics.counter("rs.encode_calls").inc(1)
         except RuntimeError:
             r = NotReady()
             respond(r, r.wire_bytes)
@@ -848,6 +1122,18 @@ class KVServer:
             reply = PutOk(msg.key)
             respond(reply, reply.wire_bytes)
             return
+
+        def reply_now() -> None:
+            if self.up:
+                reply = PutOk(msg.key)
+                respond(reply, reply.wire_bytes)
+
+        if self.batch_max_commands > 1:
+            self._enqueue_batched(group, _BatchEntry(
+                "delete", msg.key, 0, None, msg.client, msg.op_id,
+                reply_now, respond,
+            ))
+            return
         node = self.groups[group]
         value = Value(
             fresh_value_id(self.node_id), 0, None,
@@ -857,16 +1143,11 @@ class KVServer:
         def decided(instance: int, v: Value) -> None:
             if not self.up:
                 return
-
-            def reply_now() -> None:
-                if self.up:
-                    reply = PutOk(msg.key)
-                    respond(reply, reply.wire_bytes)
-
             self._respond_after_apply(group, instance, reply_now)
 
         try:
             node.propose(value, decided)
+            self.metrics.counter("rs.encode_calls").inc(1)
         except RuntimeError:
             r = NotReady()
             respond(r, r.wire_bytes)
@@ -915,6 +1196,16 @@ class KVServer:
 
     def _consistent_get_admitted(self, msg: ClientGet, start: float, respond) -> None:
         group = self.shard_map.group_of(msg.key)
+
+        def serve() -> None:
+            if self.up:
+                self._serve_read(msg.key, start, respond)
+
+        if self.batch_max_commands > 1:
+            self._enqueue_batched(group, _BatchEntry(
+                "read", msg.key, 0, None, "", 0, serve, respond,
+            ))
+            return
         node = self.groups[group]
         marker = Value(
             fresh_value_id(self.node_id), 0, None,
@@ -923,13 +1214,11 @@ class KVServer:
 
         def decided(instance: int, v: Value) -> None:
             if self.up:
-                self._respond_after_apply(
-                    group, instance,
-                    lambda: self.up and self._serve_read(msg.key, start, respond),
-                )
+                self._respond_after_apply(group, instance, serve)
 
         try:
             node.propose(marker, decided)
+            self.metrics.counter("rs.encode_calls").inc(1)
         except RuntimeError:
             r = NotReady()
             respond(r, r.wire_bytes)
@@ -971,13 +1260,16 @@ class KVServer:
             return
 
         def on_value(value) -> None:
-            self.store.put(key, value.data, value.size, instance, complete=True)
+            # For a batched value the decoded payload is the whole
+            # frame; the entry materializes only this key's slice.
+            data, size = self._payload_for_key(value, key)
+            self.store.put(key, data, size, instance, complete=True)
             rec = node.chosen.get(instance)
             if rec is not None and rec.value is None:
-                rec.value = value
+                rec.value = value  # cache the decode (batch or plain)
             self.metrics.latency("read").record(self.sim.now - start)
-            self.metrics.throughput("read").record(self.sim.now, value.size)
-            r = GetOk(key, value.size, value.data)
+            self.metrics.throughput("read").record(self.sim.now, size)
+            r = GetOk(key, size, data)
             respond(r, r.wire_bytes)
 
         self._gather_shares(group, instance, value_id, share, on_value)
@@ -1269,9 +1561,8 @@ class KVServer:
             and not rec.share.corrupt
         ):
             rec.share = rec.share.corrupted()
-            meta = rec.share.meta
-            if isinstance(meta, Command) and meta.op == "put":
-                entry = self.store.get(meta.key)
+            for key in self._put_keys_of(rec.share.meta):
+                entry = self.store.get(key)
                 if (
                     entry is not None
                     and entry.version == instance
@@ -1464,9 +1755,8 @@ class KVServer:
         if rec is not None and rec.value_id == fixed.value_id:
             if rec.share is None or rec.share.corrupt:
                 rec.share = fixed
-            meta = fixed.meta
-            if isinstance(meta, Command) and meta.op == "put":
-                entry = self.store.get(meta.key)
+            for key in self._put_keys_of(fixed.meta):
+                entry = self.store.get(key)
                 if (
                     entry is not None
                     and entry.version == instance
@@ -1667,8 +1957,7 @@ class KVServer:
         for g, node in enumerate(self.groups):
             need = tuple(
                 inst for inst, rec in sorted(node.chosen.items())
-                if isinstance(self._meta_of(rec), Command)
-                and self._meta_of(rec).op == "put"
+                if self._put_keys_of(self._meta_of(rec))
             )
             req = ConfirmPlacement(group=g, upto=node.next_instance,
                                    instances=need)
@@ -1689,6 +1978,18 @@ class KVServer:
         if rec.share is not None:
             return rec.share.meta
         return None
+
+    @staticmethod
+    def _put_keys_of(meta) -> tuple[str, ...]:
+        """Keys a decision wrote — drives placement confirmation and the
+        scrubber's store-mirror bookkeeping, batch-aware."""
+        if not isinstance(meta, Command):
+            return ()
+        if meta.op == "put":
+            return (meta.key,)
+        if meta.op == "batch" and isinstance(meta.arg, BatchMeta):
+            return tuple(i.key for i in meta.arg.items if i.op == "put")
+        return ()
 
     def _fill_gaps(self, group: int, member: int, reply, done) -> None:
         if not self.up or not isinstance(reply, PlacementGaps):
@@ -1827,6 +2128,18 @@ class KVServer:
                 msg.meta.key, msg.share, msg.share.size, msg.instance,
                 complete=False,
             )
+        elif self._is_batch(msg.meta):
+            # A batched share stands in for every key the batch wrote,
+            # in frame order (later same-key commands win).
+            items = msg.meta.arg.items if isinstance(msg.meta.arg, BatchMeta) else ()
+            for item in items:
+                if item.op == "put":
+                    self.store.put(
+                        item.key, msg.share, msg.share.size, msg.instance,
+                        complete=False,
+                    )
+                elif item.op == "delete":
+                    self.store.delete(item.key, msg.instance)
 
     # ------------------------------------------------------------------
     # catch-up (§4.5)
@@ -2051,11 +2364,17 @@ class KVServer:
                 self.store.delete(e.key, e.version)
                 continue
             if e.share is not None and e.share.config.x == 1:
-                # Classic Paxos: the "share" is the full value.
-                self.store.put(
-                    e.key, e.share.data, e.share.value_size, e.version,
-                    complete=True,
-                )
+                # Classic Paxos: the "share" is the full value. For a
+                # batched value that is the whole frame — materialize
+                # only this key's slice.
+                data, vsize = e.share.data, e.share.value_size
+                if self._is_batch(e.meta):
+                    data, vsize = self._payload_for_key(
+                        Value(e.value_id, e.share.value_size, e.share.data,
+                              meta=e.meta),
+                        e.key,
+                    )
+                self.store.put(e.key, data, vsize, e.version, complete=True)
             elif e.share is not None:
                 self.store.put(
                     e.key, e.share, e.share.size, e.version, complete=False,
@@ -2277,7 +2596,7 @@ class KVServer:
         if rec is not None and rec.value is not None:
             encode_for(rec.value)
             return
-        if entry.complete:
+        if entry.complete and not self._is_batch(meta):
             data = entry.value if isinstance(entry.value, bytes) else None
             encode_for(Value(value_id, entry.size, data, meta=meta))
             return

@@ -7,12 +7,20 @@ Public API:
 - :class:`FifoResource` — serialized rate-limited server (NIC, disk).
 - :class:`RngRegistry` — named deterministic random substreams.
 - :class:`MetricSet`, :class:`LatencyRecorder`, :class:`ThroughputMeter`,
-  :class:`Counter`, :class:`Gauge` — measurement primitives.
+  :class:`Counter`, :class:`Gauge`, :class:`Histogram` — measurement
+  primitives.
 - :class:`Tracer` — structured event trace for tests and debugging.
 """
 
 from .loop import Event, SimTimeout, SimulationError, Simulator
-from .metrics import Counter, Gauge, LatencyRecorder, MetricSet, ThroughputMeter
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LatencyRecorder,
+    MetricSet,
+    ThroughputMeter,
+)
 from .resources import FifoResource
 from .rng import RngRegistry
 from .trace import NULL_TRACER, Tracer, TraceRecord
@@ -22,6 +30,7 @@ __all__ = [
     "Gauge",
     "Event",
     "FifoResource",
+    "Histogram",
     "LatencyRecorder",
     "MetricSet",
     "NULL_TRACER",

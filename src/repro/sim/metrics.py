@@ -140,6 +140,52 @@ class ThroughputMeter:
         return edges[1:], out
 
 
+class Histogram:
+    """A value-distribution instrument (e.g. commands per batch).
+
+    Unlike :class:`LatencyRecorder` it accepts arbitrary non-negative
+    magnitudes and summarizes in the recorded unit, not milliseconds.
+    """
+
+    def __init__(self, name: str = "histogram"):
+        self.name = name
+        self._samples: list[float] = []
+
+    def record(self, value: float) -> None:
+        if value < 0:
+            raise ValueError("negative histogram sample")
+        self._samples.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> np.ndarray:
+        return np.asarray(self._samples, dtype=np.float64)
+
+    def mean(self) -> float:
+        if not self._samples:
+            return float("nan")
+        return float(np.mean(self.samples))
+
+    def percentile(self, q: float) -> float:
+        if not self._samples:
+            return float("nan")
+        return float(np.percentile(self.samples, q))
+
+    def summary(self) -> dict[str, float]:
+        if not self._samples:
+            return {"count": 0}
+        s = self.samples
+        return {
+            "count": len(s),
+            "mean": float(np.mean(s)),
+            "p50": float(np.percentile(s, 50)),
+            "p99": float(np.percentile(s, 99)),
+            "max": float(np.max(s)),
+        }
+
+
 class MetricSet:
     """A named bag of metrics shared by one experiment run."""
 
@@ -148,6 +194,7 @@ class MetricSet:
         self.gauges: dict[str, Gauge] = {}
         self.latencies: dict[str, LatencyRecorder] = {}
         self.throughputs: dict[str, ThroughputMeter] = {}
+        self.histograms: dict[str, Histogram] = {}
 
     def counter(self, name: str) -> Counter:
         c = self.counters.get(name)
@@ -172,3 +219,9 @@ class MetricSet:
         if t is None:
             t = self.throughputs[name] = ThroughputMeter(name)
         return t
+
+    def histogram(self, name: str) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(name)
+        return h

@@ -24,10 +24,11 @@ class TestCli:
 
     def test_experiment_registry_complete(self):
         # One CLI entry per table/figure of the paper + the CPU section
-        # + the chaos correctness gate + the overload robustness gate.
+        # + the chaos correctness gate + the overload robustness gate
+        # + the batching throughput gate.
         assert set(EXPERIMENTS) == {
             "table1", "fig5", "fig6", "fig7", "fig8", "cpu", "chaos",
-            "overload",
+            "overload", "batching",
         }
 
     def test_chaos_gate(self, capsys):

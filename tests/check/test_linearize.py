@@ -120,6 +120,86 @@ class TestFiltering:
             check_key("k", hist, max_states=10)
 
 
+class TestBatchedHistories:
+    """Leader-side batching folds several client commands into one
+    Paxos instance. To the checker a batch is just a set of concurrent
+    ops that all respond at the batch's commit point — but the *apply*
+    must still pick one frame order and stick to it."""
+
+    def test_batch_of_two_writes_linearizes_in_frame_order(self):
+        # One batch: both writes invoked before commit, both acked at
+        # commit. Frame order (1 then 2) means every later read sees 2.
+        hist = [
+            w(1, 0, 10), w(2, 0, 10),
+            r(2, 11, 12, mode="consistent"),
+            r(2, 13, 14, mode="consistent"),
+        ]
+        assert check_key("k", hist).ok
+
+    def test_reverse_frame_order_also_legal(self):
+        # The two writes were concurrent, so a frame ordered (2 then 1)
+        # is an equally valid linearization — as long as it is stable.
+        hist = [
+            w(1, 0, 10), w(2, 0, 10),
+            r(1, 11, 12, mode="consistent"),
+            r(1, 13, 14, mode="consistent"),
+        ]
+        assert check_key("k", hist).ok
+
+    def test_reordered_batch_replies_flagged(self):
+        # A broken batcher that applies the frame in one order but lets
+        # reads observe the other produces a flip-flop: after both
+        # writes acked, the register reads 2 then 1. No linearization
+        # explains that — the checker must flag it.
+        hist = [
+            w(1, 0, 10), w(2, 0, 10),
+            r(2, 11, 12, mode="consistent"),
+            r(1, 13, 14, mode="consistent"),
+        ]
+        res = check_key("k", hist)
+        assert not res.ok
+        assert len(res.failure_ops) == 4
+
+    def test_batch_ack_contradicting_later_state_flagged(self):
+        # Batched replies released in frame order make the two writes
+        # *sequential* in real time (w=2 acked before w=1 invoked). A
+        # read then seeing the earlier write is a stale read even if
+        # both writes shared an instance.
+        hist = [w(2, 0, 1), w(1, 2, 3), r(2, 4, 5, mode="consistent")]
+        assert not check_key("k", hist).ok
+
+    def test_live_batched_pipeline_history_checks_clean(self):
+        # End to end: a client pipelines two same-key writes into one
+        # batch; the recorded history (writes + follow-up reads) must
+        # pass the checker.
+        from repro.core import rs_paxos
+        from repro.kvstore import build_cluster
+        from repro.net import LinkSpec
+
+        c = build_cluster(
+            rs_paxos(5, 1), num_clients=1, num_groups=1, seed=5,
+            batch_max_commands=8, batch_linger=0.0005,
+            link=LinkSpec(delay_s=0.0001, jitter_s=0.0),
+        )
+        c.start()
+        c.run(until=1.0)
+        rec = HistoryRecorder()
+        cl = c.clients[0]
+        cl.history = rec
+
+        def after_reads(ok, size):
+            pass
+
+        cl.put("bk", 101)
+        cl.put("bk", 102)
+        c.run(until=c.sim.now + 0.5)
+        cl.get("bk", mode="consistent", on_done=after_reads)
+        c.run(until=c.sim.now + 0.5)
+        assert c.metrics.histograms["batch.commands"].samples.max() == 2
+        assert sum(1 for o in rec.ops if o.completed) == 3
+        assert check_history(rec) == []
+
+
 class TestRecorder:
     def test_recorder_round_trip(self):
         rec = HistoryRecorder()

@@ -1,0 +1,250 @@
+"""Leader-side command batching: behavior, metamorphic equivalence,
+and the per-command service-time EWMA fix.
+
+The metamorphic property is the heart of this module: batching is a
+*transport* optimization, so the same seeded workload must produce the
+same per-client replies and the same final KV state at every
+``batch_max_commands`` setting — batches change how commands travel,
+never what they mean.
+"""
+
+from __future__ import annotations
+
+from repro.core import classic_paxos, rs_paxos
+from repro.kvstore import build_cluster
+from repro.net import LinkSpec
+
+
+def make(batch: int, *, config=None, seed: int = 7, clients: int = 6,
+         groups: int = 4, **kw):
+    c = build_cluster(
+        config or rs_paxos(5, 1),
+        num_clients=clients,
+        num_groups=groups,
+        seed=seed,
+        batch_max_commands=batch,
+        batch_linger=0.0005,
+        **kw,
+    )
+    c.start()
+    c.run(until=1.0)  # leader election settle
+    assert c.leader() is not None
+    return c
+
+
+# -- metamorphic: batch size must not change meaning ----------------------
+
+
+def _scripted_run(batch: int, config=None) -> tuple[dict, dict]:
+    """Every client walks a scripted op chain on its own keys; returns
+    (per-client reply log, leader-store final state)."""
+    c = make(batch, config=config)
+    replies: dict[str, list] = {cl.name: [] for cl in c.clients}
+
+    def chain(cl, i: int) -> None:
+        ka, kb = f"m{i}-a", f"m{i}-b"
+        log = replies[cl.name]
+
+        def s6(ok: bool, size: int) -> None:
+            log.append(("get-b-after-del", ok, size))
+
+        def s5(ok: bool) -> None:
+            log.append(("del-b", ok))
+            cl.get(kb, mode="consistent", on_done=s6)
+
+        def s4(ok: bool, size: int) -> None:
+            log.append(("get-a", ok, size))
+            cl.delete(kb, on_done=s5)
+
+        def s3(ok: bool) -> None:
+            log.append(("put-b", ok))
+            cl.get(ka, mode="consistent", on_done=s4)
+
+        def s2(ok: bool) -> None:
+            log.append(("put-a2", ok))
+            cl.put(kb, 300 + i, on_done=s3)
+
+        def s1(ok: bool) -> None:
+            log.append(("put-a1", ok))
+            cl.put(ka, 200 + i, on_done=s2)
+
+        cl.put(ka, 100 + i, on_done=s1)
+
+    for i, cl in enumerate(c.clients):
+        c.sim.call_soon(lambda cl=cl, i=i: chain(cl, i))
+    c.run(until=c.sim.now + 3.0)
+
+    leader = c.leader()
+    state = {}
+    for key in leader.store.keys():
+        e = leader.store.get_entry(key)
+        state[key] = (e.size, e.tombstone)
+    return replies, state
+
+
+def test_metamorphic_batch_sizes_agree():
+    """Same workload at batch 1 / 4 / 32: identical per-client reply
+    sequences and identical final leader state."""
+    base_replies, base_state = _scripted_run(1)
+    # Sanity on the baseline itself before comparing anything to it.
+    for log in base_replies.values():
+        assert [step for step, *_ in log] == [
+            "put-a1", "put-a2", "put-b", "get-a", "del-b", "get-b-after-del",
+        ]
+        assert log[3][1] is True          # consistent read succeeded
+        assert log[5][1] is False         # deleted key reads as nothing
+    for i in range(6):
+        assert base_state[f"m{i}-a"] == (200 + i, False)
+        assert base_state[f"m{i}-b"][1] is True  # tombstone
+    for batch in (4, 32):
+        replies, state = _scripted_run(batch)
+        assert replies == base_replies, f"replies diverge at batch={batch}"
+        assert state == base_state, f"state diverges at batch={batch}"
+
+
+def test_metamorphic_classic_paxos_too():
+    """The equivalence is protocol-independent: classic Paxos batches
+    the same way (the frame is just θ(1,N)'s full value)."""
+    r1, s1 = _scripted_run(1, config=classic_paxos(5))
+    r4, s4 = _scripted_run(4, config=classic_paxos(5))
+    assert r4 == r1
+    assert s4 == s1
+
+
+def test_metamorphic_read_sizes_observe_writes():
+    """The register trick survives batching: a consistent read after a
+    batched overwrite observes the *last* write's unique size."""
+    _, state = _scripted_run(32)
+    assert [state[f"m{i}-a"][0] for i in range(6)] == [
+        200, 201, 202, 203, 204, 205,
+    ]
+
+
+# -- intra-batch ordering -------------------------------------------------
+
+
+def test_same_key_twice_in_one_batch_applies_in_frame_order():
+    # Jitter-free links: the two pipelined puts reach the leader in
+    # issue order, so frame order == issue order deterministically.
+    c = make(8, clients=1, groups=1,
+             link=LinkSpec(delay_s=0.0001, jitter_s=0.0))
+    cl = c.clients[0]
+    acks: list[bool] = []
+    # Issued back-to-back without waiting: both land in one batch.
+    cl.put("dup", 11, on_done=acks.append)
+    cl.put("dup", 22, on_done=acks.append)
+    c.run(until=c.sim.now + 1.0)
+    assert acks == [True, True]
+    leader = c.leader()
+    # Last write in the frame wins — on the leader and on followers'
+    # durable mirrors alike.
+    assert leader.store.get("dup").size == 22
+    # One instance carried both commands.
+    hist = c.metrics.histograms["batch.commands"]
+    assert hist.samples.tolist() == [2.0]
+
+
+# -- batch formation + amortization accounting ----------------------------
+
+
+def test_batch_close_by_count_and_encode_amortization():
+    c = make(4, clients=8, groups=1, seed=3)
+    done = {"n": 0}
+    for i, cl in enumerate(c.clients):
+        cl.put(f"amort-{i}", 64, on_done=lambda ok: done.__setitem__(
+            "n", done["n"] + (1 if ok else 0)))
+    encodes0 = c.metrics.counter("rs.encode_calls").value
+    c.run(until=c.sim.now + 1.0)
+    assert done["n"] == 8
+    encodes = c.metrics.counter("rs.encode_calls").value - encodes0
+    assert encodes == 2  # 8 commands / batch_max_commands=4
+    assert sum(s.batches_proposed for s in c.servers) == 2
+    hist = c.metrics.histograms["batch.commands"]
+    assert len(hist) == 2 and hist.mean() == 4.0
+
+
+def test_batch_close_by_linger_timer():
+    """A lone command doesn't wait forever for batch-mates: the linger
+    timer closes a partial batch."""
+    c = make(32, clients=1, groups=1)
+    done = []
+    t0 = c.sim.now
+    c.clients[0].put("lonely", 64, on_done=done.append)
+    c.run(until=c.sim.now + 1.0)
+    assert done == [True]
+    assert c.metrics.histograms["batch.commands"].samples.tolist() == [1.0]
+    # Round trip includes the linger wait but nothing pathological.
+    lat = c.metrics.latency("client.put").samples
+    assert 0.0005 <= float(lat[0]) - 0.0 < 0.1
+    assert c.sim.now > t0
+
+
+def test_batch_close_by_bytes():
+    """The byte cap closes a batch before the count cap is reached."""
+    c = build_cluster(
+        rs_paxos(5, 1), num_clients=4, num_groups=1, seed=7,
+        batch_max_commands=32, batch_max_bytes=2048, batch_linger=0.05,
+    )
+    c.start()
+    c.run(until=1.0)
+    done = {"n": 0}
+    for i, cl in enumerate(c.clients):
+        cl.put(f"big-{i}", 1024, on_done=lambda ok: done.__setitem__(
+            "n", done["n"] + (1 if ok else 0)))
+    c.run(until=c.sim.now + 1.0)
+    assert done["n"] == 4
+    hist = c.metrics.histograms["batch.commands"]
+    # 1024 B values against a 2 KiB frame cap: no batch holds all 4.
+    assert len(hist) >= 2
+    assert hist.samples.max() < 4
+
+
+# -- admission budget -----------------------------------------------------
+
+
+def test_inflight_budget_scales_with_batch_size():
+    c = make(4, clients=1, max_inflight_proposals=8)
+    for s in c.servers:
+        assert s._inflight_budget() == 32
+    c1 = make(1, clients=1, max_inflight_proposals=8)
+    for s in c1.servers:
+        assert s._inflight_budget() == 8
+
+
+# -- the Busy.retry_after EWMA fix ----------------------------------------
+
+
+def test_svc_ewma_is_per_command_not_per_batch():
+    """Regression: a batch of K commands must feed the service-time
+    EWMA K samples of span/K, not K samples of the full span —
+    otherwise ``Busy.retry_after`` over-delays shed clients ~K×.
+
+    Whole-batch feeding would leave the EWMA ≈ the client-observed
+    commit latency; per-command feeding leaves it ≈ latency / K."""
+    c = make(4, clients=4, groups=1, seed=11)
+    latency = {}
+    done = {"n": 0}
+
+    def on_done(ok):
+        done["n"] += 1
+        latency.setdefault("t", c.sim.now - latency["t0"])
+
+    latency["t0"] = c.sim.now
+    for i, cl in enumerate(c.clients):
+        cl.put(f"ewma-{i}", 64, on_done=on_done)
+    c.run(until=c.sim.now + 1.0)
+    assert done["n"] == 4
+    leader = c.leader()
+    assert c.metrics.histograms["batch.commands"].samples.max() == 4
+    # All four EWMA samples were ≈ span/4, so the smoothed value must
+    # sit well below the full batch span (allow 2× margin for the
+    # client-RTT share of the measured latency).
+    assert 0.0 < leader._svc_ewma < latency["t"] / 2
+
+
+def test_retry_after_uses_command_budget():
+    c = make(4, clients=1, max_inflight_proposals=8)
+    leader = c.leader()
+    leader._svc_ewma = 0.04
+    # Empty backlog: retry_after is just the per-command estimate.
+    assert abs(leader._retry_after() - 0.04) < 1e-9
