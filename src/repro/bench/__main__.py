@@ -8,13 +8,16 @@ Usage::
     python -m repro.bench all  [--full]
     python -m repro.bench chaos [--seeds N] [--short] [--wipe-heavy]
     python -m repro.bench overload [--full]
+    python -m repro.bench ycsb [--full]
 
 ``chaos`` is the correctness gate rather than a paper figure: it runs
 seeded fault-injection episodes and fails (exit 1, repro bundle on
 disk) if any history is non-linearizable or any protocol invariant
 breaks. ``overload`` is the robustness gate: it drives the cluster
 past saturation and fails (exit 1) if admission control cannot hold
-goodput at 2x offered load.
+goodput at 2x offered load. ``ycsb`` is the isolation gate: a noisy
+Zipfian tenant floods a shared cluster and the well-behaved uniform
+tenant's p99/goodput must hold (exit 1 otherwise).
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ import sys
 
 from .experiments import (
     batching, chaos, cpu_cost, fig5, fig6, fig7, fig8, overload, table1,
+    ycsb,
 )
 
 EXPERIMENTS = {
@@ -38,6 +42,7 @@ EXPERIMENTS = {
                  overload),
     "batching": ("Batching: small-write goodput vs batch size",
                  batching),
+    "ycsb": ("YCSB: two-tenant fair-queueing isolation ladder", ycsb),
 }
 
 
@@ -48,8 +53,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
+        nargs="?",
         choices=list(EXPERIMENTS) + ["all", "list"],
         help="which experiment to run",
+    )
+    parser.add_argument(
+        "--list", action="store_true", dest="list_experiments",
+        help="enumerate all registered experiments and exit",
     )
     parser.add_argument(
         "--full", action="store_true",
@@ -70,10 +80,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.experiment == "list":
+    if args.list_experiments or args.experiment == "list":
         for name, (desc, _) in EXPERIMENTS.items():
             print(f"  {name:<8} {desc}")
         return 0
+    if args.experiment is None:
+        parser.error("an experiment name (or --list) is required")
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     status = 0
@@ -85,7 +97,7 @@ def main(argv: list[str] | None = None) -> int:
         elif name == "chaos":
             status |= module.main(seeds=args.seeds, short=args.short,
                                   wipe_heavy=args.wipe_heavy)
-        elif name in ("overload", "batching"):
+        elif name in ("overload", "batching", "ycsb"):
             status |= module.main(quick=not args.full)
         else:
             module.main(quick=not args.full)

@@ -15,11 +15,13 @@ shapes the paper reports hold in both modes.
   linearizability + invariant checking (:mod:`repro.chaos`).
 - :mod:`.overload` — not a figure: goodput vs offered load past the
   saturation knee, admission control on vs off.
+- :mod:`.ycsb` — not a figure: two-tenant YCSB-style isolation ladder
+  gating the weighted fair-queueing admission layer.
 """
 
-from . import chaos, cpu_cost, fig5, fig6, fig7, fig8, overload, table1
+from . import chaos, cpu_cost, fig5, fig6, fig7, fig8, overload, table1, ycsb
 
 __all__ = [
     "chaos", "cpu_cost", "fig5", "fig6", "fig7", "fig8", "overload",
-    "table1",
+    "table1", "ycsb",
 ]

@@ -1,0 +1,308 @@
+"""YCSB-style multi-tenant isolation ladder: the QoS gate.
+
+Not a paper figure — the robustness gate for the weighted fair-queueing
+admission layer. Two tenants share one cluster:
+
+- tenant ``U`` ("well-behaved"): uniform keys, open-loop Poisson at
+  ~0.8x its fair share of calibrated capacity;
+- tenant ``Z`` ("noisy"): Zipfian(0.99) keys, open-loop Poisson swept
+  up to 4x its fair share (= twice the whole cluster's capacity).
+
+With a single FIFO admission queue, Z's flood would ride the same
+queue as U's trickle and U's tail latency would track Z's backlog.
+With per-tenant DRR queues, U keeps its own short queue and its weight
+share of the pipeline, so its latency and goodput barely move.
+
+Method mirrors :mod:`.overload`: calibrate capacity C with a
+closed-loop probe, take ``fair = C / 2`` as each tenant's share, then:
+
+1. **solo** — U alone at ``0.8 * fair``: baseline p99 and goodput;
+2. **ladder** — U unchanged, Z swept at 0.5x/1x/2x of C;
+3. **gate** — at Z = 1x C (2x Z's fair share): U's p99 must stay
+   within ``P99_BLOWUP`` (3x) of its solo p99 AND U's goodput must
+   hold ``GOODPUT_FLOOR`` (70%) of its fair share;
+4. **determinism** — one contended point is run twice with the same
+   seed; every driver's op-stream digest must match bit for bit.
+
+Records are 1 KB (YCSB's default record size), so the binding
+resource is the leader's proposal pipeline rather than core
+bandwidth; ``max_inflight_proposals``/``max_queued_requests`` are
+deliberately tightened (16/32) because a deep pipeline + deep queues
+would let the flood's backlog sit *in front of* U's ops inside shared
+FIFO stages, inflating U's tail no matter how fairly admission
+schedules. DRR guarantees throughput shares; short shared stages are
+what translate that into latency isolation.
+
+Topology: fast LAN edges, constrained 100 Mbps replication core (same
+shape as :mod:`.overload`).
+"""
+
+from __future__ import annotations
+
+from ...core import rs_paxos
+from ...kvstore import build_cluster
+from ...net import LAN, LinkSpec
+from ...workload import (
+    OpMix,
+    OpenLoopDriver,
+    PoissonArrivals,
+    SizeRange,
+    WorkloadSpec,
+    uniform,
+    zipfian,
+)
+from ..report import table
+
+#: Noisy-tenant offered load, as multiples of total calibrated capacity
+#: (1.0 = 2x the noisy tenant's fair share — the gated point).
+MULTIPLIERS = (0.5, 1.0, 2.0)
+
+#: Gate: U's contended p99 vs its solo p99.
+P99_BLOWUP = 3.0
+
+#: Gate: U's contended goodput vs its fair share (C/2).
+GOODPUT_FLOOR = 0.70
+
+#: U's offered load as a fraction of its fair share (< 1: well-behaved).
+U_LOAD = 0.8
+
+#: YCSB default record size.
+VALUE_SIZE = 1024
+CLIENTS_PER_TENANT = 4
+NUM_GROUPS = 4
+NUM_KEYS = 64
+
+#: Leader pipeline/queue depth: short shared stages so DRR's
+#: throughput shares become latency isolation (see module docstring).
+MAX_INFLIGHT = 16
+MAX_QUEUED = 32
+
+#: 100 Mbps replication backbone vs 1 Gbps client edge links.
+SLOW_CORE = LinkSpec(delay_s=0.0001, jitter_s=0.00005, bandwidth_bps=100e6)
+
+
+def _tenant_spec(name: str, keys) -> WorkloadSpec:
+    """Update-only stream: writes are what the admission pipeline
+    schedules, so a pure-write mix makes the isolation measurement
+    direct (reads ride the fast path and would dilute it)."""
+    return WorkloadSpec(
+        name, 0.0, SizeRange(VALUE_SIZE, VALUE_SIZE),
+        num_keys=NUM_KEYS, keys=keys, mix=OpMix(update=1.0),
+    )
+
+
+U_SPEC = _tenant_spec("tenant-U", uniform())
+Z_SPEC = _tenant_spec("tenant-Z", zipfian(theta=0.99))
+
+
+def _build(seed: int, tenants: list[str], client_timeout: float = 1.0):
+    cluster = build_cluster(
+        rs_paxos(5, 1),
+        num_clients=len(tenants),
+        num_groups=NUM_GROUPS,
+        link=LAN,
+        seed=seed,
+        client_timeout=client_timeout,
+        client_tenants=tenants,
+        max_inflight_proposals=MAX_INFLIGHT,
+        max_queued_requests=MAX_QUEUED,
+    )
+    snames = [s.name for s in cluster.servers]
+    for a in snames:
+        for b in snames:
+            if a != b:
+                cluster.net.set_link(a, b, SLOW_CORE)
+    cluster.start()
+    cluster.run(until=cluster.sim.now + 0.5)
+    return cluster
+
+
+def measure_capacity(seed: int = 0, duration: float = 3.0) -> float:
+    """Closed-loop saturation probe (untagged clients, back-to-back
+    writes): the total completions/s the ladder scales against."""
+    cluster = _build(seed, [""] * (2 * CLIENTS_PER_TENANT),
+                     client_timeout=30.0)
+    sim = cluster.sim
+    t0 = sim.now
+    done = {"n": 0}
+
+    for i, client in enumerate(cluster.clients):
+        def loop(client=client, i=i, seq=[0]) -> None:
+            if sim.now >= t0 + duration:
+                return
+
+            def again(ok: bool) -> None:
+                if ok and sim.now <= t0 + duration:
+                    done["n"] += 1
+                loop()
+
+            seq[0] += 1
+            client.put(f"cap{i}-{seq[0]}", VALUE_SIZE, on_done=again)
+
+        sim.call_soon(loop)
+
+    cluster.run(until=t0 + duration)
+    return done["n"] / duration
+
+
+def run_point(
+    u_rate: float,
+    z_rate: float,
+    seed: int = 0,
+    duration: float = 4.0,
+    drain: float = 2.0,
+) -> dict:
+    """One open-loop point: U at ``u_rate``, Z at ``z_rate`` (total
+    offered ops/s per tenant, split across its clients). ``z_rate=0``
+    is the solo baseline — Z's clients exist but stay silent, so the
+    cluster build (and every RNG stream) is identical across rungs."""
+    tenants = (["U"] * CLIENTS_PER_TENANT) + (["Z"] * CLIENTS_PER_TENANT)
+    cluster = _build(seed, tenants)
+    sim = cluster.sim
+    for c in cluster.clients:
+        c.max_attempts = 4
+    t0 = sim.now
+    drivers: dict[str, list[OpenLoopDriver]] = {"U": [], "Z": []}
+    for i, client in enumerate(cluster.clients):
+        rate = u_rate if client.tenant == "U" else z_rate
+        if rate <= 0:
+            continue
+        d = OpenLoopDriver(
+            sim, client,
+            U_SPEC if client.tenant == "U" else Z_SPEC,
+            PoissonArrivals(rate / CLIENTS_PER_TENANT),
+            max_outstanding=64,
+            stop_at=t0 + duration,
+        )
+        d.start()
+        drivers[client.tenant].append(d)
+    cluster.run(until=t0 + duration + drain)
+
+    leader = cluster.leader()
+    shed = dict(leader.requests_shed_by_tenant) if leader else {}
+
+    def tenant_stats(t: str) -> dict:
+        clients = [c for c in cluster.clients if c.tenant == t]
+        lat = cluster.metrics.latencies.get(f"tenant.{t}.put")
+        summary = lat.summary() if lat else {"count": 0}
+        return {
+            "offered": sum(d.ops_issued for d in drivers[t]),
+            "dropped": sum(d.ops_dropped for d in drivers[t]),
+            "ok": sum(c.ops_ok for c in clients),
+            "failed": sum(c.ops_failed for c in clients),
+            "goodput": sum(c.ops_ok for c in clients) / duration,
+            "busy": sum(c.busy_count for c in clients),
+            "busy_wait": sum(c.busy_wait_total for c in clients),
+            "shed": shed.get(t, 0),
+            "p50_ms": summary.get("p50_ms", float("nan")),
+            "p99_ms": summary.get("p99_ms", float("nan")),
+            "p999_ms": summary.get("p999_ms", float("nan")),
+        }
+
+    digests = {
+        t: [d.op_digest for d in ds] for t, ds in drivers.items()
+    }
+    return {
+        "u_rate": u_rate,
+        "z_rate": z_rate,
+        "U": tenant_stats("U"),
+        "Z": tenant_stats("Z"),
+        "digests": digests,
+    }
+
+
+def run(quick: bool = True) -> dict:
+    duration = 4.0 if quick else 10.0
+    drain = 2.0 if quick else 4.0
+    capacity = measure_capacity(duration=3.0 if quick else 6.0)
+    fair = capacity / 2.0
+    u_rate = U_LOAD * fair
+
+    solo = run_point(u_rate, 0.0, duration=duration, drain=drain)
+    ladder = [
+        run_point(u_rate, m * capacity, duration=duration, drain=drain)
+        for m in MULTIPLIERS
+    ]
+
+    # Bit-for-bit reproducibility: the same seed must yield the same
+    # per-driver op stream, regardless of what the cluster did with it.
+    d1 = run_point(u_rate, capacity, duration=1.5, drain=1.0)
+    d2 = run_point(u_rate, capacity, duration=1.5, drain=1.0)
+    deterministic = d1["digests"] == d2["digests"]
+
+    return {
+        "capacity": capacity,
+        "fair_share": fair,
+        "u_rate": u_rate,
+        "solo": solo,
+        "ladder": ladder,
+        "deterministic": deterministic,
+    }
+
+
+def render(results: dict) -> str:
+    cap = results["capacity"]
+    blocks = [
+        f"calibrated capacity (closed loop): {cap:.0f} ops/s; "
+        f"fair share per tenant: {results['fair_share']:.0f} ops/s; "
+        f"tenant U offered: {results['u_rate']:.0f} ops/s",
+    ]
+    rows = []
+    for label, point in [("solo", results["solo"])] + [
+        (f"{p['z_rate'] / cap:.1f}x", p) for p in results["ladder"]
+    ]:
+        u, z = point["U"], point["Z"]
+        rows.append([
+            label,
+            f"{point['z_rate']:.0f}",
+            f"{u['goodput']:.0f}",
+            f"{u['p50_ms']:.0f}",
+            f"{u['p99_ms']:.0f}",
+            f"{u['p999_ms']:.0f}",
+            f"{u['shed']}",
+            f"{z['goodput']:.0f}",
+            f"{z['p99_ms']:.0f}" if z["ok"] else "-",
+            f"{z['shed']}",
+        ])
+    blocks.append(table(
+        "two-tenant isolation ladder (U uniform vs Z zipfian-0.99)",
+        ["Z load", "Z offered/s", "U good/s", "U p50", "U p99",
+         "U p999", "U shed", "Z good/s", "Z p99", "Z shed"],
+        rows,
+    ))
+    blocks.append(
+        "op-stream determinism (same seed, two runs): "
+        + ("identical digests" if results["deterministic"] else "MISMATCH")
+    )
+    return "\n\n".join(blocks)
+
+
+def main(quick: bool = True) -> int:
+    results = run(quick)
+    print(render(results))
+    solo_p99 = results["solo"]["U"]["p99_ms"]
+    # The gated rung: Z offered the whole cluster's capacity (2x its
+    # fair share).
+    gated = next(
+        p for p in results["ladder"]
+        if abs(p["z_rate"] - results["capacity"]) < 1e-9
+    )
+    u = gated["U"]
+    p99_ok = u["p99_ms"] <= P99_BLOWUP * solo_p99
+    floor = GOODPUT_FLOOR * results["fair_share"]
+    goodput_ok = u["goodput"] >= floor
+    print(
+        f"\ngate @ Z=2x fair share: U p99 {u['p99_ms']:.0f} ms vs "
+        f"{P99_BLOWUP:.0f}x solo ({P99_BLOWUP * solo_p99:.0f} ms) -> "
+        f"{'OK' if p99_ok else 'FAIL'}; U goodput {u['goodput']:.0f} ops/s "
+        f"vs floor {floor:.0f} ops/s ({GOODPUT_FLOOR * 100:.0f}% of fair "
+        f"share) -> {'OK' if goodput_ok else 'FAIL'}; "
+        f"determinism -> {'OK' if results['deterministic'] else 'FAIL'}"
+    )
+    return 0 if (p99_ok and goodput_ok and results["deterministic"]) else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -64,6 +64,13 @@ class ChaosSpec:
     # byte-for-byte the pre-batching pipeline.
     batch_max_commands: int = 1
     batch_linger: float = 0.001
+    # Multi-tenant QoS: when non-empty, clients are tagged round-robin
+    # from this tuple and the leader runs per-tenant DRR admission with
+    # ``tenant_weights`` (missing tenants default to weight 1.0). The
+    # default () keeps every op untagged — byte-for-byte the
+    # single-queue pre-QoS episodes.
+    tenants: tuple[str, ...] = ()
+    tenant_weights: tuple[tuple[str, float], ...] = ()
 
     @property
     def horizon(self) -> float:
@@ -81,6 +88,8 @@ class ChaosSpec:
             "num_keys": self.num_keys,
             "num_groups": self.num_groups,
             "batch_max_commands": self.batch_max_commands,
+            "tenants": list(self.tenants),
+            "tenant_weights": dict(self.tenant_weights),
         }
 
 
@@ -122,6 +131,10 @@ class EpisodeResult:
     hedges_issued: int = 0
     hedge_wins: int = 0
     timeout_adaptations: int = 0
+    # Multi-tenant QoS accounting (workload/QoS PR): which tenant the
+    # leader shed, and how much Busy backoff each tenant's clients ate.
+    shed_by_tenant: dict = field(default_factory=dict)
+    busy_by_tenant: dict = field(default_factory=dict)
     bundle_path: str | None = None
 
     def to_jsonable(self) -> dict:
@@ -141,6 +154,8 @@ class EpisodeResult:
             "checkpoint_bytes": self.checkpoint_bytes,
             "records_compacted": self.records_compacted,
             "requests_shed": self.requests_shed,
+            "shed_by_tenant": self.shed_by_tenant,
+            "busy_by_tenant": self.busy_by_tenant,
             "hedges_issued": self.hedges_issued,
             "hedge_wins": self.hedge_wins,
             "timeout_adaptations": self.timeout_adaptations,
@@ -177,6 +192,10 @@ class ChaosRunner:
     def run_episode(self, seed: int, trace: bool = False):
         """Run one seeded episode; returns (EpisodeResult, trace_tail)."""
         spec = self.spec
+        tenants = [
+            spec.tenants[i % len(spec.tenants)]
+            for i in range(spec.num_clients)
+        ] if spec.tenants else None
         cluster = build_cluster(
             self.config,
             num_clients=spec.num_clients,
@@ -188,6 +207,8 @@ class ChaosRunner:
             checkpoint_interval=spec.checkpoint_interval,
             batch_max_commands=spec.batch_max_commands,
             batch_linger=spec.batch_linger,
+            client_tenants=tenants,
+            tenant_weights=dict(spec.tenant_weights) or None,
             trace=trace,
         )
         sim = cluster.sim
@@ -269,6 +290,26 @@ class ChaosRunner:
             for r in check_history(recorder)
         ]
 
+        shed_by_tenant: dict[str, int] = {}
+        for srv in cluster.servers:
+            for t, n in srv.requests_shed_by_tenant.items():
+                shed_by_tenant[t] = shed_by_tenant.get(t, 0) + n
+        busy_by_tenant: dict[str, dict] = {}
+        for cli in cluster.clients:
+            st = cli.backoff_stats()
+            agg = busy_by_tenant.setdefault(
+                st["tenant"],
+                {"busy_count": 0, "busy_wait_total": 0.0,
+                 "busy_wait_max": 0.0},
+            )
+            agg["busy_count"] += st["busy_count"]
+            agg["busy_wait_total"] = round(
+                agg["busy_wait_total"] + st["busy_wait_total"], 6
+            )
+            agg["busy_wait_max"] = max(
+                agg["busy_wait_max"], st["busy_wait_max"]
+            )
+
         result = EpisodeResult(
             seed=seed,
             ok=not violations and not lin_failures,
@@ -300,6 +341,8 @@ class ChaosRunner:
                 for s in cluster.servers
             ),
             requests_shed=sum(s.requests_shed for s in cluster.servers),
+            shed_by_tenant=shed_by_tenant,
+            busy_by_tenant=busy_by_tenant,
             hedges_issued=sum(s.hedges_issued for s in cluster.servers),
             hedge_wins=sum(s.hedge_wins for s in cluster.servers),
             timeout_adaptations=sum(

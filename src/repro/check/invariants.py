@@ -234,18 +234,23 @@ def check_no_starvation(servers) -> list[Violation]:
     admitted into a pipeline that stopped draining (a starved client
     never got *any* answer — not even Busy), and a stuck open-proposal
     count means a release path leaked.
+
+    Queues are per tenant (weighted fair queueing), so the probe names
+    the starved tenant: isolating a noisy neighbour must never turn
+    into silently parking a quiet one.
     """
     violations = []
     for srv in servers:
         if not srv.up:
             continue
-        queued = len(srv._admission_queue)
-        if queued:
-            violations.append(Violation(
-                "no-starvation",
-                f"{srv.name} still holds {queued} queued admission(s) "
-                f"at quiescence",
-            ))
+        for tenant, q in srv._admission_queues.items():
+            if q:
+                label = f"tenant {tenant!r}" if tenant else "untagged tenant"
+                violations.append(Violation(
+                    "no-starvation",
+                    f"{srv.name} still holds {len(q)} queued admission(s) "
+                    f"for {label} at quiescence",
+                ))
         if srv._open_proposals:
             violations.append(Violation(
                 "no-starvation",

@@ -55,6 +55,7 @@ class KVClient:
         max_backoff: float = 1.0,
         metrics: MetricSet | None = None,
         endpoint: RpcEndpoint | None = None,
+        tenant: str = "",
     ):
         if not servers:
             raise ValueError("need at least one server")
@@ -71,13 +72,30 @@ class KVClient:
         self.metrics = metrics or MetricSet()
         self.endpoint = endpoint or RpcEndpoint(sim, net, name)
         self.leader_cache: str | None = servers[0]
+        self.tenant = tenant
         self.ops_ok = 0
         self.ops_failed = 0
+        # Busy-shed telemetry: how often the leader pushed back on this
+        # client and how much server-directed waiting that cost (the
+        # retry_after values it honoured, not the client's own jitter).
+        self.busy_count = 0
+        self.busy_wait_total = 0.0
+        self.busy_wait_max = 0.0
         self.history = None  # optional invocation/response recorder
         self._op_ids = itertools.count(1)
         # Deterministic per-client jitter stream: same (seed, client
         # name) => same retry timing, so chaos episodes replay exactly.
         self._backoff_rng = sim.rng.stream(f"kvclient.{name}.backoff")
+
+    def backoff_stats(self) -> dict:
+        """Busy-shed pushback this client absorbed, for episode/bench
+        reports: shed count and the server-directed wait it honoured."""
+        return {
+            "tenant": self.tenant,
+            "busy_count": self.busy_count,
+            "busy_wait_total": round(self.busy_wait_total, 6),
+            "busy_wait_max": round(self.busy_wait_max, 6),
+        }
 
     def _retry_delay(self, retry: int) -> float:
         """Capped exponential backoff with decorrelating jitter.
@@ -105,7 +123,7 @@ class KVClient:
         """Write ``key``; ``on_done(ok)`` fires at commit or after the
         retry budget is exhausted."""
         msg = ClientPut(key, size, data, client=self.name,
-                        op_id=next(self._op_ids))
+                        op_id=next(self._op_ids), tenant=self.tenant)
         self._issue(msg, msg.wire_bytes, PutOk, on_done, op="put")
 
     def get(
@@ -118,7 +136,7 @@ class KVClient:
         ``mode`` is "fast", "consistent" or "snapshot" (§4.4). Snapshot
         reads may target a specific (non-leader) ``server``.
         """
-        msg = ClientGet(key, mode)
+        msg = ClientGet(key, mode, tenant=self.tenant)
 
         def adapt(ok: bool, reply=None) -> None:
             if on_done is not None:
@@ -131,7 +149,8 @@ class KVClient:
     def delete(
         self, key: str, on_done: Callable[[bool], None] | None = None
     ) -> None:
-        msg = ClientDelete(key, client=self.name, op_id=next(self._op_ids))
+        msg = ClientDelete(key, client=self.name, op_id=next(self._op_ids),
+                           tenant=self.tenant)
         self._issue(msg, msg.wire_bytes, PutOk, on_done, op="delete")
 
     # -- engine -----------------------------------------------------------
@@ -158,6 +177,10 @@ class KVClient:
             if ok:
                 self.ops_ok += 1
                 self.metrics.latency(f"client.{op}").record(self.sim.now - start)
+                if self.tenant:
+                    self.metrics.latency(
+                        f"tenant.{self.tenant}.{op}"
+                    ).record(self.sim.now - start)
             else:
                 self.ops_failed += 1
             if hid is not None:
@@ -202,6 +225,18 @@ class KVClient:
                     # Keep the leader cache (it IS the leader) and wait
                     # out the server's own estimate plus client-side
                     # jitter so shed clients do not return in lockstep.
+                    self.busy_count += 1
+                    self.busy_wait_total += reply.retry_after
+                    self.busy_wait_max = max(
+                        self.busy_wait_max, reply.retry_after
+                    )
+                    self.metrics.histogram("client.busy.retry_after").record(
+                        reply.retry_after
+                    )
+                    if self.tenant:
+                        self.metrics.histogram(
+                            f"tenant.{self.tenant}.retry_after"
+                        ).record(reply.retry_after)
                     attempts["retries"] += 1
                     self.sim.call_after(
                         reply.retry_after

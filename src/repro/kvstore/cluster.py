@@ -88,6 +88,8 @@ def build_cluster(
     admission_control: bool = True,
     max_inflight_proposals: int = 32,
     max_queued_requests: int = 128,
+    tenant_weights: dict[str, float] | None = None,
+    client_tenants: list[str] | None = None,
     hedge_fetches: bool = True,
     batch_max_commands: int = 1,
     batch_max_bytes: int = 256 * 1024,
@@ -99,6 +101,11 @@ def build_cluster(
     ``config`` is a :class:`~repro.core.ProtocolConfig` (its N fixes the
     server count unless overridden). Clock offsets are drawn
     deterministically within ±δ/2 to exercise the lease drift bound.
+
+    ``client_tenants`` assigns a QoS tenant tag to each client (same
+    order as the clients; shorter lists leave the rest untagged);
+    ``tenant_weights`` sets the leader's fair-queueing weights (any
+    tenant not listed gets weight 1).
     """
     n = num_servers or config.n
     if n != config.n:
@@ -134,6 +141,7 @@ def build_cluster(
             admission_control=admission_control,
             max_inflight_proposals=max_inflight_proposals,
             max_queued_requests=max_queued_requests,
+            tenant_weights=tenant_weights,
             hedge_fetches=hedge_fetches,
             batch_max_commands=batch_max_commands,
             batch_max_bytes=batch_max_bytes,
@@ -143,13 +151,15 @@ def build_cluster(
         )
         for i, name in enumerate(snames)
     ]
+    tenants = list(client_tenants or [])
+    tenants += [""] * (len(cnames) - len(tenants))
     clients = [
         KVClient(
             sim, net, name, snames,
             timeout=client_timeout, max_backoff=client_max_backoff,
-            metrics=metrics,
+            metrics=metrics, tenant=tenants[i],
         )
-        for name in cnames
+        for i, name in enumerate(cnames)
     ]
     faults = FaultSchedule(sim, net)
     return Cluster(

@@ -22,7 +22,9 @@ class ClientPut:
 
     ``client``/``op_id`` identify the operation for exactly-once apply:
     a retried put that already committed must not commit again. They
-    ride inside the KV_META budget.
+    ride inside the KV_META budget, as does ``tenant`` — the QoS tag
+    the leader's fair-queueing admission control schedules by ("" =
+    untagged, a plain single-tenant client).
     """
 
     key: str
@@ -30,6 +32,7 @@ class ClientPut:
     data: bytes | None = None
     client: str = ""
     op_id: int = 0
+    tenant: str = ""
 
     @property
     def wire_bytes(self) -> int:
@@ -38,10 +41,13 @@ class ClientPut:
 
 @dataclass(frozen=True, slots=True)
 class ClientGet:
-    """Read. ``mode`` is one of "fast" / "consistent" (§4.4)."""
+    """Read. ``mode`` is one of "fast" / "consistent" (§4.4).
+    ``tenant`` tags consistent reads for the admission scheduler (fast
+    and snapshot reads bypass admission and ignore it)."""
 
     key: str
     mode: str = "fast"
+    tenant: str = ""
 
     @property
     def wire_bytes(self) -> int:
@@ -55,6 +61,7 @@ class ClientDelete:
     key: str
     client: str = ""
     op_id: int = 0
+    tenant: str = ""
 
     @property
     def wire_bytes(self) -> int:

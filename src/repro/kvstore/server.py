@@ -121,6 +121,7 @@ class KVServer:
         admission_control: bool = True,
         max_inflight_proposals: int = 32,
         max_queued_requests: int = 128,
+        tenant_weights: dict[str, float] | None = None,
         hedge_fetches: bool = True,
         batch_max_commands: int = 1,
         batch_max_bytes: int = 256 * 1024,
@@ -200,23 +201,39 @@ class KVServer:
         self.consistent_reads = 0
         self.snapshot_reads = 0
 
-        # Admission control (overload protection): the leader bounds its
-        # proposal pipeline. Up to ``max_inflight_proposals`` client
-        # mutations may have a Paxos instance in flight; the next
-        # ``max_queued_requests`` wait in FIFO order; anything beyond
-        # that is shed with an explicit Busy(retry_after) instead of
-        # silently queueing into collapse. ``_admission_epoch`` fences
-        # stale release callbacks across crash/step-down flushes, and
-        # ``_svc_ewma`` (smoothed admit->reply service time) feeds the
-        # retry_after estimate handed to shed clients.
+        # Admission control (overload protection + tenant isolation):
+        # the leader bounds its proposal pipeline. Up to
+        # ``max_inflight_proposals`` client mutations may have a Paxos
+        # instance in flight; waiting requests sit in *per-tenant*
+        # queues (each bounded by ``max_queued_requests``) drained by
+        # weighted deficit-round-robin, so one flooding tenant fills
+        # only its own queue and its own weight share of the pipeline;
+        # anything beyond a tenant's queue bound is shed with an
+        # explicit Busy(retry_after) instead of silently queueing into
+        # collapse. ``_admission_epoch`` fences stale release callbacks
+        # across crash/step-down flushes, and ``_svc_ewma`` (smoothed
+        # admit->reply service time) feeds the per-tenant retry_after
+        # estimate handed to shed clients. The untagged tenant ("") has
+        # weight 1 like any other, so single-tenant behaviour is the
+        # old FIFO pipeline exactly.
         self.admission_control = admission_control
         self.max_inflight_proposals = max_inflight_proposals
         self.max_queued_requests = max_queued_requests
+        self.tenant_weights: dict[str, float] = dict(tenant_weights or {})
+        for t, w in self.tenant_weights.items():
+            if w <= 0:
+                raise ValueError(f"tenant weight must be > 0: {t!r}={w}")
         self._open_proposals = 0
-        self._admission_queue: deque = deque()
+        self._admission_queues: dict[str, deque] = {}
+        self._drr_order: list[str] = []
+        self._drr_deficit: dict[str, float] = {}
+        self._drr_cursor = 0
+        self._drr_fresh = True
+        self._pumping = False
         self._admission_epoch = 0
         self._svc_ewma = 0.0
         self.requests_shed = 0
+        self.requests_shed_by_tenant: dict[str, int] = {}
 
         # Hedged share/snapshot fetches (gray-failure tolerance): a
         # recovery read needs only X of N-1 peers, so fetches go to the
@@ -842,24 +859,48 @@ class KVServer:
 
     # -- admission control (overload protection) -----------------------
 
-    def _admit(self, respond, start: Callable) -> None:
+    def _admit(self, respond, start: Callable, tenant: str = "") -> None:
         """Gate one proposal-bearing client request through the bounded
         pipeline. ``start(respond)`` runs the request body — immediately
-        if a slot is free, later when the FIFO queue drains, or never
-        (the client gets Busy) when queue and pipeline are both full."""
+        if a slot is free and no tenant is waiting, later when the DRR
+        scheduler reaches this tenant's queue, or never (the client gets
+        Busy) when this tenant's queue and the pipeline are both full."""
         if not self.admission_control:
             start(respond)
             return
-        if self._open_proposals < self._inflight_budget():
+        if (
+            self._open_proposals < self._inflight_budget()
+            and not any(self._admission_queues.values())
+        ):
             self._begin(respond, start)
             return
-        if len(self._admission_queue) < self.max_queued_requests:
-            self._admission_queue.append((respond, start))
+        q = self._tenant_queue(tenant)
+        if len(q) < self.max_queued_requests:
+            q.append((respond, start))
+            self._pump_admissions()
             return
         self.requests_shed += 1
+        self.requests_shed_by_tenant[tenant] = (
+            self.requests_shed_by_tenant.get(tenant, 0) + 1
+        )
         self.metrics.counter("admission.shed").inc(1)
-        r = Busy(retry_after=self._retry_after())
+        if tenant:
+            self.metrics.counter(f"admission.shed.{tenant}").inc(1)
+        r = Busy(retry_after=self._retry_after(tenant))
         respond(r, r.wire_bytes)
+
+    def _tenant_queue(self, tenant: str) -> deque:
+        """This tenant's admission queue, registering the tenant with
+        the DRR scheduler on first sight."""
+        q = self._admission_queues.get(tenant)
+        if q is None:
+            q = self._admission_queues[tenant] = deque()
+            self._drr_order.append(tenant)
+            self._drr_deficit[tenant] = 0.0
+        return q
+
+    def _tenant_weight(self, tenant: str) -> float:
+        return self.tenant_weights.get(tenant, 1.0)
 
     def _inflight_budget(self) -> int:
         """Admitted-command budget. ``max_inflight_proposals`` bounds
@@ -907,23 +948,72 @@ class KVServer:
         start(respond_release)
 
     def _pump_admissions(self) -> None:
-        while (
-            self._admission_queue
-            and self._open_proposals < self._inflight_budget()
-        ):
-            respond, start = self._admission_queue.popleft()
-            self._begin(respond, start)
+        """Drain the per-tenant queues into free pipeline slots by
+        weighted deficit round robin.
 
-    def _retry_after(self) -> float:
-        """Estimate when capacity frees up: smoothed per-command service
-        time scaled by how deep the backlog is relative to the
-        pipeline's command budget."""
+        Each visit to a tenant adds its weight to the tenant's deficit
+        counter; the tenant dequeues one command per whole unit of
+        deficit. A tenant whose queue empties forfeits its leftover
+        deficit (standard DRR — credit does not accrue while idle).
+        When the pipeline fills mid-quantum the cursor and deficit stay
+        put, so the interrupted tenant resumes exactly where it left
+        off on the next release. The ``_pumping`` guard folds reentrant
+        calls (a synchronous respond inside ``_begin`` releasing its
+        slot) into the running drain loop."""
+        if self._pumping:
+            return
+        self._pumping = True
+        try:
+            while self._open_proposals < self._inflight_budget():
+                if not any(self._admission_queues.values()):
+                    break
+                n = len(self._drr_order)
+                t = self._drr_order[self._drr_cursor]
+                q = self._admission_queues[t]
+                if not q:
+                    self._drr_deficit[t] = 0.0
+                    self._drr_cursor = (self._drr_cursor + 1) % n
+                    self._drr_fresh = True
+                    continue
+                # The quantum is granted once per visit. A visit paused
+                # by a full pipeline (the return below) resumes with its
+                # REMAINING deficit — re-granting on every resume would
+                # hand the cursor tenant every freed slot forever.
+                if self._drr_fresh:
+                    self._drr_deficit[t] += self._tenant_weight(t)
+                    self._drr_fresh = False
+                while (
+                    q
+                    and self._drr_deficit[t] >= 1.0
+                    and self._open_proposals < self._inflight_budget()
+                ):
+                    self._drr_deficit[t] -= 1.0
+                    respond, start = q.popleft()
+                    self._begin(respond, start)
+                if not q:
+                    self._drr_deficit[t] = 0.0
+                if self._open_proposals >= self._inflight_budget():
+                    return  # paused mid-quantum; resume at this tenant
+                # Quantum spent (or queue drained): next tenant.
+                self._drr_cursor = (self._drr_cursor + 1) % n
+                self._drr_fresh = True
+        finally:
+            self._pumping = False
+
+    def _retry_after(self, tenant: str = "") -> float:
+        """Estimate when capacity frees up for this tenant: smoothed
+        per-command service time scaled by how deep the tenant's own
+        backlog is relative to its weight share of the pipeline's
+        command budget. Light tenants on a busy server get short
+        retries; the tenant causing the backlog gets long ones."""
         est = self._svc_ewma if self._svc_ewma > 0.0 else 0.02
-        backlog = len(self._admission_queue)
-        return min(
-            1.0,
-            max(0.02, est * (1.0 + backlog / max(1, self._inflight_budget()))),
-        )
+        q = self._admission_queues.get(tenant)
+        backlog = len(q) if q else 0
+        known = set(self._drr_order) | {tenant}
+        total_w = sum(self._tenant_weight(t) for t in known)
+        share = self._tenant_weight(tenant) / total_w if total_w else 1.0
+        budget = max(1.0, self._inflight_budget() * share)
+        return min(1.0, max(0.02, est * (1.0 + backlog / budget)))
 
     def _flush_admissions(self) -> None:
         """Reset the admission pipeline on crash or loss of leadership.
@@ -934,16 +1024,25 @@ class KVServer:
         The epoch bump voids every outstanding release callback.
         Pending (not yet proposed) batches are failed the same way: the
         batch was never an instance, so none of its commands may be
-        acked — atomicity on step-down and crash."""
+        acked — atomicity on step-down and crash. Tenant registration
+        (DRR order and weights) survives the flush; only the queued
+        work and deficit state reset."""
         self._admission_epoch += 1
         self._open_proposals = 0
-        queue, self._admission_queue = self._admission_queue, deque()
+        queues, self._admission_queues = (
+            self._admission_queues,
+            {t: deque() for t in self._admission_queues},
+        )
+        self._drr_deficit = {t: 0.0 for t in self._drr_deficit}
+        self._drr_cursor = 0
+        self._drr_fresh = True
         self._flush_batches()
         if not self.up:
             return
-        for respond, _start in queue:
-            r = NotReady()
-            respond(r, r.wire_bytes)
+        for q in queues.values():
+            for respond, _start in q:
+                r = NotReady()
+                respond(r, r.wire_bytes)
 
     def _flush_batches(self) -> None:
         """Drop every pending batch: cancel linger timers and answer the
@@ -1063,7 +1162,8 @@ class KVServer:
             reply = PutOk(msg.key)
             respond(reply, reply.wire_bytes)
             return
-        self._admit(respond, lambda r: self._put_admitted(msg, r))
+        self._admit(respond, lambda r: self._put_admitted(msg, r),
+                    tenant=msg.tenant)
 
     def _put_admitted(self, msg: ClientPut, respond) -> None:
         group = self.shard_map.group_of(msg.key)
@@ -1114,7 +1214,8 @@ class KVServer:
             reply = PutOk(msg.key)
             respond(reply, reply.wire_bytes)
             return
-        self._admit(respond, lambda r: self._delete_admitted(msg, r))
+        self._admit(respond, lambda r: self._delete_admitted(msg, r),
+                    tenant=msg.tenant)
 
     def _delete_admitted(self, msg: ClientDelete, respond) -> None:
         group = self.shard_map.group_of(msg.key)
@@ -1189,7 +1290,9 @@ class KVServer:
             # writes.
             self.consistent_reads += 1
             self._admit(
-                respond, lambda r: self._consistent_get_admitted(msg, start, r)
+                respond,
+                lambda r: self._consistent_get_admitted(msg, start, r),
+                tenant=msg.tenant,
             )
         else:
             raise ValueError(f"unknown read mode {msg.mode!r}")

@@ -72,7 +72,9 @@ class LatencyRecorder:
         return float(np.percentile(self.samples, q))
 
     def summary(self) -> dict[str, float]:
-        """Mean/median/p99/min/max in **milliseconds** (paper's unit)."""
+        """Mean/median/p99/p999/min/max in **milliseconds** (paper's
+        unit). p999 is the SLO-gate quantile: a tenant's tail as its
+        own clients experience it."""
         if not self._samples:
             return {"count": 0}
         s = self.samples * 1e3
@@ -81,6 +83,7 @@ class LatencyRecorder:
             "mean_ms": float(np.mean(s)),
             "p50_ms": float(np.percentile(s, 50)),
             "p99_ms": float(np.percentile(s, 99)),
+            "p999_ms": float(np.percentile(s, 99.9)),
             "min_ms": float(np.min(s)),
             "max_ms": float(np.max(s)),
         }
@@ -182,6 +185,7 @@ class Histogram:
             "mean": float(np.mean(s)),
             "p50": float(np.percentile(s, 50)),
             "p99": float(np.percentile(s, 99)),
+            "p999": float(np.percentile(s, 99.9)),
             "max": float(np.max(s)),
         }
 

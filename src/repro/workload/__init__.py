@@ -1,14 +1,45 @@
-"""Workload generation: §6.2 micro sizes and §6.3 COSBench-style mixes.
+"""Workload generation: §6.2 micro sizes, §6.3 COSBench-style mixes,
+and YCSB A–F analogues with open-loop drivers.
 
 Public API:
 
-- :class:`WorkloadSpec`, :class:`SizeRange` — declarative workloads.
+- :class:`WorkloadSpec`, :class:`SizeRange`, :class:`OpMix` —
+  declarative workloads.
+- Key distributions: :class:`KeyDist` (:func:`uniform`,
+  :func:`zipfian`, :func:`hotspot`, :func:`sequential`) behind the
+  :class:`KeyChooser` protocol.
 - Presets: :func:`small_read`, :func:`small_write`, :func:`large_read`,
-  :func:`large_write`, :func:`fixed_size_writes`; :data:`MICRO_SIZES`.
-- :class:`ClosedLoopDriver`, :func:`prepopulate` — execution.
+  :func:`large_write`, :func:`fixed_size_writes`; :data:`MICRO_SIZES`;
+  YCSB analogues :func:`ycsb_a` .. :func:`ycsb_f`
+  (:data:`YCSB_WORKLOADS`).
+- Execution: :class:`ClosedLoopDriver` (one op outstanding per
+  client), :class:`OpenLoopDriver` with :class:`PoissonArrivals` or
+  :class:`OnOffArrivals`, and :func:`prepopulate`.
 """
 
-from .clients import ClosedLoopDriver, prepopulate
+from .clients import ClosedLoopDriver, DriverBase, prepopulate
+from .keys import (
+    HotspotKeys,
+    KeyChooser,
+    KeyDist,
+    SequentialKeys,
+    UniformKeys,
+    ZipfianKeys,
+    hotspot,
+    sequential,
+    uniform,
+    zipfian,
+)
+from .mixes import (
+    YCSB_WORKLOADS,
+    ycsb_a,
+    ycsb_b,
+    ycsb_c,
+    ycsb_d,
+    ycsb_e,
+    ycsb_f,
+)
+from .openloop import OnOffArrivals, OpenLoopDriver, PoissonArrivals
 from .spec import (
     KB,
     LARGE,
@@ -17,6 +48,7 @@ from .spec import (
     MICRO_SIZE_LABELS,
     MICRO_SIZES,
     SMALL,
+    OpMix,
     SizeRange,
     WorkloadSpec,
     fixed_size_writes,
@@ -28,19 +60,41 @@ from .spec import (
 
 __all__ = [
     "ClosedLoopDriver",
+    "DriverBase",
+    "HotspotKeys",
     "KB",
+    "KeyChooser",
+    "KeyDist",
     "LARGE",
     "MACRO_WORKLOADS",
     "MB",
     "MICRO_SIZES",
     "MICRO_SIZE_LABELS",
+    "OnOffArrivals",
+    "OpMix",
+    "OpenLoopDriver",
+    "PoissonArrivals",
     "SMALL",
+    "SequentialKeys",
     "SizeRange",
+    "UniformKeys",
     "WorkloadSpec",
+    "YCSB_WORKLOADS",
+    "ZipfianKeys",
     "fixed_size_writes",
+    "hotspot",
     "large_read",
     "large_write",
     "prepopulate",
+    "sequential",
     "small_read",
     "small_write",
+    "uniform",
+    "ycsb_a",
+    "ycsb_b",
+    "ycsb_c",
+    "ycsb_d",
+    "ycsb_e",
+    "ycsb_f",
+    "zipfian",
 ]

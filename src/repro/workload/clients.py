@@ -1,38 +1,192 @@
-"""Closed-loop workload drivers.
+"""Workload drivers: the closed-loop client model plus the shared op
+engine.
 
 A :class:`ClosedLoopDriver` keeps exactly one operation outstanding per
 logical client — the paper's client model ("each client VM serves up to
 100 logical clients", all issuing synchronous requests). Offered load
 therefore scales with the number of drivers, and saturation throughput
-is reached by adding drivers.
+is reached by adding drivers. The open-loop drivers (Poisson and
+ON/OFF arrivals) live in :mod:`repro.workload.openloop` and share the
+op engine defined here.
+
+Determinism: every driver owns one RNG substream derived from
+``(experiment seed, client name)`` — by default
+``workload.client.<name>`` — so adding a driver (or a whole tenant)
+never perturbs the op streams existing drivers draw. Each driver also
+folds every issued operation into a running BLAKE2 digest
+(``op_digest``): two runs produced the same op stream iff the digests
+match, which is how the bench gates assert bit-for-bit workload
+reproducibility without storing the streams.
 """
 
 from __future__ import annotations
 
+import hashlib
+
 from ..kvstore import KVClient
 from ..sim import Simulator
+from .keys import ZipfianKeys
 from .spec import WorkloadSpec
 
 
-class ClosedLoopDriver:
-    """Drives one KVClient with a WorkloadSpec until stopped."""
+class DriverBase:
+    """Shared op engine: key choice, mix dispatch, digest, counters.
+
+    Subclasses decide *when* ops are issued (closed loop: on previous
+    completion; open loop: on arrival-process ticks) and call
+    :meth:`_one_op`; everything about *what* is issued lives here.
+    """
 
     def __init__(
         self,
         sim: Simulator,
         client: KVClient,
         spec: WorkloadSpec,
-        stream: str,
-        stop_at: float = float("inf"),
+        stream: str | None = None,
+        record_ops: bool = False,
     ):
         self.sim = sim
         self.client = client
         self.spec = spec
-        self.stop_at = stop_at
+        self.mix = spec.op_mix()
+        # Per-client substream: the name defaults to the client's own
+        # (stable) name, so streams are a pure function of
+        # (seed, client) — never of how many other drivers exist.
+        stream = stream if stream is not None else f"client.{client.name}"
         self._rng = sim.rng.stream(f"workload.{stream}")
+        self._chooser = spec.make_chooser()
+        # Inserts grow the population past the initial num_keys.
+        self._population = spec.num_keys
         self.ops_issued = 0
         self.reads_issued = 0
         self.writes_issued = 0
+        self.inserts_issued = 0
+        self.rmws_issued = 0
+        self.scans_issued = 0
+        self.scan_reads_issued = 0
+        self._digest = hashlib.blake2b(digest_size=16)
+        self.issued_ops: list[tuple[str, str, int]] | None = (
+            [] if record_ops else None
+        )
+
+    # -- op stream identity ------------------------------------------------
+
+    @property
+    def op_digest(self) -> str:
+        """Digest of every (op, key, size) issued so far — the op
+        stream's identity for bit-for-bit reproducibility checks."""
+        return self._digest.hexdigest()
+
+    def _note(self, op: str, key: str, size: int) -> None:
+        self._digest.update(f"{op}:{key}:{size};".encode())
+        if self.issued_ops is not None:
+            self.issued_ops.append((op, key, size))
+
+    # -- key choice --------------------------------------------------------
+
+    def _existing_key(self) -> str:
+        if self.mix.insert > 0 and isinstance(self._chooser, ZipfianKeys):
+            # "Latest" semantics (YCSB D): with inserts in the mix, the
+            # Zipfian rank indexes *recency* — rank 0 is the newest key
+            # — so the hot set tracks the growing population.
+            rank = self._chooser.rank(self._rng)
+            idx = max(0, self._population - 1 - min(rank, self._population - 1))
+        else:
+            idx = self._chooser.choose(self._rng) % max(1, self._population)
+        return self.spec.key_name(idx)
+
+    def _fresh_key(self) -> str:
+        idx = self._population
+        self._population += 1
+        return self.spec.key_name(idx)
+
+    # -- op engine ---------------------------------------------------------
+
+    def _one_op(self, on_done, issue: bool = True) -> None:
+        """Draw one logical operation and (when ``issue``) hand it to
+        the client; ``on_done()`` fires when it fully completes (all
+        scan legs, both RMW halves).
+
+        Every draw happens whether or not the op is issued, so the RNG
+        sequence — and therefore ``op_digest`` — is a pure function of
+        (seed, client, op index), independent of service times, faults,
+        or other tenants. Open-loop drivers use ``issue=False`` for
+        arrivals shed by the outstanding-op budget: the op is drawn,
+        noted, and discarded without touching the cluster.
+        """
+        self.ops_issued += 1
+        m = self.mix
+        x = float(self._rng.random())
+        if x < m.read:
+            key = self._existing_key()
+            self.reads_issued += 1
+            self._note("read", key, 0)
+            if issue:
+                self.client.get(key, on_done=lambda ok, size: on_done())
+        elif x < m.read + m.update:
+            key = self._existing_key()
+            size = self.spec.sizes.sample(self._rng)
+            self.writes_issued += 1
+            self._note("update", key, size)
+            if issue:
+                self.client.put(key, size, on_done=lambda ok: on_done())
+        elif x < m.read + m.update + m.insert:
+            key = self._fresh_key()
+            size = self.spec.sizes.sample(self._rng)
+            self.inserts_issued += 1
+            self._note("insert", key, size)
+            if issue:
+                self.client.put(key, size, on_done=lambda ok: on_done())
+        elif x < m.read + m.update + m.insert + m.rmw:
+            key = self._existing_key()
+            size = self.spec.sizes.sample(self._rng)
+            self.rmws_issued += 1
+            self._note("rmw", key, size)
+            if issue:
+
+                def modify(ok: bool, _size: int) -> None:
+                    self.client.put(key, size, on_done=lambda ok: on_done())
+
+                self.client.get(key, on_done=modify)
+        else:
+            # Scan: 1..scan_max consecutive point reads from the
+            # chosen start index (wrapping over the population).
+            start = self._chooser.choose(self._rng) % max(1, self._population)
+            length = 1 + int(self._rng.integers(m.scan_max))
+            self.scans_issued += 1
+            self._note("scan", self.spec.key_name(start), length)
+            pop = max(1, self._population)
+
+            def leg(i: int) -> None:
+                if i >= length:
+                    on_done()
+                    return
+                self.scan_reads_issued += 1
+                self.client.get(
+                    self.spec.key_name((start + i) % pop),
+                    on_done=lambda ok, size: leg(i + 1),
+                )
+
+            if issue:
+                leg(0)
+
+
+class ClosedLoopDriver(DriverBase):
+    """Drives one KVClient with a WorkloadSpec until stopped, keeping
+    exactly one logical operation outstanding."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        client: KVClient,
+        spec: WorkloadSpec,
+        stream: str | None = None,
+        stop_at: float = float("inf"),
+        record_ops: bool = False,
+    ):
+        super().__init__(sim, client, spec, stream=stream,
+                         record_ops=record_ops)
+        self.stop_at = stop_at
         self.running = False
 
     def start(self) -> None:
@@ -44,21 +198,11 @@ class ClosedLoopDriver:
 
     # -- internals --------------------------------------------------------
 
-    def _pick_key(self) -> str:
-        return f"{self.spec.name}/key-{int(self._rng.integers(self.spec.num_keys))}"
-
     def _next_op(self) -> None:
         if not self.running or self.sim.now >= self.stop_at:
             self.running = False
             return
-        self.ops_issued += 1
-        if self._rng.random() < self.spec.read_fraction:
-            self.reads_issued += 1
-            self.client.get(self._pick_key(), on_done=lambda ok, size: self._done())
-        else:
-            self.writes_issued += 1
-            size = self.spec.sizes.sample(self._rng)
-            self.client.put(self._pick_key(), size, on_done=lambda ok: self._done())
+        self._one_op(self._done)
 
     def _done(self) -> None:
         # Immediately issue the next operation (closed loop).
@@ -87,7 +231,7 @@ def prepopulate(
         idx = done["next"]
         done["next"] += 1
         size = spec.sizes.sample(rng)
-        key = f"{spec.name}/key-{idx}"
+        key = spec.key_name(idx)
 
         def cb(ok: bool) -> None:
             if ok:

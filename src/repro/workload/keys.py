@@ -1,0 +1,244 @@
+"""Key-population distributions behind a common :class:`KeyChooser`.
+
+The paper's clients pick keys uniformly (§6.2/§6.3); real request
+populations are skewed. Every chooser maps one RNG draw to a key
+*index* in ``[0, num_keys)`` so the same key-name scheme
+(``"{spec.name}/key-{idx}"``) serves all distributions, and every
+driver draws from its own named RNG substream — choosers themselves
+hold no generator, so the draw sequence is owned by the driver and
+stays reproducible per (seed, client).
+
+Provided choosers:
+
+- :class:`UniformKeys` — the paper's baseline.
+- :class:`ZipfianKeys` — YCSB's bounded Zipfian (Gray et al.'s
+  rejection-free inverse transform), exponent ``theta``; optionally
+  *scrambled* so the hot keys spread over the keyspace (and therefore
+  over Paxos groups) instead of clustering at index 0.
+- :class:`HotspotKeys` — ``p_hot`` of the traffic lands in the first
+  ``frac_hot`` of the keyspace.
+- :class:`SequentialKeys` — a growing population: each draw returns
+  the next fresh index (YCSB's insert-order behaviour).
+
+:class:`KeyDist` is the frozen, declarative form carried inside a
+:class:`~repro.workload.spec.WorkloadSpec`; ``make(num_keys)`` builds
+the (possibly stateful) chooser for one driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+
+@runtime_checkable
+class KeyChooser(Protocol):
+    """Maps RNG draws to key indices in ``[0, population)``."""
+
+    def choose(self, rng: np.random.Generator) -> int:
+        """Next key index; draws (at most) from ``rng``."""
+        ...
+
+    @property
+    def population(self) -> int:
+        """Current number of choosable keys."""
+        ...
+
+
+class UniformKeys:
+    """Every key equally likely — the paper's §6 client model."""
+
+    __slots__ = ("_n",)
+
+    def __init__(self, num_keys: int):
+        if num_keys < 1:
+            raise ValueError("need at least one key")
+        self._n = num_keys
+
+    @property
+    def population(self) -> int:
+        return self._n
+
+    def choose(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(self._n))
+
+
+def _fnv1a64(x: int) -> int:
+    """Tiny deterministic integer scrambler (FNV-1a over 8 bytes)."""
+    h = 0xCBF29CE484222325
+    for _ in range(8):
+        h ^= x & 0xFF
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+        x >>= 8
+    return h
+
+
+class ZipfianKeys:
+    """YCSB-style bounded Zipfian over ``num_keys`` items.
+
+    Rank ``r`` (0-based) is drawn with probability proportional to
+    ``1 / (r+1)**theta`` using the closed-form inverse transform from
+    Gray et al. ("Quickly generating billion-record synthetic
+    databases"), the same construction YCSB ships. ``theta=0.99`` is
+    YCSB's default skew: the hottest key takes a few percent of all
+    traffic and the top decile most of it.
+
+    With ``scramble=True`` rank ``r`` is mapped through a fixed hash so
+    popularity is Zipfian but the popular keys are scattered across the
+    keyspace (and across hash-sharded Paxos groups) instead of being
+    keys 0, 1, 2, ...
+    """
+
+    __slots__ = ("_n", "theta", "scramble", "_zetan", "_zeta2",
+                 "_alpha", "_eta")
+
+    def __init__(self, num_keys: int, theta: float = 0.99,
+                 scramble: bool = True):
+        if num_keys < 1:
+            raise ValueError("need at least one key")
+        if not 0.0 < theta < 1.0:
+            raise ValueError("theta must be in (0, 1)")
+        self._n = num_keys
+        self.theta = theta
+        self.scramble = scramble
+        ranks = np.arange(1, num_keys + 1, dtype=np.float64)
+        self._zetan = float(np.sum(ranks ** -theta))
+        self._zeta2 = 1.0 + 0.5 ** theta
+        self._alpha = 1.0 / (1.0 - theta)
+        self._eta = (1.0 - (2.0 / num_keys) ** (1.0 - theta)) / (
+            1.0 - self._zeta2 / self._zetan
+        )
+
+    @property
+    def population(self) -> int:
+        return self._n
+
+    def rank(self, rng: np.random.Generator) -> int:
+        """One Zipfian rank draw (0 = hottest)."""
+        u = float(rng.random())
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < self._zeta2:
+            return 1
+        r = int(self._n * (self._eta * u - self._eta + 1.0) ** self._alpha)
+        return min(max(r, 0), self._n - 1)
+
+    def choose(self, rng: np.random.Generator) -> int:
+        r = self.rank(rng)
+        if self.scramble:
+            return int(_fnv1a64(r) % self._n)
+        return r
+
+
+class HotspotKeys:
+    """``p_hot`` of draws hit the first ``frac_hot`` of the keyspace;
+    the rest are uniform over the cold remainder."""
+
+    __slots__ = ("_n", "frac_hot", "p_hot", "_hot")
+
+    def __init__(self, num_keys: int, frac_hot: float = 0.2,
+                 p_hot: float = 0.8):
+        if num_keys < 1:
+            raise ValueError("need at least one key")
+        if not 0.0 < frac_hot <= 1.0:
+            raise ValueError("frac_hot must be in (0, 1]")
+        if not 0.0 <= p_hot <= 1.0:
+            raise ValueError("p_hot must be in [0, 1]")
+        self._n = num_keys
+        self.frac_hot = frac_hot
+        self.p_hot = p_hot
+        # At least one hot key, and at least one cold key unless the
+        # hot set is the whole population.
+        self._hot = min(num_keys, max(1, int(round(num_keys * frac_hot))))
+
+    @property
+    def population(self) -> int:
+        return self._n
+
+    def choose(self, rng: np.random.Generator) -> int:
+        if self._hot >= self._n or float(rng.random()) < self.p_hot:
+            return int(rng.integers(self._hot))
+        return int(self._hot + rng.integers(self._n - self._hot))
+
+
+class SequentialKeys:
+    """A growing population: draw ``i`` returns index ``start + i``.
+
+    Models insert-order key creation (YCSB D/E's insert side). The
+    chooser is stateful — one per driver — and ``population`` grows
+    with every draw, so a reader chooser built over the same spec can
+    be pointed at everything inserted so far.
+    """
+
+    __slots__ = ("_next",)
+
+    def __init__(self, start: int = 0):
+        if start < 0:
+            raise ValueError("start must be >= 0")
+        self._next = start
+
+    @property
+    def population(self) -> int:
+        return self._next
+
+    def choose(self, rng: np.random.Generator) -> int:
+        idx = self._next
+        self._next += 1
+        return idx
+
+
+@dataclass(frozen=True, slots=True)
+class KeyDist:
+    """Declarative key-distribution choice inside a WorkloadSpec.
+
+    ``kind`` is one of ``"uniform"`` / ``"zipfian"`` / ``"hotspot"`` /
+    ``"sequential"``; the remaining fields parameterize the matching
+    chooser and are ignored by the others.
+    """
+
+    kind: str = "uniform"
+    theta: float = 0.99          # zipfian skew exponent
+    scramble: bool = True        # zipfian: scatter hot keys
+    frac_hot: float = 0.2        # hotspot: hot fraction of keyspace
+    p_hot: float = 0.8           # hotspot: traffic share of hot set
+
+    _KINDS = ("uniform", "zipfian", "hotspot", "sequential")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ValueError(
+                f"unknown key distribution {self.kind!r}; "
+                f"pick one of {self._KINDS}"
+            )
+
+    def make(self, num_keys: int) -> KeyChooser:
+        """Build a fresh chooser over ``num_keys`` initial keys."""
+        if self.kind == "uniform":
+            return UniformKeys(num_keys)
+        if self.kind == "zipfian":
+            return ZipfianKeys(num_keys, theta=self.theta,
+                               scramble=self.scramble)
+        if self.kind == "hotspot":
+            return HotspotKeys(num_keys, frac_hot=self.frac_hot,
+                               p_hot=self.p_hot)
+        return SequentialKeys(start=num_keys)
+
+
+#: Shorthand constructors, mirroring the workload preset style.
+def uniform() -> KeyDist:
+    return KeyDist("uniform")
+
+
+def zipfian(theta: float = 0.99, scramble: bool = True) -> KeyDist:
+    return KeyDist("zipfian", theta=theta, scramble=scramble)
+
+
+def hotspot(frac_hot: float = 0.2, p_hot: float = 0.8) -> KeyDist:
+    return KeyDist("hotspot", frac_hot=frac_hot, p_hot=p_hot)
+
+
+def sequential() -> KeyDist:
+    return KeyDist("sequential")

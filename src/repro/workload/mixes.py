@@ -1,0 +1,96 @@
+"""YCSB A–F analogue workload presets.
+
+The core YCSB workloads (Cooper et al., SoCC'10) map onto the KV
+store's operation set as follows:
+
+========  ==========================  ==================  ============
+workload  mix                         key distribution    analogue
+========  ==========================  ==================  ============
+A         50% read / 50% update       Zipfian(0.99)       session store
+B         95% read /  5% update       Zipfian(0.99)       photo tags
+C         100% read                   Zipfian(0.99)       user cache
+D         95% read /  5% insert       Zipfian over the    status feed
+                                      *newest* keys
+E         95% scan /  5% insert       Zipfian(0.99)       threaded conv.
+F         50% read / 50% RMW          Zipfian(0.99)       user database
+========  ==========================  ==================  ============
+
+Records default to 1 KB (YCSB's 10 x 100 B fields). "Latest" (D) is
+approximated by Zipfian rank over recency: the driver maps rank 0 to
+the most recently inserted key, so the hot set tracks the growing
+population. Scans (E) are runs of ``1..scan_max`` consecutive point
+reads — the API has no native range read, and this preserves the op
+and byte profile.
+"""
+
+from __future__ import annotations
+
+from .keys import zipfian
+from .spec import KB, OpMix, SizeRange, WorkloadSpec
+
+#: YCSB's default record size: ten 100-byte fields, padded to 1 KB.
+RECORD = SizeRange(1 * KB, 1 * KB)
+
+#: YCSB's default Zipfian constant.
+THETA = 0.99
+
+
+def _spec(name: str, mix: OpMix, num_keys: int, theta: float,
+          sizes: SizeRange) -> WorkloadSpec:
+    return WorkloadSpec(
+        name,
+        read_fraction=mix.read,
+        sizes=sizes,
+        num_keys=num_keys,
+        prepopulate=num_keys,
+        keys=zipfian(theta=theta),
+        mix=mix,
+    )
+
+
+def ycsb_a(num_keys: int = 200, theta: float = THETA,
+           sizes: SizeRange = RECORD) -> WorkloadSpec:
+    """Update heavy: 50/50 read/update, Zipfian."""
+    return _spec("YCSB-A", OpMix(read=0.5, update=0.5), num_keys, theta, sizes)
+
+
+def ycsb_b(num_keys: int = 200, theta: float = THETA,
+           sizes: SizeRange = RECORD) -> WorkloadSpec:
+    """Read mostly: 95/5 read/update, Zipfian."""
+    return _spec("YCSB-B", OpMix(read=0.95, update=0.05), num_keys, theta, sizes)
+
+
+def ycsb_c(num_keys: int = 200, theta: float = THETA,
+           sizes: SizeRange = RECORD) -> WorkloadSpec:
+    """Read only, Zipfian."""
+    return _spec("YCSB-C", OpMix(read=1.0), num_keys, theta, sizes)
+
+
+def ycsb_d(num_keys: int = 200, theta: float = THETA,
+           sizes: SizeRange = RECORD) -> WorkloadSpec:
+    """Read latest: 95% read / 5% insert; reads skew to fresh keys."""
+    return _spec("YCSB-D", OpMix(read=0.95, insert=0.05), num_keys, theta,
+                 sizes)
+
+
+def ycsb_e(num_keys: int = 200, theta: float = THETA,
+           sizes: SizeRange = RECORD, scan_max: int = 16) -> WorkloadSpec:
+    """Short ranges: 95% scan / 5% insert."""
+    return _spec("YCSB-E", OpMix(scan=0.95, insert=0.05, scan_max=scan_max),
+                 num_keys, theta, sizes)
+
+
+def ycsb_f(num_keys: int = 200, theta: float = THETA,
+           sizes: SizeRange = RECORD) -> WorkloadSpec:
+    """Read-modify-write: 50% read / 50% RMW."""
+    return _spec("YCSB-F", OpMix(read=0.5, rmw=0.5), num_keys, theta, sizes)
+
+
+YCSB_WORKLOADS = {
+    "A": ycsb_a,
+    "B": ycsb_b,
+    "C": ycsb_c,
+    "D": ycsb_d,
+    "E": ycsb_e,
+    "F": ycsb_f,
+}

@@ -1,0 +1,175 @@
+"""Open-loop drivers: Poisson and ON/OFF-burst arrival processes.
+
+A closed-loop client politely waits for the previous reply, so offered
+load self-throttles exactly when the service degrades — the dishonest
+overload model. The drivers here issue operations on an *arrival
+process* anchored to simulated time: when the cluster slows down the
+arrivals keep coming, and tail latency under a given offered load
+becomes measurable (the quantity the SLO gates bound).
+
+Two arrival processes:
+
+- :class:`PoissonArrivals` — exponential gaps at a fixed mean rate,
+  the standard open-loop model;
+- :class:`OnOffArrivals` — a two-state burst process: exponential ON
+  periods at ``on_rate`` alternate with OFF periods at ``off_rate``
+  (default 0 — silence), modeling diurnal/bursty tenants.
+
+The :class:`OpenLoopDriver` bounds memory with an outstanding-op
+budget: an arrival that finds ``max_outstanding`` ops already in
+flight is *dropped* (counted in ``ops_dropped``) rather than queued —
+client-side buffer overflow, not hidden backpressure. Every draw
+(op, key, size) happens at arrival time whether or not the op is then
+dropped, so the RNG stream and ``op_digest`` are a pure function of
+(seed, client, arrival index) — identical across runs regardless of
+how the cluster behaves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kvstore import KVClient
+from ..sim import Simulator
+from .clients import DriverBase
+from .spec import WorkloadSpec
+
+
+class PoissonArrivals:
+    """Exponential inter-arrival gaps: mean rate ``rate`` ops/s."""
+
+    __slots__ = ("rate",)
+
+    def __init__(self, rate: float):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = rate
+
+    def next_gap(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(1.0 / self.rate))
+
+
+class OnOffArrivals:
+    """Bursty two-state arrivals.
+
+    ON periods (mean ``on_duration`` seconds, exponential) emit
+    Poisson arrivals at ``on_rate``; OFF periods (mean
+    ``off_duration``) at ``off_rate`` (default 0: silence). The state
+    machine advances deterministically from the driver's own RNG
+    stream. Mean offered rate is
+    ``(on_rate*on_duration + off_rate*off_duration) /
+    (on_duration + off_duration)``.
+    """
+
+    __slots__ = ("on_rate", "off_rate", "on_duration", "off_duration",
+                 "_on", "_phase_left")
+
+    def __init__(
+        self,
+        on_rate: float,
+        on_duration: float,
+        off_duration: float,
+        off_rate: float = 0.0,
+    ):
+        if on_rate <= 0:
+            raise ValueError("on_rate must be positive")
+        if off_rate < 0:
+            raise ValueError("off_rate must be >= 0")
+        if on_duration <= 0 or off_duration <= 0:
+            raise ValueError("phase durations must be positive")
+        self.on_rate = on_rate
+        self.off_rate = off_rate
+        self.on_duration = on_duration
+        self.off_duration = off_duration
+        self._on = True
+        self._phase_left = 0.0  # drawn lazily on first gap
+
+    def _phase_rate(self) -> float:
+        return self.on_rate if self._on else self.off_rate
+
+    def next_gap(self, rng: np.random.Generator) -> float:
+        """Time to the next arrival, crossing phase boundaries.
+
+        OFF phases with ``off_rate == 0`` contribute pure silence: the
+        gap accumulates whole phases until one contains an arrival.
+        """
+        gap = 0.0
+        while True:
+            if self._phase_left <= 0.0:
+                mean = self.on_duration if self._on else self.off_duration
+                self._phase_left = float(rng.exponential(mean))
+            rate = self._phase_rate()
+            if rate > 0.0:
+                step = float(rng.exponential(1.0 / rate))
+                if step <= self._phase_left:
+                    self._phase_left -= step
+                    return gap + step
+            # No arrival in what is left of this phase: burn it.
+            gap += self._phase_left
+            self._phase_left = 0.0
+            self._on = not self._on
+
+
+class OpenLoopDriver(DriverBase):
+    """Issues ops on an arrival process, bounded by an outstanding-op
+    budget.
+
+    ``arrivals`` is any object with ``next_gap(rng) -> float``. The
+    driver uses the same per-client RNG substream for arrivals and op
+    draws, so one (seed, client) pair fixes the entire offered stream.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        client: KVClient,
+        spec: WorkloadSpec,
+        arrivals,
+        max_outstanding: int = 64,
+        stream: str | None = None,
+        stop_at: float = float("inf"),
+        record_ops: bool = False,
+    ):
+        super().__init__(sim, client, spec, stream=stream,
+                         record_ops=record_ops)
+        if max_outstanding < 1:
+            raise ValueError("max_outstanding must be >= 1")
+        self.arrivals = arrivals
+        self.max_outstanding = max_outstanding
+        self.stop_at = stop_at
+        self.outstanding = 0
+        self.ops_dropped = 0
+        self.ops_completed = 0
+        self.running = False
+
+    def start(self) -> None:
+        self.running = True
+        self._arm()
+
+    def stop(self) -> None:
+        self.running = False
+
+    # -- internals --------------------------------------------------------
+
+    def _arm(self) -> None:
+        gap = self.arrivals.next_gap(self._rng)
+        self.sim.call_after(gap, self._arrive)
+
+    def _arrive(self) -> None:
+        if not self.running or self.sim.now >= self.stop_at:
+            self.running = False
+            return
+        if self.outstanding < self.max_outstanding:
+            self.outstanding += 1
+            self._one_op(self._done)
+        else:
+            # Budget exhausted: the arrival is dropped, but its draws
+            # (and digest note) still happen so the RNG stream and
+            # op_digest stay service-independent.
+            self.ops_dropped += 1
+            self._one_op(self._done, issue=False)
+        self._arm()
+
+    def _done(self) -> None:
+        self.outstanding -= 1
+        self.ops_completed += 1

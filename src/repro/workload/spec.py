@@ -1,15 +1,21 @@
-"""Workload specifications (§6.2 micro, §6.3 COSBench-style macro).
+"""Workload specifications (§6.2 micro, §6.3 COSBench-style macro,
+YCSB-style mixes).
 
 A :class:`WorkloadSpec` fully determines the operation stream a logical
-client generates: the read/write mix, the object-size distribution and
-the key population. The §6.3 presets are provided as constructors.
+client generates: the operation mix (:class:`OpMix`), the object-size
+distribution (:class:`SizeRange`) and the key population
+(:class:`~repro.workload.keys.KeyDist`). The §6.3 presets are provided
+as constructors here; the YCSB A–F analogues live in
+:mod:`repro.workload.mixes`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
+
+from .keys import KeyChooser, KeyDist
 
 KB = 1024
 MB = 1024 * 1024
@@ -31,9 +37,51 @@ class SizeRange:
             raise ValueError("need 0 < lo <= hi")
 
     def sample(self, rng: np.random.Generator) -> int:
+        """One draw, rounded to the nearest byte and clamped to
+        ``[lo, hi]``.
+
+        Rounding (not truncating) keeps the draw unbiased at the
+        decade boundaries, and the clamp guarantees the contract even
+        when ``exp(log(lo))`` lands a ULP below ``lo`` — without it,
+        ``SizeRange(1, hi)`` could emit a 0-byte write. Both steps are
+        pure functions of the draw, so determinism is exactly the
+        generator's.
+        """
         if self.lo == self.hi:
             return self.lo
-        return int(np.exp(rng.uniform(np.log(self.lo), np.log(self.hi))))
+        x = float(np.exp(rng.uniform(np.log(self.lo), np.log(self.hi))))
+        return min(self.hi, max(self.lo, int(round(x))))
+
+
+@dataclass(frozen=True, slots=True)
+class OpMix:
+    """Operation mix of a workload, as fractions summing to 1.
+
+    - ``read``: point read of an existing key (fast-path get);
+    - ``update``: write of an existing key;
+    - ``insert``: write of a *fresh* key (sequential key growth);
+    - ``rmw``: read-modify-write — a read followed by a write of the
+      same key, counted as one logical operation;
+    - ``scan``: a short range scan, modeled as ``1..scan_max``
+      consecutive point reads (the KV API has no native scan; the
+      analogue preserves the op-count and byte profile).
+    """
+
+    read: float = 0.0
+    update: float = 0.0
+    insert: float = 0.0
+    rmw: float = 0.0
+    scan: float = 0.0
+    scan_max: int = 16
+
+    def __post_init__(self) -> None:
+        fracs = (self.read, self.update, self.insert, self.rmw, self.scan)
+        if any(f < 0 for f in fracs):
+            raise ValueError("mix fractions must be >= 0")
+        if abs(sum(fracs) - 1.0) > 1e-9:
+            raise ValueError(f"mix fractions must sum to 1, got {sum(fracs)}")
+        if self.scan_max < 1:
+            raise ValueError("scan_max must be >= 1")
 
 
 @dataclass(frozen=True, slots=True)
@@ -43,17 +91,24 @@ class WorkloadSpec:
     Attributes
     ----------
     name:
-        Label used in reports ("SMALL-READ", ...).
+        Label used in reports ("SMALL-READ", "YCSB-A", ...).
     read_fraction:
         Probability an operation is a read (0.9 for READ-intensive,
         0.1 for WRITE-intensive, 0.0 for pure-write micro benches).
+        Ignored when ``mix`` is given.
     sizes:
         Object-size distribution for writes.
     num_keys:
-        Size of the key population (uniform key choice).
+        Size of the initial key population.
     prepopulate:
         Number of keys written before the measured phase, so reads hit
         existing objects.
+    keys:
+        Key distribution (:class:`~repro.workload.keys.KeyDist`);
+        uniform by default — the paper's client model.
+    mix:
+        Full operation mix (:class:`OpMix`). When None, the mix is the
+        classic two-op read/write split given by ``read_fraction``.
     """
 
     name: str
@@ -61,6 +116,8 @@ class WorkloadSpec:
     sizes: SizeRange
     num_keys: int = 200
     prepopulate: int = 0
+    keys: KeyDist = field(default_factory=KeyDist)
+    mix: OpMix | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.read_fraction <= 1.0:
@@ -69,6 +126,22 @@ class WorkloadSpec:
             raise ValueError("need at least one key")
         if self.prepopulate > self.num_keys:
             raise ValueError("cannot prepopulate more keys than exist")
+
+    def op_mix(self) -> OpMix:
+        """The effective mix: ``mix`` if given, else the legacy
+        read/write split."""
+        if self.mix is not None:
+            return self.mix
+        return OpMix(read=self.read_fraction,
+                     update=1.0 - self.read_fraction)
+
+    def make_chooser(self) -> KeyChooser:
+        """A fresh key chooser for one driver (stateful for
+        sequential distributions — never share one across drivers)."""
+        return self.keys.make(self.num_keys)
+
+    def key_name(self, idx: int) -> str:
+        return f"{self.name}/key-{idx}"
 
 
 #: §6.3 object-size dimensions.

@@ -12,6 +12,16 @@ class TestCli:
         for name in EXPERIMENTS:
             assert name in out
 
+    def test_list_flag(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_no_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
     def test_table1(self, capsys):
         assert main(["table1"]) == 0
         out = capsys.readouterr().out
@@ -25,10 +35,10 @@ class TestCli:
     def test_experiment_registry_complete(self):
         # One CLI entry per table/figure of the paper + the CPU section
         # + the chaos correctness gate + the overload robustness gate
-        # + the batching throughput gate.
+        # + the batching throughput gate + the ycsb isolation gate.
         assert set(EXPERIMENTS) == {
             "table1", "fig5", "fig6", "fig7", "fig8", "cpu", "chaos",
-            "overload", "batching",
+            "overload", "batching", "ycsb",
         }
 
     def test_chaos_gate(self, capsys):

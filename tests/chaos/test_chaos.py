@@ -190,6 +190,29 @@ class TestEpisodes:
         with pytest.raises(ValueError):
             ChaosRunner(protocol="raft")
 
+    def test_tenant_tagged_episode(self):
+        # Tenant tags + DRR weights must survive a faulty episode and
+        # surface per-tenant shed/backoff accounting in the result.
+        spec = ChaosSpec(
+            schedule=ScheduleSpec(fault_window=4.0, mean_gap=0.8),
+            settle=3.0, num_clients=2, num_keys=4,
+            tenants=("gold", "bronze"),
+            tenant_weights=(("gold", 3.0), ("bronze", 1.0)),
+        )
+        runner = ChaosRunner(protocol="rs-paxos", spec=spec,
+                             bundle_dir=None)
+        result, _ = runner.run_episode(0)
+        assert result.ok, (result.violations, result.lin_failures)
+        assert set(result.busy_by_tenant) == {"gold", "bronze"}
+        for agg in result.busy_by_tenant.values():
+            assert agg["busy_count"] >= 0
+        js = result.to_jsonable()
+        assert js["shed_by_tenant"] == result.shed_by_tenant
+        assert js["busy_by_tenant"] == result.busy_by_tenant
+        # Round-robin tag assignment is part of the episode's identity.
+        again, _ = runner.run_episode(0)
+        assert again.to_jsonable() == js
+
     def test_wipe_episode_rebuilds_clean(self):
         # A schedule biased hard toward wipes: the wiped server must
         # rebuild (snapshot + tail) and the episode still come out

@@ -88,11 +88,12 @@ class TestAdmissionControl:
         assert len(violations) == 1
         assert "open" in violations[0].detail
         leader._open_proposals = 0
-        leader._admission_queue.append((lambda r: None, 0.0, object()))
+        leader._tenant_queue("gold").append((lambda r, n=0: None, lambda r: None))
         violations = check_no_starvation(c.servers)
         assert len(violations) == 1
         assert "queued" in violations[0].detail
-        leader._admission_queue.clear()
+        assert "gold" in violations[0].detail
+        leader._admission_queues["gold"].clear()
         assert check_no_starvation(c.servers) == []
 
     def test_snapshot_cursor_jump_releases_parked_waiters(self):

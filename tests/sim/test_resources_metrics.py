@@ -108,6 +108,70 @@ class TestLatencyRecorder:
         assert r.mean() == pytest.approx(0.0505)
         assert r.percentile(50) == pytest.approx(0.0505, rel=0.02)
 
+    def test_empty_percentile_is_nan(self):
+        r = LatencyRecorder()
+        assert r.mean() != r.mean()          # NaN
+        assert r.percentile(99) != r.percentile(99)
+
+    def test_single_sample_all_quantiles_collapse(self):
+        r = LatencyRecorder()
+        r.record(0.042)
+        s = r.summary()
+        assert s["count"] == 1
+        for k in ("mean_ms", "p50_ms", "p99_ms", "p999_ms",
+                  "min_ms", "max_ms"):
+            assert s[k] == pytest.approx(42.0)
+
+    def test_quantiles_are_ordered(self):
+        import numpy as np
+
+        r = LatencyRecorder()
+        rng = np.random.default_rng(0)
+        for v in rng.exponential(0.01, size=2000):
+            r.record(float(v))
+        s = r.summary()
+        assert s["min_ms"] <= s["p50_ms"] <= s["p99_ms"] \
+            <= s["p999_ms"] <= s["max_ms"]
+
+    def test_summary_includes_p999(self):
+        r = LatencyRecorder()
+        for v in range(1, 2001):
+            r.record(v / 1000)
+        s = r.summary()
+        # p999 sits between p99 and max, near the top of the range.
+        assert s["p99_ms"] < s["p999_ms"] < s["max_ms"]
+        assert s["p999_ms"] == pytest.approx(1998.0, rel=0.01)
+
+
+class TestHistogram:
+    def make(self):
+        from repro.sim.metrics import Histogram
+
+        return Histogram("h")
+
+    def test_empty_summary(self):
+        assert self.make().summary() == {"count": 0}
+
+    def test_single_sample_collapses(self):
+        h = self.make()
+        h.record(7.0)
+        s = h.summary()
+        assert s["count"] == 1
+        for k in ("mean", "p50", "p99", "p999", "max"):
+            assert s[k] == pytest.approx(7.0)
+
+    def test_quantiles_ordered_and_in_native_unit(self):
+        h = self.make()
+        for v in range(1000):
+            h.record(float(v))
+        s = h.summary()
+        assert s["p50"] <= s["p99"] <= s["p999"] <= s["max"]
+        assert s["max"] == 999.0  # not milliseconds
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            self.make().record(-1.0)
+
 
 class TestThroughputMeter:
     def test_mbps(self):

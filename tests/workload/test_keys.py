@@ -1,0 +1,167 @@
+"""Tests for the key-distribution choosers (repro.workload.keys)."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    HotspotKeys,
+    KeyChooser,
+    KeyDist,
+    SequentialKeys,
+    UniformKeys,
+    ZipfianKeys,
+    hotspot,
+    sequential,
+    uniform,
+    zipfian,
+)
+
+
+def draw(chooser, n: int, seed: int = 0) -> list[int]:
+    rng = np.random.default_rng(seed)
+    return [chooser.choose(rng) for _ in range(n)]
+
+
+class TestProtocol:
+    def test_all_choosers_satisfy_keychooser(self):
+        for c in (UniformKeys(8), ZipfianKeys(8), HotspotKeys(8),
+                  SequentialKeys()):
+            assert isinstance(c, KeyChooser)
+
+
+class TestUniformKeys:
+    def test_bounds_and_coverage(self):
+        c = UniformKeys(16)
+        samples = draw(c, 2000)
+        assert all(0 <= s < 16 for s in samples)
+        assert len(set(samples)) == 16
+
+    def test_roughly_flat(self):
+        c = UniformKeys(10)
+        counts = Counter(draw(c, 10_000))
+        # Every key ~1000 +/- a wide statistical margin.
+        assert min(counts.values()) > 700
+        assert max(counts.values()) < 1300
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformKeys(0)
+
+
+class TestZipfianKeys:
+    def test_bounds(self):
+        c = ZipfianKeys(100, theta=0.99)
+        assert all(0 <= s < 100 for s in draw(c, 2000))
+
+    def test_rank_zero_dominates(self):
+        # theta=0.99 over 1000 keys: the hottest rank takes >~10% of
+        # draws, far beyond the uniform 0.1%.
+        c = ZipfianKeys(1000, theta=0.99, scramble=False)
+        rng = np.random.default_rng(3)
+        ranks = [c.rank(rng) for _ in range(20_000)]
+        top = Counter(ranks)[0] / len(ranks)
+        assert top > 0.08
+
+    def test_rank_frequencies_decrease(self):
+        c = ZipfianKeys(50, theta=0.9, scramble=False)
+        rng = np.random.default_rng(4)
+        counts = Counter(c.rank(rng) for _ in range(50_000))
+        assert counts[0] > counts[1] > counts[5] > counts[20]
+
+    def test_unscrambled_choose_is_rank(self):
+        c = ZipfianKeys(64, scramble=False)
+        rng1 = np.random.default_rng(7)
+        rng2 = np.random.default_rng(7)
+        for _ in range(200):
+            assert c.choose(rng1) == c.rank(rng2)
+
+    def test_scramble_is_deterministic_relabeling(self):
+        # Same theta, same seed: the scrambled stream must be a fixed
+        # per-rank relabeling of the unscrambled one.
+        plain = ZipfianKeys(64, scramble=False)
+        mixed = ZipfianKeys(64, scramble=True)
+        ranks = draw(plain, 500, seed=11)
+        keys = draw(mixed, 500, seed=11)
+        mapping: dict[int, int] = {}
+        for r, k in zip(ranks, keys):
+            assert mapping.setdefault(r, k) == k
+
+    def test_scramble_spreads_hot_keys(self):
+        mixed = ZipfianKeys(1000, scramble=True)
+        samples = draw(mixed, 5000, seed=13)
+        hot = Counter(samples).most_common(5)
+        # The five hottest keys should not all sit in the first decile.
+        assert any(k >= 100 for k, _ in hot)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfianKeys(0)
+        with pytest.raises(ValueError):
+            ZipfianKeys(10, theta=0.0)
+        with pytest.raises(ValueError):
+            ZipfianKeys(10, theta=1.0)
+
+
+class TestHotspotKeys:
+    def test_hot_fraction_receives_hot_share(self):
+        c = HotspotKeys(100, frac_hot=0.2, p_hot=0.8)
+        samples = draw(c, 10_000, seed=17)
+        hot_share = sum(1 for s in samples if s < 20) / len(samples)
+        assert 0.75 < hot_share < 0.85
+
+    def test_cold_keys_still_reached(self):
+        c = HotspotKeys(10, frac_hot=0.1, p_hot=0.5)
+        samples = draw(c, 5000, seed=19)
+        assert set(samples) == set(range(10))
+
+    def test_whole_population_hot(self):
+        c = HotspotKeys(8, frac_hot=1.0, p_hot=0.0)
+        assert all(0 <= s < 8 for s in draw(c, 500))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HotspotKeys(0)
+        with pytest.raises(ValueError):
+            HotspotKeys(10, frac_hot=0.0)
+        with pytest.raises(ValueError):
+            HotspotKeys(10, p_hot=1.5)
+
+
+class TestSequentialKeys:
+    def test_draws_are_consecutive(self):
+        c = SequentialKeys(start=5)
+        assert c.population == 5
+        rng = np.random.default_rng(0)
+        assert [c.choose(rng) for _ in range(4)] == [5, 6, 7, 8]
+        assert c.population == 9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SequentialKeys(start=-1)
+
+
+class TestKeyDist:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            KeyDist("pareto")
+
+    def test_make_builds_matching_chooser(self):
+        assert isinstance(uniform().make(8), UniformKeys)
+        assert isinstance(zipfian(theta=0.5).make(8), ZipfianKeys)
+        assert isinstance(hotspot().make(8), HotspotKeys)
+        assert isinstance(sequential().make(8), SequentialKeys)
+
+    def test_parameters_reach_chooser(self):
+        z = zipfian(theta=0.7, scramble=False).make(32)
+        assert z.theta == 0.7 and not z.scramble
+        h = hotspot(frac_hot=0.5, p_hot=0.9).make(32)
+        assert h.frac_hot == 0.5 and h.p_hot == 0.9
+
+    def test_sequential_starts_past_initial_keys(self):
+        # Fresh inserts must not collide with the prepopulated range.
+        s = sequential().make(16)
+        assert s.population == 16
+        rng = np.random.default_rng(0)
+        assert s.choose(rng) == 16

@@ -1,0 +1,169 @@
+"""Tests for open-loop arrival processes and the OpenLoopDriver."""
+
+import numpy as np
+import pytest
+
+from repro.core import rs_paxos
+from repro.kvstore import build_cluster
+from repro.net import LinkSpec
+from repro.workload import (
+    OnOffArrivals,
+    OpenLoopDriver,
+    OpMix,
+    PoissonArrivals,
+    SizeRange,
+    WorkloadSpec,
+    uniform,
+)
+
+WRITES = WorkloadSpec("OL", 0.0, SizeRange(512, 512), num_keys=8,
+                      keys=uniform(), mix=OpMix(update=1.0))
+
+
+class TestPoissonArrivals:
+    def test_mean_gap_matches_rate(self):
+        a = PoissonArrivals(rate=200.0)
+        rng = np.random.default_rng(0)
+        gaps = [a.next_gap(rng) for _ in range(5000)]
+        assert all(g >= 0 for g in gaps)
+        assert np.mean(gaps) == pytest.approx(1 / 200.0, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0)
+
+
+class TestOnOffArrivals:
+    def test_mean_rate_matches_duty_cycle(self):
+        # 100/s for ~1s ON, silent for ~1s OFF -> ~50/s overall.
+        a = OnOffArrivals(on_rate=100.0, on_duration=1.0, off_duration=1.0)
+        rng = np.random.default_rng(1)
+        t, n = 0.0, 0
+        while t < 400.0:
+            t += a.next_gap(rng)
+            n += 1
+        assert n / t == pytest.approx(50.0, rel=0.15)
+
+    def test_silent_off_phases_create_long_gaps(self):
+        a = OnOffArrivals(on_rate=1000.0, on_duration=0.05,
+                          off_duration=1.0)
+        rng = np.random.default_rng(2)
+        gaps = [a.next_gap(rng) for _ in range(2000)]
+        # Most gaps are ~1ms bursts; some must span a whole OFF phase.
+        assert min(gaps) < 0.01
+        assert max(gaps) > 0.3
+
+    def test_off_rate_trickle(self):
+        a = OnOffArrivals(on_rate=100.0, on_duration=0.5,
+                          off_duration=0.5, off_rate=10.0)
+        rng = np.random.default_rng(3)
+        t, n = 0.0, 0
+        while t < 200.0:
+            t += a.next_gap(rng)
+            n += 1
+        assert n / t == pytest.approx(55.0, rel=0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnOffArrivals(0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            OnOffArrivals(10.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            OnOffArrivals(10.0, 1.0, 1.0, off_rate=-1.0)
+
+
+def make_cluster(seed: int = 5, **kwargs):
+    c = build_cluster(rs_paxos(5, 1), num_clients=2, num_groups=2,
+                      seed=seed, **kwargs)
+    c.start()
+    c.run(until=c.sim.now + 0.5)
+    return c
+
+
+class TestOpenLoopDriver:
+    def test_offered_load_tracks_rate(self):
+        c = make_cluster()
+        t0 = c.sim.now
+        d = OpenLoopDriver(c.sim, c.clients[0], WRITES,
+                           PoissonArrivals(100.0), stop_at=t0 + 4.0)
+        d.start()
+        c.run(until=t0 + 5.0)
+        assert d.ops_issued == pytest.approx(400, rel=0.2)
+
+    def test_budget_sheds_arrivals(self):
+        # One outstanding op at 200/s offered: most arrivals find the
+        # budget full and are dropped, never reaching the cluster.
+        c = make_cluster()
+        t0 = c.sim.now
+        d = OpenLoopDriver(c.sim, c.clients[0], WRITES,
+                           PoissonArrivals(200.0), max_outstanding=1,
+                           stop_at=t0 + 3.0)
+        d.start()
+        c.run(until=t0 + 4.0)
+        assert d.ops_dropped > 0
+        assert d.ops_completed + d.ops_dropped + d.outstanding == d.ops_issued
+        assert d.ops_completed < d.ops_issued
+
+    def test_stop_at_halts_arrivals(self):
+        c = make_cluster()
+        t0 = c.sim.now
+        d = OpenLoopDriver(c.sim, c.clients[0], WRITES,
+                           PoissonArrivals(50.0), stop_at=t0 + 1.0)
+        d.start()
+        c.run(until=t0 + 3.0)
+        assert not d.running
+
+    def test_validation(self):
+        c = make_cluster()
+        with pytest.raises(ValueError):
+            OpenLoopDriver(c.sim, c.clients[0], WRITES,
+                           PoissonArrivals(10.0), max_outstanding=0)
+
+
+class TestDigestServiceIndependence:
+    """op_digest must be a pure function of (seed, client, spec) —
+    never of how the cluster behaves."""
+
+    def run_driver(self, seed: int, max_outstanding: int = 64,
+                   slow: bool = False):
+        c = make_cluster(seed=seed)
+        if slow:
+            # Cripple the replication paths: service times explode.
+            crawl = LinkSpec(delay_s=0.05, jitter_s=0.01,
+                             bandwidth_bps=1e6)
+            names = [s.name for s in c.servers]
+            for a in names:
+                for b in names:
+                    if a != b:
+                        c.net.set_link(a, b, crawl)
+        t0 = c.sim.now
+        d = OpenLoopDriver(c.sim, c.clients[0], WRITES,
+                           PoissonArrivals(150.0),
+                           max_outstanding=max_outstanding,
+                           stop_at=t0 + 2.0, record_ops=True)
+        d.start()
+        c.run(until=t0 + 3.0)
+        return d
+
+    def test_same_seed_same_digest(self):
+        d1 = self.run_driver(seed=9)
+        d2 = self.run_driver(seed=9)
+        assert d1.op_digest == d2.op_digest
+        assert d1.issued_ops == d2.issued_ops
+
+    def test_different_seed_different_digest(self):
+        assert self.run_driver(seed=9).op_digest != \
+            self.run_driver(seed=10).op_digest
+
+    def test_digest_survives_budget_pressure(self):
+        # Tiny budget sheds most arrivals; the offered stream (and its
+        # digest) must not change.
+        free = self.run_driver(seed=9, max_outstanding=64)
+        tight = self.run_driver(seed=9, max_outstanding=1)
+        assert tight.ops_dropped > 0
+        assert free.op_digest == tight.op_digest
+
+    def test_digest_survives_slow_cluster(self):
+        fast = self.run_driver(seed=9)
+        slow = self.run_driver(seed=9, slow=True)
+        assert fast.op_digest == slow.op_digest

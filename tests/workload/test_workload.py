@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import rs_paxos
 from repro.kvstore import build_cluster
@@ -11,12 +13,15 @@ from repro.workload import (
     MACRO_WORKLOADS,
     MICRO_SIZES,
     ClosedLoopDriver,
+    OpMix,
     SizeRange,
     WorkloadSpec,
     fixed_size_writes,
     large_write,
     prepopulate,
     small_read,
+    ycsb_a,
+    zipfian,
 )
 
 
@@ -44,6 +49,64 @@ class TestSizeRange:
             SizeRange(0, 10)
         with pytest.raises(ValueError):
             SizeRange(10, 5)
+
+    def test_one_byte_floor_never_zero(self):
+        # Regression: log-uniform draws near lo=1 used to truncate to 0.
+        r = SizeRange(1, 4)
+        rng = np.random.default_rng(0)
+        samples = [r.sample(rng) for _ in range(5000)]
+        assert min(samples) >= 1
+        assert max(samples) <= 4
+
+
+class TestSizeRangeProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        lo=st.integers(min_value=1, max_value=1 << 20),
+        span=st.integers(min_value=0, max_value=1 << 20),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_samples_always_in_bounds(self, lo, span, seed):
+        r = SizeRange(lo, lo + span)
+        rng = np.random.default_rng(seed)
+        for _ in range(20):
+            s = r.sample(rng)
+            assert isinstance(s, int)
+            assert lo <= s <= lo + span
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        lo=st.integers(min_value=1, max_value=1024),
+        span=st.integers(min_value=0, max_value=1024),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_same_rng_state_same_draws(self, lo, span, seed):
+        r = SizeRange(lo, lo + span)
+        a = [r.sample(np.random.default_rng(seed)) for _ in range(5)]
+        b = [r.sample(np.random.default_rng(seed)) for _ in range(5)]
+        assert a == b
+
+
+class TestOpMix:
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            OpMix(read=0.5, update=0.2)
+        with pytest.raises(ValueError):
+            OpMix(read=0.9, update=0.2)
+
+    def test_scan_max_validated(self):
+        with pytest.raises(ValueError):
+            OpMix(read=1.0, scan_max=0)
+
+    def test_ycsb_presets_are_valid(self):
+        from repro.workload import YCSB_WORKLOADS
+
+        assert set(YCSB_WORKLOADS) == {"A", "B", "C", "D", "E", "F"}
+        a = ycsb_a()
+        mix = a.op_mix()
+        assert mix.read == pytest.approx(0.5)
+        assert mix.update == pytest.approx(0.5)
+        assert a.keys.kind == "zipfian"
 
 
 class TestWorkloadSpec:
@@ -136,3 +199,52 @@ class TestClosedLoopDriver:
         d2.start()
         c.run(until=3.0)
         assert d1.ops_issued > 0 and d2.ops_issued > 0
+
+
+class TestPerClientStreamDeterminism:
+    """Driver RNG streams derive from (seed, client name): adding a
+    driver must not perturb the ops an existing driver draws."""
+
+    SPEC = WorkloadSpec(
+        "DET", 0.0, SizeRange(64, 4096), num_keys=8,
+        keys=zipfian(theta=0.9), mix=OpMix(read=0.3, update=0.7),
+    )
+
+    def run_one(self, seed: int, extra_driver: bool):
+        c = build_cluster(rs_paxos(5, 1), num_clients=2, num_groups=2,
+                          seed=seed)
+        c.start()
+        c.run(until=1.0)
+        d1 = ClosedLoopDriver(c.sim, c.clients[0], self.SPEC,
+                              record_ops=True)
+        d1.start()
+        if extra_driver:
+            d2 = ClosedLoopDriver(c.sim, c.clients[1], self.SPEC)
+            d2.start()
+        c.run(until=3.0)
+        return d1
+
+    def test_default_stream_is_client_name(self):
+        c = build_cluster(rs_paxos(5, 1), num_clients=1, seed=0)
+        d = ClosedLoopDriver(c.sim, c.clients[0], self.SPEC)
+        assert d._rng is c.sim.rng.stream(
+            f"workload.client.{c.clients[0].name}"
+        )
+
+    def test_adding_a_driver_does_not_perturb_existing_stream(self):
+        alone = self.run_one(seed=21, extra_driver=False)
+        shared = self.run_one(seed=21, extra_driver=True)
+        n = min(len(alone.issued_ops), len(shared.issued_ops))
+        assert n > 20
+        assert alone.issued_ops[:n] == shared.issued_ops[:n]
+
+    def test_same_seed_same_digest(self):
+        a = self.run_one(seed=22, extra_driver=False)
+        b = self.run_one(seed=22, extra_driver=False)
+        assert a.op_digest == b.op_digest
+        assert a.issued_ops == b.issued_ops
+
+    def test_different_seed_different_digest(self):
+        a = self.run_one(seed=22, extra_driver=False)
+        b = self.run_one(seed=23, extra_driver=False)
+        assert a.op_digest != b.op_digest
