@@ -9,6 +9,7 @@ Usage::
     python -m repro.bench chaos [--seeds N] [--short] [--wipe-heavy]
     python -m repro.bench overload [--full]
     python -m repro.bench ycsb [--full]
+    python -m repro.bench partitions [--full]
 
 ``chaos`` is the correctness gate rather than a paper figure: it runs
 seeded fault-injection episodes and fails (exit 1, repro bundle on
@@ -17,7 +18,10 @@ breaks. ``overload`` is the robustness gate: it drives the cluster
 past saturation and fails (exit 1) if admission control cannot hold
 goodput at 2x offered load. ``ycsb`` is the isolation gate: a noisy
 Zipfian tenant floods a shared cluster and the well-behaved uniform
-tenant's p99/goodput must hold (exit 1 otherwise).
+tenant's p99/goodput must hold (exit 1 otherwise). ``partitions`` is
+the partition-recovery gate: partial/asymmetric/flapping cuts must not
+depose a healthy leader (pre-vote) and recovery after the final heal
+must be prompt (exit 1 otherwise).
 """
 
 from __future__ import annotations
@@ -26,8 +30,8 @@ import argparse
 import sys
 
 from .experiments import (
-    batching, chaos, cpu_cost, fig5, fig6, fig7, fig8, overload, table1,
-    ycsb,
+    batching, chaos, cpu_cost, fig5, fig6, fig7, fig8, overload,
+    partitions, table1, ycsb,
 )
 
 EXPERIMENTS = {
@@ -43,6 +47,8 @@ EXPERIMENTS = {
     "batching": ("Batching: small-write goodput vs batch size",
                  batching),
     "ycsb": ("YCSB: two-tenant fair-queueing isolation ladder", ycsb),
+    "partitions": ("Partitions: pre-vote stability + recovery (MTTR) gate",
+                   partitions),
 }
 
 
@@ -97,7 +103,7 @@ def main(argv: list[str] | None = None) -> int:
         elif name == "chaos":
             status |= module.main(seeds=args.seeds, short=args.short,
                                   wipe_heavy=args.wipe_heavy)
-        elif name in ("overload", "batching", "ycsb"):
+        elif name in ("overload", "batching", "ycsb", "partitions"):
             status |= module.main(quick=not args.full)
         else:
             module.main(quick=not args.full)

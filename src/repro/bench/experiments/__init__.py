@@ -17,11 +17,16 @@ shapes the paper reports hold in both modes.
   saturation knee, admission control on vs off.
 - :mod:`.ycsb` — not a figure: two-tenant YCSB-style isolation ladder
   gating the weighted fair-queueing admission layer.
+- :mod:`.partitions` — not a figure: partial/asymmetric-partition
+  stability (pre-vote, check-quorum) and recovery-time (MTTR) gate.
 """
 
-from . import chaos, cpu_cost, fig5, fig6, fig7, fig8, overload, table1, ycsb
+from . import (
+    chaos, cpu_cost, fig5, fig6, fig7, fig8, overload, partitions,
+    table1, ycsb,
+)
 
 __all__ = [
     "chaos", "cpu_cost", "fig5", "fig6", "fig7", "fig8", "overload",
-    "table1", "ycsb",
+    "partitions", "table1", "ycsb",
 ]

@@ -1,9 +1,10 @@
 """Chaos sweep: randomized faults + linearizability + invariants.
 
 Not a paper figure — a correctness gate. Runs N seeded chaos episodes
-(crashes, partitions, loss/dup bursts, slow disks, torn WAL writes,
-bit-rot on stored coded shares, client overload bursts, gray slow
-nodes) against both the paper's headline
+(crashes, partitions — symmetric, partial, asymmetric, flapping —
+loss/dup bursts, slow disks, torn WAL writes, bit-rot on stored coded
+shares, client overload bursts, gray slow nodes) against both the
+paper's headline
 RS-Paxos setup (N=5, F=1, θ(3,5)) and classic Paxos at N=5, checking
 every episode's client history for per-key linearizability and the
 final replicated state for the paper's safety invariants (unique
@@ -89,6 +90,12 @@ def main(
         print(f"   overload/gray: {shed} requests shed, "
               f"{hedges} hedged fetches ({hedge_wins} won), "
               f"{adaptations} retransmit-timeout adaptations")
+        elections = sum(r.elections_started for r in results)
+        changes = sum(r.leader_changes for r in results)
+        downs = sum(r.step_downs for r in results)
+        print(f"   election churn: {elections} elections started, "
+              f"{changes} leader changes, {downs} step-downs "
+              f"(incl. 1 bootstrap election per episode)")
         total_failures += len(failures)
     if total_failures:
         print(f"FAIL: {total_failures} episode(s) violated "

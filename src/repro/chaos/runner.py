@@ -1,9 +1,10 @@
 """Seeded chaos episodes against a live KV cluster.
 
 One *episode* = build a cluster from a seed, run a randomized
-client workload while a randomized fault schedule (crashes, partitions,
-loss/dup bursts, slow disks, client overload bursts, gray slow-nodes)
-plays out, heal everything, then check
+client workload while a randomized fault schedule (crashes, partitions
+— symmetric, partial, asymmetric and flapping — loss/dup bursts, slow
+disks, client overload bursts, gray slow-nodes) plays out, heal
+everything, then check
 
 1. the client-observed history for per-key linearizability
    (:mod:`repro.check.linearize`), and
@@ -28,7 +29,9 @@ import json
 import os
 from dataclasses import dataclass, field
 
-from ..check import HistoryRecorder, check_cluster, check_history
+from ..check import (
+    HistoryRecorder, check_cluster, check_history, check_single_lease,
+)
 from ..core import ConsistencyViolation, classic_paxos, rs_paxos
 from ..kvstore import build_cluster
 from ..net import LAN
@@ -135,6 +138,13 @@ class EpisodeResult:
     # leader shed, and how much Busy backoff each tenant's clients ate.
     shed_by_tenant: dict = field(default_factory=dict)
     busy_by_tenant: dict = field(default_factory=dict)
+    # Election-churn accounting (partition-tolerance PR): real
+    # ballot-bump elections started, leadership acquisitions, and
+    # demotions across all servers — the liveness cost of the episode's
+    # fault mix, visible in every gate.
+    elections_started: int = 0
+    leader_changes: int = 0
+    step_downs: int = 0
     bundle_path: str | None = None
 
     def to_jsonable(self) -> dict:
@@ -159,6 +169,9 @@ class EpisodeResult:
             "hedges_issued": self.hedges_issued,
             "hedge_wins": self.hedge_wins,
             "timeout_adaptations": self.timeout_adaptations,
+            "elections_started": self.elections_started,
+            "leader_changes": self.leader_changes,
+            "step_downs": self.step_downs,
             "schedule": [e.to_jsonable() for e in self.schedule],
         }
 
@@ -273,6 +286,20 @@ class ChaosRunner:
         recorder = HistoryRecorder()
         self._start_workload(cluster, recorder, workload_ctl)
 
+        # Single-lease probe: instantaneous by nature, so sample it
+        # throughout the episode — dueling leaders mid-partition are
+        # exactly the transient an end-of-episode sweep would miss.
+        lease_violations: list[dict] = []
+
+        def lease_probe() -> None:
+            for v in check_single_lease(cluster.servers):
+                lease_violations.append(
+                    {**v.to_jsonable(), "t": round(sim.now, 4)})
+            if sim.now < spec.horizon:
+                sim.call_after(0.25, lease_probe)
+
+        sim.call_soon(lease_probe)
+
         violations: list[dict] = []
         try:
             cluster.start()
@@ -285,6 +312,7 @@ class ChaosRunner:
                 v.to_jsonable()
                 for v in check_cluster(cluster.servers, self.config)
             ]
+        violations.extend(lease_violations)
         lin_failures = [
             {"key": r.key, "ops": r.failure_ops}
             for r in check_history(recorder)
@@ -348,6 +376,11 @@ class ChaosRunner:
             timeout_adaptations=sum(
                 s.endpoint.timeouts_adapted for s in cluster.servers
             ),
+            elections_started=sum(
+                s.elections_started for s in cluster.servers
+            ),
+            leader_changes=sum(s.leader_changes for s in cluster.servers),
+            step_downs=sum(s.step_downs for s in cluster.servers),
         )
         trace_tail = (
             [str(r) for r in cluster.tracer.records[-400:]] if trace else []

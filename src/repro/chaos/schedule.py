@@ -9,8 +9,10 @@ the composition honest:
 - at most ``max_crashed`` servers are down at once (the configured
   fault tolerance F; beyond that the cluster may stall, which only
   slows exploration down without testing anything new);
-- one partition at a time (``Network.heal`` clears all cuts, so
-  overlapping partitions would repair each other);
+- one *symmetric* partition at a time, plus at most one partial /
+  asymmetric / flapping episode concurrently — every cut is
+  token-scoped, so an episode's heal lifts exactly its own cuts and
+  overlapping episodes no longer repair each other;
 - every *availability* fault (crash, torn-write, partition, slow disk)
   is paired with its repair, and every repair lands inside the fault
   window — the runner checks invariants *after* full heal, when
@@ -34,8 +36,9 @@ class ChaosEvent:
     """One scheduled fault (or repair)."""
 
     t: float
-    # crash|recover|partition|heal|loss-burst|slow-disk|fix-disk|
-    # torn-write|bit-rot|scrub|wipe|rejoin|overload|slow-node|fix-node
+    # crash|recover|partition|partial-partition|asym-partition|flap|
+    # heal|loss-burst|slow-disk|fix-disk|torn-write|bit-rot|scrub|
+    # wipe|rejoin|overload|slow-node|fix-node
     kind: str
     arg: Any = None
 
@@ -90,6 +93,23 @@ class ScheduleSpec:
     node_slow_factor: tuple[float, float] = (5.0, 25.0)
     node_slow_dur: tuple[float, float] = (1.0, 4.0)
     slow_node_weight: float = 1.5
+    # Messy link failures (partition-tolerance PR). A partial partition
+    # cuts two disjoint subsets symmetrically but leaves at least one
+    # bridge host connected to both sides (non-transitive
+    # connectivity); an asym-partition severs one direction only (the
+    # one-way-deaf topology that used to let a follower depose a
+    # healthy leader); a flap toggles a cut every half period until it
+    # finally heals. Each episode is token-scoped and may overlap one
+    # plain symmetric partition — their heals cannot undo each other.
+    # Zero weights disable with exact RNG-draw parity.
+    partial_dur: tuple[float, float] = (0.5, 4.0)
+    asym_dur: tuple[float, float] = (0.5, 4.0)
+    flap_dur: tuple[float, float] = (1.0, 4.0)
+    flap_period: tuple[float, float] = (0.4, 1.0)
+    # Relative weights: partial-partition, asym-partition, flap. Kept
+    # low by default so the smoke seeds exercise the new kinds without
+    # drowning out the established mix.
+    partition_mix_weights: tuple[float, float, float] = (1.0, 1.0, 1.0)
 
     @property
     def end(self) -> float:
@@ -108,6 +128,12 @@ def generate_schedule(
     slow_until: dict[str, float] = {}
     node_slow_until: dict[str, float] = {}
     partition_until = 0.0
+    # The messy-link kinds share one serialization slot of their own:
+    # at most one partial/asym/flap episode at a time, which may still
+    # overlap a plain symmetric partition (tokens keep their heals
+    # independent).
+    mesh_until = 0.0
+    cut_seq = 0
     burst_until = 0.0
     overload_until = 0.0
     last_rot = -spec.rot_gap
@@ -155,6 +181,12 @@ def generate_schedule(
         ]
         if healthy_nodes:
             choices.append(("slow-node", spec.slow_node_weight))
+        if mesh_until <= t and len(servers) >= 3:
+            choices.append(
+                ("partial-partition", spec.partition_mix_weights[0]))
+        if mesh_until <= t and len(servers) >= 2:
+            choices.append(("asym-partition", spec.partition_mix_weights[1]))
+            choices.append(("flap", spec.partition_mix_weights[2]))
         choices = [(k, w) for k, w in choices if w > 0]
         if not choices:
             continue
@@ -180,8 +212,49 @@ def generate_schedule(
             a, b = tuple(shuffled[:split]), tuple(shuffled[split:])
             d = dur(spec.partition_dur, t)
             partition_until = t + d
-            events.append(ChaosEvent(t, "partition", (a, b)))
-            events.append(ChaosEvent(t + d, "heal", None))
+            cut_seq += 1
+            tok = f"cut{cut_seq}"
+            events.append(ChaosEvent(t, "partition", (a, b, tok)))
+            events.append(ChaosEvent(t + d, "heal", tok))
+        elif kind == "partial-partition":
+            # Two disjoint subsets lose sight of each other while the
+            # remaining bridge host(s) still talk to both sides.
+            shuffled = list(servers)
+            rng.shuffle(shuffled)
+            i = int(rng.integers(1, len(servers) - 1))
+            j = int(rng.integers(1, len(servers) - i))
+            a, b = tuple(shuffled[:i]), tuple(shuffled[i:i + j])
+            d = dur(spec.partial_dur, t)
+            mesh_until = t + d
+            cut_seq += 1
+            tok = f"cut{cut_seq}"
+            events.append(ChaosEvent(t, "partial-partition", (a, b, tok)))
+            events.append(ChaosEvent(t + d, "heal", tok))
+        elif kind == "asym-partition":
+            # One-way deafness: src -> dst messages drop, replies flow.
+            split = int(rng.integers(1, len(servers)))
+            shuffled = list(servers)
+            rng.shuffle(shuffled)
+            a, b = tuple(shuffled[:split]), tuple(shuffled[split:])
+            d = dur(spec.asym_dur, t)
+            mesh_until = t + d
+            cut_seq += 1
+            tok = f"cut{cut_seq}"
+            events.append(ChaosEvent(t, "asym-partition", (a, b, tok)))
+            events.append(ChaosEvent(t + d, "heal", tok))
+        elif kind == "flap":
+            # The cut toggles every half period until the final heal at
+            # t + d (armed by flap_at, so no separate heal event here).
+            split = int(rng.integers(1, len(servers)))
+            shuffled = list(servers)
+            rng.shuffle(shuffled)
+            a, b = tuple(shuffled[:split]), tuple(shuffled[split:])
+            d = dur(spec.flap_dur, t)
+            period = float(rng.uniform(*spec.flap_period))
+            mesh_until = t + d
+            cut_seq += 1
+            tok = f"cut{cut_seq}"
+            events.append(ChaosEvent(t, "flap", (a, b, d, period, tok)))
         elif kind == "loss-burst":
             d = dur(spec.burst_dur, t)
             burst_until = t + d
@@ -244,11 +317,18 @@ def arm_schedule(faults: FaultSchedule, events: list[ChaosEvent]) -> None:
             faults.crash_at(ev.t, ev.arg)
         elif ev.kind == "recover":
             faults.recover_at(ev.t, ev.arg)
-        elif ev.kind == "partition":
-            a, b = ev.arg
-            faults.partition_at(ev.t, list(a), list(b))
+        elif ev.kind in ("partition", "partial-partition"):
+            a, b, *rest = ev.arg
+            token = rest[0] if rest else ""
+            faults.partition_at(ev.t, list(a), list(b), token)
+        elif ev.kind == "asym-partition":
+            a, b, token = ev.arg
+            faults.sever_at(ev.t, list(a), list(b), token)
+        elif ev.kind == "flap":
+            a, b, d, period, token = ev.arg
+            faults.flap_at(ev.t, d, list(a), list(b), period, token)
         elif ev.kind == "heal":
-            faults.heal_at(ev.t)
+            faults.heal_at(ev.t, ev.arg)
         elif ev.kind == "wipe":
             faults.wipe_at(ev.t, ev.arg)
         elif ev.kind == "rejoin":

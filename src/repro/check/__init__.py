@@ -19,6 +19,7 @@ from .invariants import (
     check_decodability,
     check_durable_integrity,
     check_no_starvation,
+    check_single_lease,
     check_unique_choice,
 )
 from .linearize import LinResult, check_history, check_key
@@ -36,5 +37,6 @@ __all__ = [
     "check_history",
     "check_key",
     "check_no_starvation",
+    "check_single_lease",
     "check_unique_choice",
 ]

@@ -30,7 +30,7 @@ class Violation:
     """One invariant breach."""
 
     kind: str     # "config" | "unique-choice" | "decodability" |
-                  # "durable-integrity" | "bounded-wal"
+                  # "durable-integrity" | "bounded-wal" | "single-lease"
     detail: str
 
     def to_jsonable(self) -> dict:
@@ -260,6 +260,29 @@ def check_no_starvation(servers) -> list[Violation]:
     return violations
 
 
+def check_single_lease(servers) -> list[Violation]:
+    """At most one server believes its leader lease is valid *now*.
+
+    The §4.3 drift bound (Δ at the leader vs Δ + δ at followers)
+    guarantees an old leader's lease expires before any successor's can
+    begin, so two servers simultaneously holding ``is_leader_server``
+    with ``held_by_leader()`` true means fast reads could be served from
+    two divergent stores at once. Instantaneous — the chaos runner
+    samples it throughout an episode, not just at the end.
+    """
+    holders = [
+        srv.name for srv in servers
+        if srv.up and srv.is_leader_server and srv.lease.held_by_leader()
+    ]
+    if len(holders) > 1:
+        return [Violation(
+            "single-lease",
+            f"{len(holders)} servers hold a valid leader lease at once: "
+            f"{', '.join(sorted(holders))}",
+        )]
+    return []
+
+
 def check_cluster(servers, config) -> list[Violation]:
     """All replicated-state probes in one sweep."""
     return (
@@ -269,4 +292,5 @@ def check_cluster(servers, config) -> list[Violation]:
         + check_durable_integrity(servers)
         + check_bounded_wal(servers)
         + check_no_starvation(servers)
+        + check_single_lease(servers)
     )

@@ -174,6 +174,40 @@ class HeartbeatAck:
 
 
 @dataclass(frozen=True, slots=True)
+class PreVote:
+    """Pre-vote probe: "does the leader look dead to you too?"
+
+    Sent by a follower whose vacancy timer lapsed, *before* it bumps a
+    real ballot. No acceptor state changes on either side — a granted
+    pre-vote is a stateless opinion, so a one-way-deaf follower probing
+    forever disrupts nothing. ``round`` matches replies to the probe
+    round that asked (stale replies are dropped).
+    """
+
+    candidate_id: int
+    round: int = 0
+
+    @property
+    def wire_bytes(self) -> int:
+        return KV_META
+
+
+@dataclass(frozen=True, slots=True)
+class PreVoteReply:
+    """Pre-vote verdict: granted only if this voter's own vacancy timer
+    has lapsed as well (leader stickiness — a follower that still hears
+    the leader refuses)."""
+
+    voter_id: int
+    round: int = 0
+    granted: bool = False
+
+    @property
+    def wire_bytes(self) -> int:
+        return KV_META
+
+
+@dataclass(frozen=True, slots=True)
 class FetchShare:
     """Ask a peer for its accepted coded share of an instance.
 

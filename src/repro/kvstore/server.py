@@ -70,6 +70,8 @@ from .messages import (
     NotFound,
     NotReady,
     PlacementGaps,
+    PreVote,
+    PreVoteReply,
     PutOk,
     Redirect,
     ShareReply,
@@ -178,6 +180,28 @@ class KVServer:
         self._hb_floor: Ballot = NULL_BALLOT
         self._hb_seq = 0
         self._hb_rounds: dict[int, tuple[float, set[int]]] = {}
+        # Pre-vote (partial-partition tolerance): a vacancy-timeout
+        # candidate first asks whether the leader looks dead to a read
+        # quorum, and only bumps a real ballot once Q_R members
+        # (including itself) concur. Grants are stateless opinions, so
+        # a one-way-deaf follower probing forever cannot depose a
+        # healthy leader. ``_pre_vote_state`` is (round_id, grants).
+        self.rpc_timeout = rpc_timeout
+        self._pre_vote_round = 0
+        self._pre_vote_state: tuple[int, set[int]] | None = None
+        # Check-quorum: a leader whose lease stays expired past this
+        # grace (it cannot hear a renewal quorum) demotes itself instead
+        # of limping on — the cluster's other side may already be
+        # electing, and a deaf leader serving stale lease reads is the
+        # failure mode the lease math exists to prevent.
+        self.check_quorum_grace = 2 * self.lease_config.heartbeat_interval
+        self._lease_lost_since: float | None = None
+        # Election-churn accounting (cumulative across crashes, like
+        # requests_shed): real ballot-bump elections started here, wins
+        # that made this server leader, and demotions of any cause.
+        self.elections_started = 0
+        self.leader_changes = 0
+        self.step_downs = 0
         # Exactly-once apply: identities of client ops already applied,
         # keyed (group, client, op_id). Rebuilt deterministically from
         # the log on recovery (same log order => same set). A set, not
@@ -309,6 +333,8 @@ class KVServer:
         # Server-server.
         self.endpoint.on(Heartbeat, self._on_heartbeat)
         self.endpoint.on(HeartbeatAck, self._on_heartbeat_ack)
+        self.endpoint.on(PreVote, self._on_pre_vote)
+        self.endpoint.on(PreVoteReply, self._on_pre_vote_reply)
         self.endpoint.on_request_async(FetchShare, self._on_fetch_share)
         self.endpoint.on_request_async(CatchUp, self._on_catch_up)
         self.endpoint.on_request_async(FetchSnapshot, self._on_fetch_snapshot)
@@ -343,6 +369,8 @@ class KVServer:
         self._last_ack.clear()
         self._hb_floor = NULL_BALLOT
         self._hb_rounds.clear()
+        self._pre_vote_state = None
+        self._lease_lost_since = None
         self._applied_ops.clear()
         self._apply_waiters.clear()
         self._read_barrier = [-1] * len(self.groups)
@@ -442,7 +470,10 @@ class KVServer:
         if not self.up:
             return
         if self.is_leader_server:
-            self._send_heartbeats()
+            if self._check_quorum_lapsed():
+                self._step_down("check-quorum")
+            else:
+                self._send_heartbeats()
         elif not self._electing and self.lease.vacant_for_follower():
             # Stagger candidates in ring order after the failed leader so
             # the next replica usually wins uncontested (§4.5).
@@ -468,11 +499,105 @@ class KVServer:
         if not self.lease.vacant_for_follower():
             self._electing = False  # a leader reappeared
             return
-        self._start_election()
+        self._begin_pre_vote()
+
+    def _begin_pre_vote(self) -> None:
+        """Probe a read quorum before bumping a real ballot.
+
+        The candidate self-grants and needs Q_R grants in total —
+        exactly the quorum a real election's prepare round would need,
+        so a granted pre-vote means the election *can* succeed and a
+        refused one means it could only disrupt. No ballot state moves
+        on either side; a failed round just clears ``_electing`` so the
+        next monitor tick retries while the vacancy persists.
+        """
+        self._electing = True
+        self._pre_vote_round += 1
+        rid = self._pre_vote_round
+        grants = {self.node_id}
+        self.metrics.counter("election.pre_vote_rounds").inc(1)
+        if len(grants) >= self.config.q_r:
+            # Degenerate tiny cluster: the self-grant is already quorum.
+            self._pre_vote_state = None
+            self._start_election()
+            return
+        self._pre_vote_state = (rid, grants)
+        self.tracer.emit(self.sim.now, "kv", f"{self.name} pre-vote {rid}")
+        msg = PreVote(candidate_id=self.node_id, round=rid)
+        for nid in self.member_ids:
+            if nid != self.node_id:
+                self.endpoint.send(self.peers[nid], msg, msg.wire_bytes)
+
+        def timed_out(rid=rid) -> None:
+            if self._pre_vote_state and self._pre_vote_state[0] == rid:
+                # Not enough grants: the leader is alive for a quorum
+                # (or we are cut off). Either way a real election would
+                # fail or disrupt — stand down until the next tick.
+                self._pre_vote_state = None
+                self._electing = False
+                self.metrics.counter("election.pre_vote_failed").inc(1)
+
+        self.sim.call_after(self.rpc_timeout, timed_out)
+
+    def _on_pre_vote(self, msg: PreVote, src: str) -> None:
+        if not self.up:
+            return
+        # Leader stickiness: grant only if our own vacancy timer lapsed
+        # too. A rebuilding observer also refuses — it will not vote in
+        # the real election, so its opinion would overpromise success.
+        granted = (
+            not self.is_leader_server
+            and not self._rebuild_pending
+            and self.lease.vacant_for_follower()
+        )
+        self.metrics.counter(
+            "election.pre_vote_granted" if granted
+            else "election.pre_vote_refused"
+        ).inc(1)
+        reply = PreVoteReply(
+            voter_id=self.node_id, round=msg.round, granted=granted)
+        self.endpoint.send(src, reply, reply.wire_bytes)
+
+    def _on_pre_vote_reply(self, msg: PreVoteReply, src: str) -> None:
+        if not self.up or self._pre_vote_state is None:
+            return
+        rid, grants = self._pre_vote_state
+        if msg.round != rid or not msg.granted:
+            return
+        grants.add(msg.voter_id)
+        if len(grants) >= self.config.q_r:
+            self._pre_vote_state = None
+            self._start_election()
+
+    def _check_quorum_lapsed(self) -> bool:
+        """True once the leader's lease has stayed expired past the
+        check-quorum grace — it cannot reach a renewal quorum."""
+        if self.lease.held_by_leader():
+            self._lease_lost_since = None
+            return False
+        if self._lease_lost_since is None:
+            self._lease_lost_since = self.sim.now
+        return self.sim.now - self._lease_lost_since > self.check_quorum_grace
+
+    def _step_down(self, why: str) -> None:
+        """Demote: stop serving, invalidate the lease, rejoin the
+        follower pool (the vacancy timer then governs re-election)."""
+        if not self.is_leader_server:
+            return
+        self.tracer.emit(self.sim.now, "kv", f"{self.name} steps down ({why})")
+        self.is_leader_server = False
+        self.current_leader = None
+        self.step_downs += 1
+        self.metrics.counter("election.step_down").inc(1)
+        self._lease_lost_since = None
+        self.lease.invalidate()
+        self._flush_admissions()
 
     def _start_election(self) -> None:
         """Become leader of every group (batch prepare each)."""
         self._electing = True
+        self.elections_started += 1
+        self.metrics.counter("election.started").inc(1)
         pending = {"n": len(self.groups), "failed": False}
         self.tracer.emit(self.sim.now, "kv", f"{self.name} election start")
 
@@ -497,6 +622,9 @@ class KVServer:
             return
         self.is_leader_server = True
         self.current_leader = self.node_id
+        self.leader_changes += 1
+        self.metrics.counter("election.won").inc(1)
+        self._lease_lost_since = None
         # Every instance an earlier leader could have acknowledged was
         # accepted by a write quorum, so the prepare scan saw it and
         # ``next_instance`` is past it. Fast reads must not be served
@@ -581,6 +709,9 @@ class KVServer:
                 f"{self.name} steps down for {msg.leader_id}",
             )
             self.is_leader_server = False
+            self.step_downs += 1
+            self.metrics.counter("election.step_down").inc(1)
+            self._lease_lost_since = None
             self._flush_admissions()
         if msg.ballot is not None:
             self._hb_floor = max(self._hb_floor, msg.ballot)
@@ -629,6 +760,9 @@ class KVServer:
             self.tracer.emit(
                 self.sim.now, "kv", f"{self.name} demoted (group {group})"
             )
+            self.step_downs += 1
+            self.metrics.counter("election.step_down").inc(1)
+            self._lease_lost_since = None
         self.is_leader_server = False
         self.current_leader = None
         self._flush_admissions()

@@ -26,9 +26,21 @@ from .network import Network
 #: "wipe"/"rejoin" are crash/recover at the network layer — the disk
 #: destruction is a server-process concern handled by the hooks.
 NET_KINDS = (
-    "crash", "recover", "partition", "heal", "loss-burst", "loss-heal",
-    "wipe", "rejoin",
+    "crash", "recover", "partition", "heal", "sever", "loss-burst",
+    "loss-heal", "wipe", "rejoin",
 )
+
+
+def _unpack_groups(arg) -> tuple[tuple, tuple, str]:
+    """Split a partition/sever arg into (group_a, group_b, token).
+
+    Unscoped events carry the legacy 2-tuple ``(group_a, group_b)``;
+    scoped events append their episode token.
+    """
+    if len(arg) == 3:
+        return arg
+    group_a, group_b = arg
+    return group_a, group_b, ""
 
 
 class FaultSchedule:
@@ -45,10 +57,13 @@ class FaultSchedule:
 
         ``arg`` is the host name for ``"crash"`` / ``"recover"`` /
         ``"slow-disk"``-style events, a ``(group_a, group_b)`` pair of
-        host-name tuples for ``"partition"``, ``(loss_prob, dup_prob)``
-        for ``"loss-burst"`` and ``None`` for ``"heal"`` /
-        ``"loss-heal"``. The KV-store harness uses this to also
-        stop/restart the server process co-located with the host.
+        host-name tuples for ``"partition"`` — or
+        ``(group_a, group_b, token)`` when the episode is scoped — the
+        same shapes for the directed ``"sever"``, ``(loss_prob,
+        dup_prob)`` for ``"loss-burst"``, and ``None`` (heal-all) or an
+        episode token for ``"heal"`` / ``"loss-heal"``. The KV-store
+        harness uses this to also stop/restart the server process
+        co-located with the host.
         """
         self._extra_hooks.append(hook)
 
@@ -58,10 +73,13 @@ class FaultSchedule:
         elif kind == "recover" or kind == "rejoin":
             self.net.recover_host(arg)
         elif kind == "partition":
-            group_a, group_b = arg
-            self.net.partition(list(group_a), list(group_b))
+            group_a, group_b, token = _unpack_groups(arg)
+            self.net.partition(list(group_a), list(group_b), token)
+        elif kind == "sever":
+            group_a, group_b, token = _unpack_groups(arg)
+            self.net.sever_group(list(group_a), list(group_b), token)
         elif kind == "heal":
-            self.net.heal()
+            self.net.heal(arg)
         elif kind == "loss-burst":
             loss_prob, dup_prob = arg
             self.net.set_impairment(loss_prob, dup_prob)
@@ -92,12 +110,77 @@ class FaultSchedule:
         """Bring a wiped host back online (snapshot rebuild follows)."""
         self.sim.call_at(t, lambda: self._fire("rejoin", host))
 
-    def partition_at(self, t: float, group_a: list[str], group_b: list[str]) -> None:
+    def partition_at(
+        self,
+        t: float,
+        group_a: list[str],
+        group_b: list[str],
+        token: str = "",
+    ) -> None:
+        """Symmetric partition; pass ``token`` to scope the later heal.
+
+        An unscoped call fires the legacy ``(group_a, group_b)`` hook
+        arg; a scoped call appends its token so the matching
+        ``heal_at(t, token)`` lifts exactly this episode's cuts.
+        """
         arg = (tuple(group_a), tuple(group_b))
+        if token:
+            arg = arg + (token,)
         self.sim.call_at(t, lambda: self._fire("partition", arg))
 
-    def heal_at(self, t: float) -> None:
-        self.sim.call_at(t, lambda: self._fire("heal", None))
+    def sever_at(
+        self,
+        t: float,
+        src_group: list[str],
+        dst_group: list[str],
+        token: str = "",
+    ) -> None:
+        """Asymmetric one-way cut: ``src_group`` -> ``dst_group``
+        messages drop; the reverse direction keeps flowing."""
+        arg = (tuple(src_group), tuple(dst_group))
+        if token:
+            arg = arg + (token,)
+        self.sim.call_at(t, lambda: self._fire("sever", arg))
+
+    def heal_at(self, t: float, token: str | None = None) -> None:
+        """Heal-all (no token, the legacy shape) or one scoped episode."""
+        self.sim.call_at(t, lambda: self._fire("heal", token))
+
+    def flap_at(
+        self,
+        t: float,
+        duration: float,
+        group_a: list[str],
+        group_b: list[str],
+        period: float,
+        token: str,
+    ) -> None:
+        """Link flapping: the partition toggles every ``period/2`` from
+        ``t`` until ``t + duration``, ending with a guaranteed heal.
+
+        Each pulse is an ordinary scoped partition/heal ``_fire``, so
+        hooks and ``fired`` see the full toggle train; the trailing
+        heal is idempotent and runs even when the pulse count leaves
+        the link mid-cut.
+        """
+        if duration <= 0 or period <= 0:
+            raise ValueError("flap duration and period must be positive")
+        if not token:
+            raise ValueError("flap episodes must be token-scoped")
+        arg = (tuple(group_a), tuple(group_b), token)
+        half = period / 2.0
+        tick, cut = t, True
+        while tick < t + duration - 1e-9:
+            if cut:
+                self.sim.call_at(
+                    tick, lambda a=arg: self._fire("partition", a))
+            else:
+                self.sim.call_at(
+                    tick, lambda tok=token: self._fire("heal", tok))
+            cut = not cut
+            tick += half
+        self.sim.call_at(
+            t + duration, lambda tok=token: self._fire("heal", tok))
 
     def loss_burst_at(
         self, t: float, duration: float, loss_prob: float, dup_prob: float = 0.0

@@ -57,7 +57,11 @@ class Network:
         self.tracer = tracer
         self.hosts: dict[str, Host] = {}
         self._links: dict[tuple[str, str], LinkSpec] = {}
-        self._blocked: set[tuple[str, str]] = set()
+        # Directed pair -> set of episode tokens that currently claim
+        # the cut. A pair is blocked while *any* token claims it; a
+        # scoped heal removes one token's claims without resurrecting
+        # links severed by a different, still-active episode.
+        self._blocked: dict[tuple[str, str], set[str]] = {}
         # Global impairment knobs, added on top of each link's own
         # loss/dup probabilities (chaos "loss-burst" episodes).
         self.extra_loss_prob = 0.0
@@ -97,23 +101,68 @@ class Network:
 
     # -- fault injection --------------------------------------------------
 
-    def block(self, src: str, dst: str) -> None:
-        """Partition the directed pair: messages are dropped."""
-        self._blocked.add((src, dst))
+    def block(self, src: str, dst: str, token: str = "") -> None:
+        """Partition the directed pair: messages are dropped.
 
-    def unblock(self, src: str, dst: str) -> None:
-        self._blocked.discard((src, dst))
+        ``token`` names the partition episode installing the cut, so
+        :meth:`heal` can later remove exactly this episode's cuts. The
+        default anonymous token keeps the legacy block/unblock API
+        working unchanged.
+        """
+        self._blocked.setdefault((src, dst), set()).add(token)
 
-    def partition(self, group_a: list[str], group_b: list[str]) -> None:
+    def unblock(self, src: str, dst: str, token: str | None = None) -> None:
+        """Remove the directed cut (entirely, or one episode's claim)."""
+        claims = self._blocked.get((src, dst))
+        if claims is None:
+            return
+        if token is None:
+            del self._blocked[(src, dst)]
+            return
+        claims.discard(token)
+        if not claims:
+            del self._blocked[(src, dst)]
+
+    def is_blocked(self, src: str, dst: str) -> bool:
+        """True while any active episode severs the directed pair."""
+        return (src, dst) in self._blocked
+
+    def partition(
+        self, group_a: list[str], group_b: list[str], token: str = ""
+    ) -> None:
         """Symmetric partition between two host groups."""
         for a in group_a:
             for b in group_b:
-                self.block(a, b)
-                self.block(b, a)
+                self.block(a, b, token)
+                self.block(b, a, token)
 
-    def heal(self) -> None:
-        """Remove all partitions."""
-        self._blocked.clear()
+    def sever(self, src: str, dst: str, token: str = "") -> None:
+        """Asymmetric one-way cut: ``src``'s messages to ``dst`` drop,
+        the reverse direction stays healthy."""
+        self.block(src, dst, token)
+
+    def sever_group(
+        self, src_group: list[str], dst_group: list[str], token: str = ""
+    ) -> None:
+        """One-way group cut: every ``src_group`` -> ``dst_group``
+        message drops; replies still flow."""
+        for a in src_group:
+            for b in dst_group:
+                self.block(a, b, token)
+
+    def heal(self, token: str | None = None) -> None:
+        """Remove partitions.
+
+        With no argument this is the explicit heal-all: every cut from
+        every episode is lifted. With a ``token`` only the cuts claimed
+        by that episode are removed; pairs also severed by another
+        still-active episode stay blocked.
+        """
+        if token is None:
+            self._blocked.clear()
+            return
+        for pair in list(self._blocked):
+            self.unblock(*pair, token=token)
 
     def crash_host(self, name: str) -> None:
         self.hosts[name].crash()

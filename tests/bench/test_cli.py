@@ -35,10 +35,11 @@ class TestCli:
     def test_experiment_registry_complete(self):
         # One CLI entry per table/figure of the paper + the CPU section
         # + the chaos correctness gate + the overload robustness gate
-        # + the batching throughput gate + the ycsb isolation gate.
+        # + the batching throughput gate + the ycsb isolation gate
+        # + the partition-recovery gate.
         assert set(EXPERIMENTS) == {
             "table1", "fig5", "fig6", "fig7", "fig8", "cpu", "chaos",
-            "overload", "batching", "ycsb",
+            "overload", "batching", "ycsb", "partitions",
         }
 
     def test_chaos_gate(self, capsys):

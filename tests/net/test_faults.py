@@ -138,6 +138,118 @@ class TestCrashWhilePartitioned:
         assert net.hosts["B"].up
 
 
+class TestScopedHeals:
+    def test_scoped_heal_lifts_only_its_episode(self):
+        """Two overlapping token-scoped partitions heal independently:
+        ending one must not resurrect links the other still severs."""
+        sim, net = make_net()
+        sched = FaultSchedule(sim, net)
+        got = []
+        net.set_handler("B", lambda env: got.append(env.payload))
+        net.set_handler("C", lambda env: got.append(env.payload))
+
+        sched.partition_at(1.0, ["A"], ["B"], token="p1")
+        sched.partition_at(1.2, ["A"], ["B", "C"], token="p2")
+        sched.heal_at(2.0, token="p2")   # p1 still severs A<->B
+        sched.heal_at(3.0, token="p1")
+        # After p2's heal: A->C flows again, A->B must stay cut.
+        sim.call_at(2.5, lambda: net.send("A", "C", "c-open", size=0))
+        sim.call_at(2.5, lambda: net.send("A", "B", "b-cut", size=0))
+        # After p1's heal too: A->B finally flows.
+        sim.call_at(3.5, lambda: net.send("A", "B", "b-open", size=0))
+        sim.run()
+
+        assert got == ["c-open", "b-open"]
+
+    def test_argless_heal_is_heal_all(self):
+        sim, net = make_net()
+        sched = FaultSchedule(sim, net)
+        got = []
+        net.set_handler("B", lambda env: got.append(env.payload))
+
+        sched.partition_at(1.0, ["A"], ["B"], token="p1")
+        sched.partition_at(1.0, ["C"], ["B"], token="p2")
+        sched.heal_at(2.0)  # no token: every episode's cuts lift
+        sim.call_at(2.5, lambda: net.send("A", "B", "from-a", size=0))
+        sim.call_at(2.5, lambda: net.send("C", "B", "from-c", size=0))
+        sim.run()
+
+        assert sorted(got) == ["from-a", "from-c"]
+
+    def test_scoped_hook_args_carry_token(self):
+        sim, net = make_net()
+        sched = FaultSchedule(sim, net)
+        events = collect_hooks(sched, sim)
+
+        sched.partition_at(1.0, ["A"], ["B"], token="p1")
+        sched.heal_at(2.0, token="p1")
+        sim.run()
+
+        assert events == [
+            (1.0, "partition", (("A",), ("B",), "p1")),
+            (2.0, "heal", "p1"),
+        ]
+
+
+class TestSever:
+    def test_sever_is_one_way(self):
+        """A severed direction drops; the reverse keeps flowing."""
+        sim, net = make_net()
+        sched = FaultSchedule(sim, net)
+        got = []
+        net.set_handler("A", lambda env: got.append(env.payload))
+        net.set_handler("B", lambda env: got.append(env.payload))
+
+        sched.sever_at(1.0, ["A"], ["B"], token="s1")
+        sim.call_at(1.5, lambda: net.send("A", "B", "a-to-b", size=0))
+        sim.call_at(1.5, lambda: net.send("B", "A", "b-to-a", size=0))
+        sched.heal_at(2.0, token="s1")
+        sim.call_at(2.5, lambda: net.send("A", "B", "healed", size=0))
+        sim.run()
+
+        assert got == ["b-to-a", "healed"]
+
+    def test_sever_hook_shape(self):
+        sim, net = make_net()
+        sched = FaultSchedule(sim, net)
+        events = collect_hooks(sched, sim)
+        sched.sever_at(1.0, ["A"], ["B", "C"], token="s1")
+        sim.run()
+        assert events == [(1.0, "sever", (("A",), ("B", "C"), "s1"))]
+
+
+class TestFlap:
+    def test_flap_toggles_and_finally_heals(self):
+        """The cut alternates every half period and always ends healed,
+        whatever phase the duration lands on."""
+        sim, net = make_net()
+        sched = FaultSchedule(sim, net)
+        got = []
+        net.set_handler("B", lambda env: got.append(env.payload))
+
+        # period 1.0 => cut on [1.0, 1.5) and [2.0, 2.5), open between;
+        # duration 2.2 ends mid-cut, so the trailing heal matters.
+        sched.flap_at(1.0, 2.2, ["A"], ["B"], period=1.0, token="f1")
+        sim.call_at(1.2, lambda: net.send("A", "B", "cut-1", size=0))
+        sim.call_at(1.7, lambda: net.send("A", "B", "open-1", size=0))
+        sim.call_at(2.2, lambda: net.send("A", "B", "cut-2", size=0))
+        sim.call_at(3.5, lambda: net.send("A", "B", "after", size=0))
+        sim.run()
+
+        assert got == ["open-1", "after"]
+        assert not net.is_blocked("A", "B")
+
+    def test_flap_requires_token_and_positive_timing(self):
+        sim, net = make_net()
+        sched = FaultSchedule(sim, net)
+        with pytest.raises(ValueError):
+            sched.flap_at(1.0, 2.0, ["A"], ["B"], period=1.0, token="")
+        with pytest.raises(ValueError):
+            sched.flap_at(1.0, 0.0, ["A"], ["B"], period=1.0, token="f")
+        with pytest.raises(ValueError):
+            sched.flap_at(1.0, 2.0, ["A"], ["B"], period=0.0, token="f")
+
+
 class TestImpairment:
     def test_loss_burst_window(self):
         """Total loss inside the burst, normal delivery outside it."""

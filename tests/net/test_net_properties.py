@@ -1,0 +1,123 @@
+"""Property-based tests (hypothesis) for token-scoped link cuts.
+
+The network's blocking state is a multiset: each directed pair is cut
+while *any* episode token claims it. We replay an arbitrary sequence of
+partition / sever / flap-pulse / scoped-heal / heal-all operations
+against both the real :class:`~repro.net.Network` and a brute-force
+model (a plain ``dict[pair, set[token]]``) and require the connectivity
+state to match exactly — in particular, a scoped heal must never
+resurrect a link severed by a *different* still-active episode.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import LinkSpec, build_network
+from repro.sim import Simulator
+
+HOSTS = ["A", "B", "C", "D"]
+TOKENS = ["t0", "t1", "t2"]
+
+
+def groups(draw):
+    """Two disjoint, non-empty host groups."""
+    split = draw(st.integers(min_value=1, max_value=len(HOSTS) - 1))
+    perm = draw(st.permutations(HOSTS))
+    return list(perm[:split]), list(perm[split:])
+
+
+@st.composite
+def operation(draw):
+    kind = draw(st.sampled_from(
+        ["partition", "sever", "flap-cut", "flap-heal", "heal", "heal-all"]
+    ))
+    if kind == "heal-all":
+        return ("heal-all",)
+    token = draw(st.sampled_from(TOKENS))
+    if kind == "heal" or kind == "flap-heal":
+        # A flap's "open" pulse is exactly a scoped heal of its token.
+        return ("heal", token)
+    a, b = groups(draw)
+    return (kind, a, b, token)
+
+
+class Model:
+    """Brute force: pair -> set of claiming tokens."""
+
+    def __init__(self):
+        self.claims: dict[tuple[str, str], set[str]] = {}
+
+    def cut(self, a: str, b: str, token: str) -> None:
+        self.claims.setdefault((a, b), set()).add(token)
+
+    def apply(self, op) -> None:
+        if op[0] == "heal-all":
+            self.claims.clear()
+        elif op[0] == "heal":
+            for pair in list(self.claims):
+                self.claims[pair].discard(op[1])
+                if not self.claims[pair]:
+                    del self.claims[pair]
+        elif op[0] == "sever":
+            _, a, b, token = op
+            for x in a:
+                for y in b:
+                    self.cut(x, y, token)
+        else:  # partition or flap-cut (both symmetric)
+            _, a, b, token = op
+            for x in a:
+                for y in b:
+                    self.cut(x, y, token)
+                    self.cut(y, x, token)
+
+    def blocked(self, src: str, dst: str) -> bool:
+        return (src, dst) in self.claims
+
+
+@given(st.lists(operation(), max_size=40))
+@settings(max_examples=300, deadline=None)
+def test_connectivity_matches_brute_force_model(ops):
+    sim = Simulator(seed=0)
+    net = build_network(sim, HOSTS, LinkSpec(delay_s=0.001))
+    model = Model()
+    for op in ops:
+        if op[0] in ("sever",):
+            net.sever_group(op[1], op[2], op[3])
+        elif op[0] in ("partition", "flap-cut"):
+            net.partition(op[1], op[2], op[3])
+        elif op[0] == "heal":
+            net.heal(op[1])
+        else:
+            net.heal()
+        model.apply(op)
+        for src in HOSTS:
+            for dst in HOSTS:
+                if src != dst:
+                    assert net.is_blocked(src, dst) == model.blocked(src, dst)
+
+
+@given(st.data())
+@settings(max_examples=150, deadline=None)
+def test_scoped_heal_never_resurrects_other_episodes(data):
+    """While episode t0 is still active, any sequence of *other*
+    episodes' cuts and heals leaves every t0-severed link cut."""
+    sim = Simulator(seed=0)
+    net = build_network(sim, HOSTS, LinkSpec(delay_s=0.001))
+    a, b = groups(data.draw)
+    net.partition(a, b, "t0")
+    severed = [(x, y) for x in a for y in b] + [(y, x) for x in a for y in b]
+    others = data.draw(st.lists(operation(), max_size=20))
+    for op in others:
+        if op[0] == "heal-all" or (len(op) > 1 and op[1] == "t0") \
+                or (len(op) > 3 and op[3] == "t0"):
+            continue  # only *different* episodes act
+        if op[0] == "sever":
+            net.sever_group(op[1], op[2], op[3])
+        elif op[0] in ("partition", "flap-cut"):
+            net.partition(op[1], op[2], op[3])
+        elif op[0] == "heal":
+            net.heal(op[1])
+        for src, dst in severed:
+            assert net.is_blocked(src, dst), (
+                f"{op} resurrected {src}->{dst} severed by active t0")
+    net.heal("t0")
