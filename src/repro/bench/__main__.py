@@ -10,6 +10,7 @@ Usage::
     python -m repro.bench overload [--full]
     python -m repro.bench ycsb [--full]
     python -m repro.bench partitions [--full]
+    python -m repro.bench readpath [--full]
 
 ``chaos`` is the correctness gate rather than a paper figure: it runs
 seeded fault-injection episodes and fails (exit 1, repro bundle on
@@ -21,7 +22,11 @@ Zipfian tenant floods a shared cluster and the well-behaved uniform
 tenant's p99/goodput must hold (exit 1 otherwise). ``partitions`` is
 the partition-recovery gate: partial/asymmetric/flapping cuts must not
 depose a healthy leader (pre-vote) and recovery after the final heal
-must be prompt (exit 1 otherwise).
+must be prompt (exit 1 otherwise). ``readpath`` is the availability
+gate: degraded reads must succeed (bounded latency) while shares are
+rotten, read availability must hold through bit-rot + gray-failure
+chaos, and RTT-aware repair-source selection must beat random (exit 1
+otherwise).
 """
 
 from __future__ import annotations
@@ -31,7 +36,7 @@ import sys
 
 from .experiments import (
     batching, chaos, cpu_cost, fig5, fig6, fig7, fig8, overload,
-    partitions, table1, ycsb,
+    partitions, readpath, table1, ycsb,
 )
 
 EXPERIMENTS = {
@@ -49,6 +54,8 @@ EXPERIMENTS = {
     "ycsb": ("YCSB: two-tenant fair-queueing isolation ladder", ycsb),
     "partitions": ("Partitions: pre-vote stability + recovery (MTTR) gate",
                    partitions),
+    "readpath": ("Read path: degraded reads + read-index availability gate",
+                 readpath),
 }
 
 
@@ -103,7 +110,8 @@ def main(argv: list[str] | None = None) -> int:
         elif name == "chaos":
             status |= module.main(seeds=args.seeds, short=args.short,
                                   wipe_heavy=args.wipe_heavy)
-        elif name in ("overload", "batching", "ycsb", "partitions"):
+        elif name in ("overload", "batching", "ycsb", "partitions",
+                      "readpath"):
             status |= module.main(quick=not args.full)
         else:
             module.main(quick=not args.full)

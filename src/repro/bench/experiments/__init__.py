@@ -19,14 +19,16 @@ shapes the paper reports hold in both modes.
   gating the weighted fair-queueing admission layer.
 - :mod:`.partitions` — not a figure: partial/asymmetric-partition
   stability (pre-vote, check-quorum) and recovery-time (MTTR) gate.
+- :mod:`.readpath` — not a figure: degraded-read + read-index
+  availability gate with RTT-aware repair-source selection.
 """
 
 from . import (
     chaos, cpu_cost, fig5, fig6, fig7, fig8, overload, partitions,
-    table1, ycsb,
+    readpath, table1, ycsb,
 )
 
 __all__ = [
     "chaos", "cpu_cost", "fig5", "fig6", "fig7", "fig8", "overload",
-    "partitions", "table1", "ycsb",
+    "partitions", "readpath", "table1", "ycsb",
 ]

@@ -96,6 +96,31 @@ def main(
         print(f"   election churn: {elections} elections started, "
               f"{changes} leader changes, {downs} step-downs "
               f"(incl. 1 bootstrap election per episode)")
+        reads = sum(r.reads_attempted for r in results)
+        reads_ok = sum(r.reads_ok for r in results)
+        follower = sum(r.follower_reads for r in results)
+        ri_rounds = sum(r.read_index_rounds for r in results)
+        degraded = sum(r.degraded_reads for r in results)
+        avail = (reads_ok / reads) if reads else 1.0
+        causes: dict[str, int] = {}
+        for r in results:
+            for cause, n in r.read_retry_causes.items():
+                causes[cause] = causes.get(cause, 0) + n
+        cause_str = ", ".join(
+            f"{k}={v}" for k, v in sorted(causes.items())
+        ) or "none"
+        print(f"   read path: {reads_ok}/{reads} reads ok "
+              f"({avail:.4%} availability), {follower} follower reads "
+              f"({ri_rounds} read-index rounds), {degraded} degraded "
+              f"decodes; retry causes: {cause_str}")
+        if results:
+            last = results[-1]
+            for host, table in sorted(last.rtt_estimates.items()):
+                row = ", ".join(
+                    f"{dst}={ewma * 1e3:.3f}ms"
+                    for dst, ewma in table.items()
+                )
+                print(f"   rpc.rtt.{host}: {row or 'no samples'}")
         total_failures += len(failures)
     if total_failures:
         print(f"FAIL: {total_failures} episode(s) violated "

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 
 from ..check import (
     HistoryRecorder, check_cluster, check_history, check_single_lease,
+    read_availability,
 )
 from ..core import ConsistencyViolation, classic_paxos, rs_paxos
 from ..kvstore import build_cluster
@@ -59,10 +60,14 @@ class ChaosSpec:
     # empty one) and the bounded-WAL probe exercises several
     # compactions per episode.
     checkpoint_interval: float = 1.0
-    # Op mix (cumulative): write / fast read / consistent read / delete.
+    # Op mix (cumulative): write / fast read / consistent read /
+    # follower read-index read / delete (the remainder). Follower reads
+    # rotate across all replicas, so every episode exercises the
+    # read-index handshake and the degraded decode path behind it.
     p_write: float = 0.40
-    p_fast_read: float = 0.35
+    p_fast_read: float = 0.25
     p_consistent_read: float = 0.15
+    p_follower_read: float = 0.10
     # Leader-side command batching. The default (1) is batching off —
     # byte-for-byte the pre-batching pipeline.
     batch_max_commands: int = 1
@@ -145,7 +150,28 @@ class EpisodeResult:
     elections_started: int = 0
     leader_changes: int = 0
     step_downs: int = 0
+    # Read-availability accounting (degraded-reads PR): did reads keep
+    # observing the register through rot, gray failure and rebuild —
+    # and by which path (leader lease, follower read-index, degraded
+    # decode)? ``read_retry_causes`` aggregates the clients' per-cause
+    # counters; ``rtt_estimates`` snapshots each server endpoint's
+    # Jacobson per-peer RTT table so share-selection decisions are
+    # observable rather than inferred.
+    reads_attempted: int = 0
+    reads_ok: int = 0
+    follower_reads: int = 0
+    read_index_rounds: int = 0
+    degraded_reads: int = 0
+    read_retry_causes: dict = field(default_factory=dict)
+    rtt_estimates: dict = field(default_factory=dict)
     bundle_path: str | None = None
+
+    @property
+    def read_availability(self) -> float:
+        """Fraction of reads that observed the register (1.0 if none)."""
+        if not self.reads_attempted:
+            return 1.0
+        return self.reads_ok / self.reads_attempted
 
     def to_jsonable(self) -> dict:
         return {
@@ -172,6 +198,14 @@ class EpisodeResult:
             "elections_started": self.elections_started,
             "leader_changes": self.leader_changes,
             "step_downs": self.step_downs,
+            "reads_attempted": self.reads_attempted,
+            "reads_ok": self.reads_ok,
+            "read_availability": round(self.read_availability, 6),
+            "follower_reads": self.follower_reads,
+            "read_index_rounds": self.read_index_rounds,
+            "degraded_reads": self.degraded_reads,
+            "read_retry_causes": self.read_retry_causes,
+            "rtt_estimates": self.rtt_estimates,
             "schedule": [e.to_jsonable() for e in self.schedule],
         }
 
@@ -338,6 +372,21 @@ class ChaosRunner:
                 agg["busy_wait_max"], st["busy_wait_max"]
             )
 
+        reads_attempted, reads_ok = read_availability(recorder)
+        read_retry_causes: dict[str, int] = {}
+        for cli in cluster.clients:
+            for cause, n in cli.backoff_stats()["read_retries"].items():
+                read_retry_causes[cause] = (
+                    read_retry_causes.get(cause, 0) + n
+                )
+        rtt_estimates = {
+            srv.name: {
+                dst: round(ewma, 6)
+                for dst, ewma in srv.endpoint.rtt_table().items()
+            }
+            for srv in cluster.servers
+        }
+
         result = EpisodeResult(
             seed=seed,
             ok=not violations and not lin_failures,
@@ -381,6 +430,15 @@ class ChaosRunner:
             ),
             leader_changes=sum(s.leader_changes for s in cluster.servers),
             step_downs=sum(s.step_downs for s in cluster.servers),
+            reads_attempted=reads_attempted,
+            reads_ok=reads_ok,
+            follower_reads=sum(s.follower_reads for s in cluster.servers),
+            read_index_rounds=sum(
+                s.read_index_rounds for s in cluster.servers
+            ),
+            degraded_reads=sum(s.degraded_reads for s in cluster.servers),
+            read_retry_causes=read_retry_causes,
+            rtt_estimates=rtt_estimates,
         )
         trace_tail = (
             [str(r) for r in cluster.tracer.records[-400:]] if trace else []
@@ -415,6 +473,9 @@ class ChaosRunner:
                 client.get(key, mode="fast", on_done=on_done)
             elif x < spec.p_write + spec.p_fast_read + spec.p_consistent_read:
                 client.get(key, mode="consistent", on_done=on_done)
+            elif x < (spec.p_write + spec.p_fast_read
+                      + spec.p_consistent_read + spec.p_follower_read):
+                client.get(key, mode="follower", on_done=on_done)
             else:
                 client.delete(key, on_done=on_done)
 

@@ -10,7 +10,7 @@ Used standalone in tests and by :mod:`repro.chaos` for randomized
 whole-system exploration.
 """
 
-from .history import HistoryRecorder, OpRecord
+from .history import HistoryRecorder, OpRecord, read_availability
 from .invariants import (
     Violation,
     check_bounded_wal,
@@ -39,4 +39,5 @@ __all__ = [
     "check_no_starvation",
     "check_single_lease",
     "check_unique_choice",
+    "read_availability",
 ]

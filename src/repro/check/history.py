@@ -63,6 +63,23 @@ class OpRecord:
         }
 
 
+def read_availability(recorder: "HistoryRecorder") -> tuple[int, int]:
+    """``(reads_attempted, reads_ok)`` over a recorded history.
+
+    A read counts as *ok* when it observed the register — a value or a
+    definite NotFound. Reads that exhausted their retry budget or were
+    still pending at the end of the episode count against availability.
+    """
+    attempted = ok = 0
+    for rec in recorder.ops:
+        if rec.op != "get":
+            continue
+        attempted += 1
+        if rec.ok:
+            ok += 1
+    return attempted, ok
+
+
 class HistoryRecorder:
     """Collects :class:`OpRecord`s from any number of clients."""
 

@@ -81,20 +81,33 @@ class KVClient:
         self.busy_count = 0
         self.busy_wait_total = 0.0
         self.busy_wait_max = 0.0
+        # Read-side retry causes: *why* reads waited, not just how
+        # long — availability gates assert on these. Counted per retry
+        # trigger, not per operation.
+        self.read_retry_causes = {
+            "not_ready": 0, "not_leader": 0, "busy": 0, "timeout": 0,
+        }
         self.history = None  # optional invocation/response recorder
         self._op_ids = itertools.count(1)
+        # Client-level cursor for rotating reads: successive follower
+        # reads visit successive replicas instead of all starting at
+        # servers[0] (which is usually the leader).
+        self._rotate_targets = itertools.cycle(servers)
         # Deterministic per-client jitter stream: same (seed, client
         # name) => same retry timing, so chaos episodes replay exactly.
         self._backoff_rng = sim.rng.stream(f"kvclient.{name}.backoff")
 
     def backoff_stats(self) -> dict:
         """Busy-shed pushback this client absorbed, for episode/bench
-        reports: shed count and the server-directed wait it honoured."""
+        reports: shed count, the server-directed wait it honoured, and
+        the read-side retry cause counters (NotReady / NotLeader /
+        Busy / timeout)."""
         return {
             "tenant": self.tenant,
             "busy_count": self.busy_count,
             "busy_wait_total": round(self.busy_wait_total, 6),
             "busy_wait_max": round(self.busy_wait_max, 6),
+            "read_retries": dict(self.read_retry_causes),
         }
 
     def _retry_delay(self, retry: int) -> float:
@@ -133,8 +146,12 @@ class KVClient:
     ) -> None:
         """Read ``key``; ``on_done(ok, size)``.
 
-        ``mode`` is "fast", "consistent" or "snapshot" (§4.4). Snapshot
-        reads may target a specific (non-leader) ``server``.
+        ``mode`` is "fast", "consistent", "snapshot" (§4.4) or
+        "follower" — a linearizable read served by any replica through
+        a read-index round (the leader serves it as a lease fast read).
+        Snapshot and follower reads may target a specific (non-leader)
+        ``server``; an untargeted follower read rotates across the
+        whole server list instead of chasing the leader cache.
         """
         msg = ClientGet(key, mode, tenant=self.tenant)
 
@@ -144,7 +161,8 @@ class KVClient:
                 on_done(ok, size)
 
         self._issue(msg, msg.wire_bytes, GetOk, adapt, op="get",
-                    raw_cb=True, fixed_target=server)
+                    raw_cb=True, fixed_target=server,
+                    rotate=(mode == "follower" and server is None))
 
     def delete(
         self, key: str, on_done: Callable[[bool], None] | None = None
@@ -158,6 +176,7 @@ class KVClient:
     def _issue(
         self, msg, size: int, ok_type: type, on_done, op: str,
         raw_cb: bool = False, fixed_target: str | None = None,
+        rotate: bool = False,
     ) -> None:
         start = self.sim.now
         attempts = {"left": self.max_attempts, "retries": 0}
@@ -166,9 +185,17 @@ class KVClient:
         if self.history is not None:
             hid = self.history.invoke(self.name, op, msg, start)
 
+        def note_retry(cause: str) -> None:
+            if op == "get":
+                self.read_retry_causes[cause] += 1
+
         def pick_target() -> str:
             if fixed_target is not None:
                 return fixed_target
+            if rotate:
+                # Follower reads spread across the whole server list —
+                # any replica can serve them, so don't chase the leader.
+                return next(self._rotate_targets)
             if self.leader_cache is not None:
                 return self.leader_cache
             return next(rotation)
@@ -200,15 +227,16 @@ class KVClient:
 
             def on_reply(reply) -> None:
                 if isinstance(reply, ok_type):
-                    if fixed_target is None:
+                    if fixed_target is None and not rotate:
                         self.leader_cache = target
                     finish(True, reply)
                 elif isinstance(reply, NotFound):
                     # Key absence is a successful read of "nothing".
-                    if fixed_target is None:
+                    if fixed_target is None and not rotate:
                         self.leader_cache = target
                     finish(False, reply)
                 elif isinstance(reply, Redirect):
+                    note_retry("not_leader")
                     if reply.leader_hint is not None:
                         # A concrete hint is fresh information: retry it
                         # promptly without growing the backoff window.
@@ -221,6 +249,7 @@ class KVClient:
                             self._retry_delay(attempts["retries"]), attempt
                         )
                 elif isinstance(reply, Busy):
+                    note_retry("busy")
                     # Load shed: the leader is alive but at capacity.
                     # Keep the leader cache (it IS the leader) and wait
                     # out the server's own estimate plus client-side
@@ -244,6 +273,7 @@ class KVClient:
                         attempt,
                     )
                 elif isinstance(reply, NotReady):
+                    note_retry("not_ready")
                     # Leadership transition in progress: back off
                     # exponentially so clients don't storm the new
                     # leader in lockstep the moment it comes up.
@@ -259,7 +289,8 @@ class KVClient:
 
             def on_timeout() -> None:
                 # Server may be down: drop the cache and rotate.
-                if fixed_target is None:
+                note_retry("timeout")
+                if fixed_target is None and not rotate:
                     self.leader_cache = None
                 attempt()
 

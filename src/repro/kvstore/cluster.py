@@ -91,6 +91,7 @@ def build_cluster(
     tenant_weights: dict[str, float] | None = None,
     client_tenants: list[str] | None = None,
     hedge_fetches: bool = True,
+    rtt_select: bool = True,
     batch_max_commands: int = 1,
     batch_max_bytes: int = 256 * 1024,
     batch_linger: float = 0.001,
@@ -143,6 +144,7 @@ def build_cluster(
             max_queued_requests=max_queued_requests,
             tenant_weights=tenant_weights,
             hedge_fetches=hedge_fetches,
+            rtt_select=rtt_select,
             batch_max_commands=batch_max_commands,
             batch_max_bytes=batch_max_bytes,
             batch_linger=batch_linger,

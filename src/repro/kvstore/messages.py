@@ -41,9 +41,12 @@ class ClientPut:
 
 @dataclass(frozen=True, slots=True)
 class ClientGet:
-    """Read. ``mode`` is one of "fast" / "consistent" (§4.4).
-    ``tenant`` tags consistent reads for the admission scheduler (fast
-    and snapshot reads bypass admission and ignore it)."""
+    """Read. ``mode`` is "fast" / "consistent" / "snapshot" (§4.4) or
+    "follower" — a linearizable read served by ANY replica via a
+    read-index round to the leader (zero proposals; the leader itself
+    answers it as a §4.3 lease fast read). ``tenant`` tags consistent
+    reads for the admission scheduler (the other modes bypass admission
+    and ignore it)."""
 
     key: str
     mode: str = "fast"
@@ -201,6 +204,42 @@ class PreVoteReply:
     voter_id: int
     round: int = 0
     granted: bool = False
+
+    @property
+    def wire_bytes(self) -> int:
+        return KV_META
+
+
+@dataclass(frozen=True, slots=True)
+class ReadIndex:
+    """Follower -> leader: "what must I have applied before serving a
+    linearizable local read of ``group``?"
+
+    One round, zero proposals. The leader answers only while its lease
+    is valid *and* its apply cursor has passed its election read
+    barrier — the same two conditions that gate its own fast reads —
+    so the returned frontier covers every write any leader could have
+    acknowledged before the reply was sent.
+    """
+
+    group: int
+
+    @property
+    def wire_bytes(self) -> int:
+        return KV_META
+
+
+@dataclass(frozen=True, slots=True)
+class ReadIndexReply:
+    """``index`` is the leader's applied frontier for the group (the
+    highest instance it has applied); the follower serves its read once
+    its own apply cursor passes it. ``ok=False`` means the responder
+    cannot vouch (not the leader, lease expired, or mid-election) and
+    the follower must retry."""
+
+    group: int
+    index: int = -1
+    ok: bool = False
 
     @property
     def wire_bytes(self) -> int:

@@ -73,6 +73,8 @@ from .messages import (
     PreVote,
     PreVoteReply,
     PutOk,
+    ReadIndex,
+    ReadIndexReply,
     Redirect,
     ShareReply,
     SnapshotChunk,
@@ -125,6 +127,7 @@ class KVServer:
         max_queued_requests: int = 128,
         tenant_weights: dict[str, float] | None = None,
         hedge_fetches: bool = True,
+        rtt_select: bool = True,
         batch_max_commands: int = 1,
         batch_max_bytes: int = 256 * 1024,
         batch_linger: float = 0.001,
@@ -142,7 +145,7 @@ class KVServer:
         self.tracer = tracer
         self.metrics = metrics or MetricSet()
 
-        self.endpoint = RpcEndpoint(sim, net, name)
+        self.endpoint = RpcEndpoint(sim, net, name, metrics=self.metrics)
         self.mux = ChannelMux(self.endpoint)
         self.disk = Disk(sim, disk_spec, f"{name}.disk")
         self.wal = WriteAheadLog(
@@ -224,6 +227,17 @@ class KVServer:
         self.fast_reads = 0
         self.consistent_reads = 0
         self.snapshot_reads = 0
+        # Read path at production scale (degraded-mode reads PR):
+        # ``follower_reads`` served locally after a read-index round,
+        # ``read_index_rounds`` issued toward the leader, and
+        # ``degraded_reads`` — reads whose local share was rotten,
+        # quarantined or missing (mid-rebuild) and that inline-fetched
+        # X clean shares instead of failing or waiting for the
+        # scrubber.
+        self.follower_reads = 0
+        self.read_index_rounds = 0
+        self.read_index_served = 0
+        self.degraded_reads = 0
 
         # Admission control (overload protection + tenant isolation):
         # the leader bounds its proposal pipeline. Up to
@@ -268,6 +282,16 @@ class KVServer:
         self.hedge_fetches = hedge_fetches
         self.hedges_issued = 0
         self.hedge_wins = 0
+        # Repair-optimal share selection: every share/catch-up fetch
+        # picks its source peers by Jacobson RTT estimate *plus* the
+        # number of fetches this server already has outstanding toward
+        # the peer (an in-flight fetch is queueing delay the estimator
+        # has not seen yet). ``rtt_select=False`` is the measured
+        # baseline for the readpath gate: sources drawn in seeded
+        # random order instead.
+        self.rtt_select = rtt_select
+        self._fetch_load: dict[str, int] = {}
+        self._select_rng = sim.rng.stream(f"{name}.select")
 
         # Leader-side command batching: admitted mutations accumulate in
         # a per-group pending batch, closed by count (batch_max_commands),
@@ -336,6 +360,7 @@ class KVServer:
         self.endpoint.on(PreVote, self._on_pre_vote)
         self.endpoint.on(PreVoteReply, self._on_pre_vote_reply)
         self.endpoint.on_request_async(FetchShare, self._on_fetch_share)
+        self.endpoint.on_request_async(ReadIndex, self._on_read_index)
         self.endpoint.on_request_async(CatchUp, self._on_catch_up)
         self.endpoint.on_request_async(FetchSnapshot, self._on_fetch_snapshot)
         self.endpoint.on_request_async(ConfirmPlacement, self._on_confirm_placement)
@@ -376,6 +401,7 @@ class KVServer:
         self._read_barrier = [-1] * len(self.groups)
         self._fetching.clear()
         self._scrubbing.clear()
+        self._fetch_load.clear()
         self._ckpt_inflight = False
         self._snap_inflight.clear()
         self._flush_admissions()
@@ -1399,6 +1425,16 @@ class KVServer:
             self.snapshot_reads += 1
             self._serve_read(msg.key, self.sim.now, respond)
             return
+        if msg.mode == "follower":
+            # Read-index read: linearizable on ANY replica — one round
+            # to the leader for its applied frontier, zero proposals,
+            # then a local serve once our apply cursor passes it. On
+            # the leader itself this degenerates to the §4.3 lease fast
+            # read (no round at all).
+            if not self.up:
+                return
+            self._follower_read(msg, respond)
+            return
         if not self._leader_guard(respond):
             return
         start = self.sim.now
@@ -1408,10 +1444,7 @@ class KVServer:
             # election read barrier, i.e. local state reflects every
             # write a predecessor could have acknowledged.
             group = self.shard_map.group_of(msg.key)
-            if (
-                not self.lease.held_by_leader()
-                or self.groups[group].apply_cursor <= self._read_barrier[group]
-            ):
+            if not self._fast_read_ready(group):
                 r = NotReady()
                 respond(r, r.wire_bytes)
                 return
@@ -1430,6 +1463,109 @@ class KVServer:
             )
         else:
             raise ValueError(f"unknown read mode {msg.mode!r}")
+
+    def _fast_read_ready(self, group: int) -> bool:
+        """May this server serve a lease-gated local read right now?
+
+        Valid lease AND apply cursor past the election read barrier —
+        local state then reflects every write any leader could have
+        acknowledged (§4.3 + the PR 1 fresh-leader barrier)."""
+        return (
+            self.is_leader_server
+            and not self._electing
+            and not self._view_changing
+            and self.lease.held_by_leader()
+            and self.groups[group].apply_cursor > self._read_barrier[group]
+        )
+
+    def _follower_read(self, msg: ClientGet, respond) -> None:
+        """Serve a linearizable read without being (or redirecting to)
+        the leader: ask the leader for its applied frontier
+        (:class:`ReadIndex`), wait until the local apply cursor passes
+        it, then serve from local state — degraded-decoding from X
+        clean peer shares if our own share is rotten or missing.
+
+        Linearizability argument: any write acknowledged before this
+        read was invoked had been applied at the leader before the ack,
+        so the frontier the leader returns (under a valid lease, past
+        its read barrier) covers it; waiting for our own cursor to pass
+        the frontier makes it locally visible. Rebuilding observers
+        qualify too — a snapshot install advances the cursor past the
+        frontier and releases the parked read.
+        """
+        start = self.sim.now
+        group = self.shard_map.group_of(msg.key)
+        if self.is_leader_server:
+            # §4.3 fallback: the leaseholder needs no read-index round.
+            if not self._fast_read_ready(group):
+                r = NotReady()
+                respond(r, r.wire_bytes)
+                return
+            self.fast_reads += 1
+            self._serve_read(msg.key, start, respond)
+            return
+        host = (
+            self.peers.get(self.current_leader)
+            if self.current_leader is not None else None
+        )
+        if host is None or self.current_leader == self.node_id:
+            # No known leader to vouch for a frontier; the client backs
+            # off and retries (possibly at another replica).
+            r = NotReady()
+            respond(r, r.wire_bytes)
+            return
+        self.read_index_rounds += 1
+        req = ReadIndex(group=group)
+
+        def serve() -> None:
+            if not self.up:
+                return
+            self.follower_reads += 1
+            self.metrics.counter("read.follower").inc(1)
+            self._serve_read(msg.key, start, respond)
+
+        def on_reply(reply) -> None:
+            if not self.up:
+                return
+            if not isinstance(reply, ReadIndexReply) or not reply.ok:
+                # The peer we thought was leader cannot vouch (deposed,
+                # lease expired, mid-election): fail fast, let the
+                # client retry — blocking here would turn a leadership
+                # transition into a read outage.
+                r = NotReady()
+                respond(r, r.wire_bytes)
+                return
+            self._respond_after_apply(group, reply.index, serve)
+
+        def on_timeout() -> None:
+            if not self.up:
+                return
+            r = NotReady()
+            respond(r, r.wire_bytes)
+
+        self.endpoint.request(
+            host, req, req.wire_bytes, on_reply=on_reply,
+            timeout=0.5, retries=1, adaptive=True, on_timeout=on_timeout,
+        )
+
+    def _on_read_index(self, msg: ReadIndex, src: str, respond) -> None:
+        """Leader side of the read-index handshake: vouch for the
+        applied frontier, but only under exactly the conditions that
+        gate our own fast reads — otherwise a deposed-but-unaware
+        leader could anchor a follower read behind the true frontier."""
+        if not self.up:
+            return
+        if not self._fast_read_ready(msg.group):
+            r = ReadIndexReply(group=msg.group, ok=False)
+            respond(r, r.wire_bytes)
+            return
+        self.read_index_served += 1
+        r = ReadIndexReply(
+            group=msg.group,
+            index=self.groups[msg.group].apply_cursor - 1,
+            ok=True,
+        )
+        respond(r, r.wire_bytes)
 
     def _consistent_get_admitted(self, msg: ClientGet, start: float, respond) -> None:
         group = self.shard_map.group_of(msg.key)
@@ -1488,6 +1624,13 @@ class KVServer:
         instance = entry.version
         share = entry.value  # this node's coded share (may be None)
         value_id = share.value_id if share is not None else None
+        if isinstance(share, CodedShare) and share.corrupt:
+            # Degraded read: the local share rotted (or sits
+            # quarantined awaiting the scrubber). Its metadata still
+            # names the decided value, but its bytes must never seed a
+            # decode — fetch X *clean* shares instead of failing or
+            # blocking on the repair.
+            share = None
         if value_id is None:
             rec = node.chosen.get(instance)
             value_id = rec.value_id if rec is not None else None
@@ -1495,6 +1638,11 @@ class KVServer:
             r = NotFound(key)
             respond(r, r.wire_bytes)
             return
+        if share is None:
+            # No usable local fragment (rotten, quarantined, or
+            # mid-rebuild): this read proceeds purely from peer shares.
+            self.degraded_reads += 1
+            self.metrics.counter("read.degraded").inc(1)
 
         def on_value(value) -> None:
             # For a batched value the decoded payload is the whole
@@ -1512,21 +1660,49 @@ class KVServer:
         self._gather_shares(group, instance, value_id, share, on_value)
 
     def _peers_by_latency(self) -> list[str]:
-        """Peer hosts fastest-first by the endpoint's RTT estimator.
+        """Peer hosts fastest-first: repair-optimal source selection.
 
-        Peers with no unambiguous sample yet sort after measured ones
+        Rank = Jacobson RTT estimate scaled by the fetches this server
+        already has in flight toward the peer — each outstanding fetch
+        is roughly one more service time of queueing the estimator has
+        not observed yet, so a fast-but-busy peer yields to an idle
+        slightly-slower one (Rashmi et al.: recovery traffic is
+        network-bound; *which* X sources you pick is the cost). Peers
+        with no unambiguous sample yet sort after measured ones
         (unknown is not the same as fast); ties break by name so the
         order — and everything hedging derives from it — is
-        deterministic."""
+        deterministic.
+
+        With ``rtt_select=False`` (the readpath gate's measured
+        baseline) sources come back in seeded-random order instead —
+        no RTT, no load signal.
+        """
         hosts = [
             h for nid, h in sorted(self.peers.items()) if nid != self.node_id
         ]
+        if not self.rtt_select:
+            order = list(hosts)
+            self._select_rng.shuffle(order)
+            return order
 
         def rank(h: str):
             st = self.endpoint.peer_stats(h)
-            return (0 if st.samples else 1, st.ewma, h)
+            load = self._fetch_load.get(h, 0)
+            if not st.samples:
+                return (1, float(load), 0.0, h)
+            return (0, st.ewma * (1.0 + load), st.ewma, h)
 
         return sorted(hosts, key=rank)
+
+    def _fetch_started(self, host: str) -> None:
+        self._fetch_load[host] = self._fetch_load.get(host, 0) + 1
+
+    def _fetch_finished(self, host: str) -> None:
+        n = self._fetch_load.get(host, 0) - 1
+        if n <= 0:
+            self._fetch_load.pop(host, None)
+        else:
+            self._fetch_load[host] = n
 
     def _gather_shares(
         self, group: int, instance: int, value_id: str, seed_share, on_value
@@ -1585,16 +1761,19 @@ class KVServer:
             if hedge_timer[0] is not None:
                 hedge_timer[0].cancel()
                 hedge_timer[0] = None
-            for rid in outstanding:
+            for rid, host in outstanding.items():
                 self.endpoint.cancel_request(rid)
+                self._fetch_finished(host)
             outstanding.clear()
             on_value(node.decode_from_shares(list(shares.values())))
 
         def issue(host: str, hedge: bool) -> None:
             holder = {"rid": -1}
+            self._fetch_started(host)
 
             def on_share(reply, host=host) -> None:
                 outstanding.pop(holder["rid"], None)
+                self._fetch_finished(host)
                 if state["done"] or not self.up:
                     return
                 share = usable(reply)
@@ -1608,8 +1787,9 @@ class KVServer:
                         return
                 ensure_fanout()
 
-            def on_timeout() -> None:
+            def on_timeout(host=host) -> None:
                 outstanding.pop(holder["rid"], None)
+                self._fetch_finished(host)
                 if state["done"] or not self.up:
                     return
                 ensure_fanout()
@@ -1897,17 +2077,42 @@ class KVServer:
             self._install_repaired(group, lsn, instance, ballot, fixed, 0)
             return
 
+        # Repair-optimal source selection: instead of broadcasting to
+        # every peer (N-1 fetches for an X-share decode), contact the X
+        # best-ranked sources (RTT estimate + outstanding-fetch load)
+        # and *widen* to the next-ranked peer only when a source fails
+        # us — an unusable share, a timeout, or (with hedging on) a
+        # straggler overrunning its adaptive RTO. Per-fetch latency
+        # lands in ``scrub.fetch_latency``; the whole gather (including
+        # any widening waits) lands in ``scrub.repair_latency``, which
+        # is what the readpath gate compares against the
+        # random-selection baseline — a timed-out straggler never
+        # records a fetch sample, but the repair still pays for it.
         gathered: dict[int, CodedShare] = {}
-        state = {"done": False, "bytes": 0, "outstanding": 0}
+        hosts = self._peers_by_latency()
+        out_hosts: list[str] = []
+        state = {"done": False, "bytes": 0, "next": 0}
+        hedge_timer: list = [None]
+        started = self.sim.now
+        req = FetchShare(
+            group=group, instance=instance, value_id=value_id, reason="scrub"
+        )
 
         def finish(fixed: CodedShare) -> None:
             state["done"] = True
+            if hedge_timer[0] is not None:
+                hedge_timer[0].cancel()
+                hedge_timer[0] = None
+            self.metrics.histogram("scrub.repair_latency").record(
+                self.sim.now - started
+            )
             self._install_repaired(
                 group, lsn, instance, ballot, fixed, state["bytes"]
             )
 
-        def on_reply(reply) -> None:
-            state["outstanding"] -= 1
+        def on_reply(reply, host: str, sent: float) -> None:
+            out_hosts.remove(host)
+            self._fetch_finished(host)
             if state["done"] or not self.up:
                 return
             s = reply.share if isinstance(reply, ShareReply) else None
@@ -1915,8 +2120,11 @@ class KVServer:
                 s is None or s.corrupt or s.value_id != value_id
                 or s.config != coding
             ):
-                maybe_defer()
+                widen()
                 return
+            self.metrics.histogram("scrub.fetch_latency").record(
+                self.sim.now - sent
+            )
             state["bytes"] += s.size
             if s.index == my_index:
                 # A peer re-coded our exact fragment: install directly.
@@ -1929,34 +2137,72 @@ class KVServer:
                     encode_one_share(value, coding, my_index, share.members)
                 )
                 return
-            maybe_defer()
+            widen()
 
-        def on_timeout() -> None:
-            state["outstanding"] -= 1
-            maybe_defer()
+        def on_timeout(host: str) -> None:
+            out_hosts.remove(host)
+            self._fetch_finished(host)
+            if state["done"] or not self.up:
+                return
+            widen()
+
+        def issue_next() -> bool:
+            if state["done"] or state["next"] >= len(hosts):
+                return False
+            host = hosts[state["next"]]
+            state["next"] += 1
+            out_hosts.append(host)
+            self._fetch_started(host)
+            sent = self.sim.now
+            self.endpoint.request(
+                host, req, req.wire_bytes,
+                on_reply=lambda rep, h=host, t=sent: on_reply(rep, h, t),
+                timeout=0.5, retries=2, adaptive=True,
+                on_timeout=lambda h=host: on_timeout(h),
+            )
+            return True
+
+        def widen() -> None:
+            # A source failed us: pull in the next-ranked peer, or
+            # defer the repair once the ranked list is exhausted.
+            if not issue_next():
+                maybe_defer()
 
         def maybe_defer() -> None:
-            if state["done"] or state["outstanding"] > 0:
+            if state["done"] or out_hosts:
                 return
-            # Every peer answered (or timed out) and the fragment is
-            # still unrecoverable — too many rotten/missing copies
-            # right now. Leave the record corrupt; a later pass
+            # Every contacted peer answered (or timed out) and the
+            # fragment is still unrecoverable — too many rotten/missing
+            # copies right now. Leave the record corrupt; a later pass
             # retries once peers recover or repair their own copies.
             self._scrubbing.discard(key)
             self.metrics.counter("scrub.deferred").inc(1)
 
-        req = FetchShare(
-            group=group, instance=instance, value_id=value_id, reason="scrub"
-        )
-        for nid, host in self.peers.items():
-            if nid == self.node_id:
-                continue
-            state["outstanding"] += 1
-            self.endpoint.request(
-                host, req, req.wire_bytes, on_reply=on_reply,
-                timeout=0.5, retries=2, adaptive=True, on_timeout=on_timeout,
-            )
-        if state["outstanding"] == 0:
+        def arm_hedge() -> None:
+            if (
+                not self.hedge_fetches
+                or state["done"]
+                or hedge_timer[0] is not None
+                or not out_hosts
+                or state["next"] >= len(hosts)
+            ):
+                return
+            delay = max(self.endpoint.rto(h, 0.5) for h in out_hosts)
+            hedge_timer[0] = self.sim.call_after(delay, fire_hedge)
+
+        def fire_hedge() -> None:
+            hedge_timer[0] = None
+            if state["done"] or not self.up:
+                return
+            if issue_next():
+                self.hedges_issued += 1
+                self.metrics.counter("hedge.issued").inc(1)
+            arm_hedge()
+
+        for _ in range(min(coding.x, len(hosts))):
+            issue_next()
+        arm_hedge()
+        if not out_hosts:
             maybe_defer()
 
     def _install_repaired(
@@ -2397,14 +2643,41 @@ class KVServer:
             return
         node = self.groups[group]
         req = CatchUp(group=group, from_instance=node.apply_cursor)
-        for nid, host in self.peers.items():
-            if nid == self.node_id:
-                continue
+        self._ranked_catch_up(req)
+
+    def _ranked_catch_up(self, req: CatchUp, width: int = 2) -> None:
+        """Issue a catch-up to the ``width`` best-ranked sources
+        (instead of the old all-peers broadcast — N-1 full page streams
+        of mostly duplicate rebuild traffic), widening to the next
+        ranked peer each time a source times out. Every armed catch-up
+        therefore still reaches the whole cluster eventually (liveness
+        unchanged), but a healthy steady state ships ~2 streams' worth
+        of ``rebuild_bytes``, sourced from the closest peers."""
+        hosts = self._peers_by_latency()
+        state = {"next": 0}
+
+        def issue_one() -> None:
+            if not self.up or state["next"] >= len(hosts):
+                return
+            host = hosts[state["next"]]
+            state["next"] += 1
+            self._fetch_started(host)
+
+            def ok(rep, h=host) -> None:
+                self._fetch_finished(h)
+                self._install_catch_up(rep, h)
+
+            def widen(h=host) -> None:
+                self._fetch_finished(h)
+                issue_one()
+
             self.endpoint.request(
-                host, req, req.wire_bytes,
-                on_reply=lambda rep, h=host: self._install_catch_up(rep, h),
-                timeout=1.0, retries=3, adaptive=True, on_timeout=lambda: None,
+                host, req, req.wire_bytes, on_reply=ok,
+                timeout=1.0, retries=3, adaptive=True, on_timeout=widen,
             )
+
+        for _ in range(min(width, len(hosts))):
+            issue_one()
 
     def _rebuild_tick(self) -> None:
         """Re-probe peers while a rebuild is pending: the initial
@@ -2443,17 +2716,12 @@ class KVServer:
             self._fetching.discard(key)  # resolved (or we restarted)
             return
         req = CatchUp(group=group, from_instance=instance)
-        for nid, host in self.peers.items():
-            if nid == self.node_id:
-                continue
-            self.endpoint.request(
-                host, req, req.wire_bytes,
-                on_reply=lambda rep, h=host: self._install_catch_up(rep, h),
-                timeout=1.0, retries=3, adaptive=True, on_timeout=lambda: None,
-            )
+        self._ranked_catch_up(req)
         # Re-poll until some peer supplies the command: the first round
         # may race a partition, or every reachable peer may itself hold
-        # a commit-only record for the instance.
+        # a commit-only record for the instance. Each poll re-ranks, so
+        # a dead best-ranked source (its outstanding fetches weigh it
+        # down) stops being the first pick.
         self.sim.call_after(0.5, lambda: self._fetch_missing(group, instance))
 
     def _install_catch_up(self, reply, host: str | None = None) -> None:

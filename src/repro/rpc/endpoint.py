@@ -120,6 +120,11 @@ class RpcEndpoint:
         keeps tiny LAN RTT estimates from firing spurious retransmits on
         ordinary queueing noise (TCP's minimum-RTO rationale); the
         ceiling bounds how long a gray-failed peer can stall a caller.
+    metrics:
+        Optional metric set. When given, every unambiguous RTT sample
+        also updates the ``rpc.rtt.<name>.<dst>`` gauge (smoothed RTT in
+        seconds), so share-selection decisions built on the estimator
+        are observable rather than inferred.
     """
 
     #: EWMA gains of the RTT estimator (Jacobson's 1/8 and 1/4).
@@ -136,10 +141,12 @@ class RpcEndpoint:
         rto_floor: float = 0.02,
         rto_ceil: float = 2.0,
         rto_k: float = 4.0,
+        metrics: Any | None = None,
     ):
         self.sim = sim
         self.net = net
         self.name = name
+        self.metrics = metrics
         self.batch_window = batch_window
         self.batch_max = batch_max
         self.rto_floor = rto_floor
@@ -275,6 +282,16 @@ class RpcEndpoint:
         if st.rto > 0.0 and abs(rto - st.rto) > 0.25 * st.rto:
             self.timeouts_adapted += 1
         st.rto = rto
+        if self.metrics is not None:
+            self.metrics.gauge(f"rpc.rtt.{self.name}.{dst}").set(st.ewma)
+
+    def rtt_table(self) -> dict[str, float]:
+        """Smoothed RTT per measured peer, for episode summaries."""
+        return {
+            dst: st.ewma
+            for dst, st in sorted(self._peer_stats.items())
+            if st.samples
+        }
 
     # -- request/reply --------------------------------------------------------
 

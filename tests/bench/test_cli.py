@@ -36,10 +36,11 @@ class TestCli:
         # One CLI entry per table/figure of the paper + the CPU section
         # + the chaos correctness gate + the overload robustness gate
         # + the batching throughput gate + the ycsb isolation gate
-        # + the partition-recovery gate.
+        # + the partition-recovery gate + the read-path availability
+        # gate.
         assert set(EXPERIMENTS) == {
             "table1", "fig5", "fig6", "fig7", "fig8", "cpu", "chaos",
-            "overload", "batching", "ycsb", "partitions",
+            "overload", "batching", "ycsb", "partitions", "readpath",
         }
 
     def test_chaos_gate(self, capsys):

@@ -71,6 +71,66 @@ class TestLease:
         assert not lease.held_by_leader()
         assert lease.vacant_for_follower()
 
+    def test_fast_read_hold_boundary_at_plus_half_drift(self):
+        # A clock pinned at the +δ/2 extreme (the worst fast clock
+        # build_cluster ever draws) measures the hold window locally:
+        # fast reads stop exactly at Δ after renewal, drift or not.
+        sim, lease = self.make(offset=+0.025, duration=2.0, drift=0.05)
+        lease.renew()
+        self.advance(sim, 1.999)
+        assert lease.held_by_leader()
+        self.advance(sim, 2.001)
+        assert not lease.held_by_leader()
+
+    def test_vacancy_boundary_at_minus_half_drift(self):
+        # The slowest clock (−δ/2) still waits the full Δ+δ before
+        # declaring vacancy — the extra δ is what keeps a fast-read
+        # leader and an electing follower from overlapping.
+        sim, lease = self.make(offset=-0.025, duration=2.0, drift=0.05)
+        lease.renew()
+        self.advance(sim, 2.049)
+        assert not lease.vacant_for_follower()
+        self.advance(sim, 2.051)
+        assert lease.vacant_for_follower()
+
+    def test_no_overlap_at_extreme_offsets(self):
+        # Probe the exact §4.3 boundary instants with the leader and
+        # follower clocks pinned at ±δ/2, both assignments: at no
+        # sampled instant may fast reads and vacancy coexist.
+        for lead_off, foll_off in ((+0.05, -0.05), (-0.05, +0.05)):
+            sim = Simulator()
+            cfg = LeaseConfig(duration=2.0, max_drift=0.1,
+                              heartbeat_interval=0.5)
+            leader = Lease(LocalClock(sim, lead_off), cfg)
+            follower = Lease(LocalClock(sim, foll_off), cfg)
+            leader.renew()
+            follower.renew()
+            for t in (1.999, 2.0, 2.001, 2.05, 2.099, 2.1, 2.101):
+                sim.call_at(t, lambda: None)
+                sim.run()
+                assert not (
+                    leader.held_by_leader()
+                    and follower.vacant_for_follower()
+                ), f"overlap at t={t} offsets=({lead_off}, {foll_off})"
+
+    def test_late_observed_renewal_only_delays_vacancy(self):
+        # A follower that hears the renewal late (heartbeat delay)
+        # starts its Δ+δ window later — vacancy moves later, never
+        # earlier, so the no-overlap bound is preserved.
+        sim = Simulator()
+        cfg = LeaseConfig(duration=2.0, max_drift=0.1,
+                          heartbeat_interval=0.5)
+        leader = Lease(LocalClock(sim, +0.05), cfg)
+        follower = Lease(LocalClock(sim, -0.05), cfg)
+        leader.renew()
+        sim.call_at(0.3, follower.renew)
+        sim.run()
+        self.advance(sim, 2.35)
+        assert not leader.held_by_leader()
+        assert not follower.vacant_for_follower()
+        self.advance(sim, 2.45)
+        assert follower.vacant_for_follower()
+
     def test_no_overlap_under_bounded_drift(self):
         """With |offsets| <= δ/2 a follower that declares vacancy can
         never do so while a leader still believes it holds the lease,

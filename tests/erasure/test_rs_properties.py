@@ -4,7 +4,10 @@ These check the MDS contract — any X distinct shares reconstruct the
 value — and algebraic field laws, over randomized inputs.
 """
 
+import itertools
+
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -31,6 +34,27 @@ def test_any_x_shares_reconstruct(case):
     shares = codec.encode(value)
     picked = [shares[i] for i in subset]
     assert codec.decode(picked) == value
+
+
+@pytest.mark.parametrize(
+    "cfg",
+    [
+        CodingConfig(3, 5),  # the paper's headline θ(3,5) (rs_paxos(5,1))
+        CodingConfig(1, 5),  # classic Paxos at N=5: full replication
+    ],
+    ids=["rs-theta35", "classic-n5"],
+)
+@given(value=st.binary(min_size=0, max_size=300))
+@settings(max_examples=50, deadline=None)
+def test_every_x_subset_decodes_bit_identical(cfg, value):
+    """The degraded-read contract: whichever X clean shares a server
+    manages to fetch — not just a lucky subset — the decode must be
+    bit-identical to the written value. Exhaustive over all C(n, x)
+    subsets per drawn value."""
+    codec = codec_for(cfg)
+    shares = codec.encode(value)
+    for subset in itertools.combinations(range(cfg.n), cfg.x):
+        assert codec.decode([shares[i] for i in subset]) == value
 
 
 @given(config_value_subset())

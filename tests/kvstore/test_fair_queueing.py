@@ -195,7 +195,9 @@ class TestClientBackoffStats:
         assert any(s["busy_count"] > 0 for s in stats)
         for s in stats:
             assert set(s) == {"tenant", "busy_count", "busy_wait_total",
-                              "busy_wait_max"}
+                              "busy_wait_max", "read_retries"}
+            assert set(s["read_retries"]) == {"not_ready", "not_leader",
+                                              "busy", "timeout"}
             if s["busy_count"]:
                 assert s["busy_wait_total"] > 0
                 assert 0 < s["busy_wait_max"] <= s["busy_wait_total"]
@@ -221,4 +223,6 @@ class TestClientBackoffStats:
         c = make(num_clients=1)
         s = c.clients[0].backoff_stats()
         assert s == {"tenant": "", "busy_count": 0,
-                     "busy_wait_total": 0.0, "busy_wait_max": 0.0}
+                     "busy_wait_total": 0.0, "busy_wait_max": 0.0,
+                     "read_retries": {"not_ready": 0, "not_leader": 0,
+                                      "busy": 0, "timeout": 0}}

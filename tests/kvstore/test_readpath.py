@@ -1,0 +1,176 @@
+"""Tests for the degraded-mode read path: read-index follower reads,
+degraded decodes from X clean shares, RTT-aware source selection, and
+the read-side observability counters."""
+
+from repro.core import rs_paxos
+from repro.kvstore import build_cluster
+
+
+def make(seed=7, **kw):
+    c = build_cluster(rs_paxos(5, 1), seed=seed, num_groups=2,
+                      client_timeout=1.0, scrub_interval=0.0, **kw)
+    c.start()
+    c.run(until=1.0)
+    return c
+
+
+def put(c, key, size):
+    done = []
+    c.clients[0].put(key, size, on_done=done.append)
+    c.run(until=c.sim.now + 2.0)
+    assert done == [True]
+
+
+def get(c, key, mode="follower", server=None):
+    out = []
+    c.clients[0].get(key, mode=mode, server=server,
+                     on_done=lambda ok, size: out.append((ok, size)))
+    c.run(until=c.sim.now + 2.0)
+    assert len(out) == 1
+    return out[0]
+
+
+class TestFollowerReads:
+    def test_follower_serves_via_read_index(self):
+        c = make()
+        put(c, "k", 321)
+        follower, leader = c.servers[1], c.servers[0]
+        ok, size = get(c, "k", server=follower.name)
+        assert ok and size == 321
+        assert follower.follower_reads == 1
+        assert follower.read_index_rounds == 1
+        assert leader.read_index_served == 1
+        assert c.metrics.counter("read.follower").value == 1
+
+    def test_leader_serves_follower_mode_as_fast_read(self):
+        c = make()
+        put(c, "k", 222)
+        leader = c.servers[0]
+        before = leader.fast_reads
+        ok, size = get(c, "k", server=leader.name)
+        assert ok and size == 222
+        assert leader.fast_reads == before + 1
+        assert leader.follower_reads == 0
+
+    def test_untargeted_follower_reads_rotate_servers(self):
+        c = make()
+        put(c, "k", 100)
+        for _ in range(len(c.servers)):
+            ok, _size = get(c, "k")  # no fixed server: rotates
+            assert ok
+        served = sum(s.follower_reads for s in c.servers)
+        assert served >= len(c.servers) - 1  # all non-leader targets
+
+    def test_read_index_refused_while_leaderless(self):
+        c = make()
+        put(c, "k", 100)
+        c.servers[0].crash()
+        # Retries ride through the whole election; the read still lands.
+        out = []
+        c.clients[0].get("k", mode="follower", server=c.servers[1].name,
+                         on_done=lambda ok, size: out.append((ok, size)))
+        c.run(until=c.sim.now + 10.0)
+        assert out == [(True, 100)]
+
+
+class TestDegradedReads:
+    def rot_everything(self, c, *servers):
+        rng = c.sim.rng.stream("test.readpath.rot")
+        for srv in servers:
+            while srv.inject_bit_rot(rng):
+                pass
+
+    def test_rotten_local_share_decodes_from_peers(self):
+        c = make()
+        put(c, "k", 456)
+        follower = c.servers[1]
+        self.rot_everything(c, follower)
+        ok, size = get(c, "k", server=follower.name)
+        assert ok and size == 456
+        assert follower.degraded_reads == 1
+        assert c.metrics.counter("read.degraded").value == 1
+
+    def test_survives_two_rotten_servers(self):
+        # θ(3,5): with 2/5 copies rotten exactly X=3 clean shares
+        # remain — the degraded read must still reconstruct.
+        c = make()
+        put(c, "k", 789)
+        self.rot_everything(c, c.servers[1], c.servers[2])
+        ok, size = get(c, "k", server=c.servers[1].name)
+        assert ok and size == 789
+        assert c.servers[1].degraded_reads == 1
+
+    def test_clean_share_read_is_not_degraded(self):
+        c = make()
+        put(c, "k", 100)
+        ok, _size = get(c, "k", server=c.servers[1].name)
+        assert ok
+        assert c.servers[1].degraded_reads == 0
+
+
+class TestSourceSelection:
+    def test_ranked_order_covers_every_peer_once(self):
+        c = make()
+        put(c, "k", 100)
+        srv = c.servers[1]
+        order = srv._peers_by_latency()
+        assert sorted(order) == sorted(
+            h for nid, h in srv.peers.items() if nid != srv.node_id)
+
+    def test_sampled_peers_rank_before_unsampled(self):
+        c = make()
+        put(c, "k", 100)
+        srv = c.servers[1]
+        sampled = set(srv.endpoint.rtt_table())
+        if not sampled:
+            return  # nothing to rank yet on this topology
+        order = srv._peers_by_latency()
+        ranks = [h in sampled for h in order]
+        assert ranks == sorted(ranks, reverse=True)
+
+    def test_random_baseline_still_covers_every_peer(self):
+        c = make(rtt_select=False)
+        put(c, "k", 100)
+        srv = c.servers[1]
+        order = srv._peers_by_latency()
+        assert sorted(order) == sorted(
+            h for nid, h in srv.peers.items() if nid != srv.node_id)
+
+    def test_fetch_load_drains_after_degraded_read(self):
+        c = make()
+        put(c, "k", 100)
+        follower = c.servers[1]
+        rng = c.sim.rng.stream("test.readpath.rot")
+        while follower.inject_bit_rot(rng):
+            pass
+        ok, _size = get(c, "k", server=follower.name)
+        assert ok
+        c.run(until=c.sim.now + 2.0)
+        assert follower._fetch_load == {}
+
+
+class TestObservability:
+    def test_rtt_gauges_exported(self):
+        c = make()
+        put(c, "k", 100)
+        leader = c.servers[0]
+        table = leader.endpoint.rtt_table()
+        assert table  # accepts gave the leader samples for its peers
+        for dst, ewma in table.items():
+            gauge = c.metrics.gauge(f"rpc.rtt.{leader.name}.{dst}")
+            assert gauge.value == ewma > 0.0
+
+    def test_read_retry_causes_counted(self):
+        c = make()
+        put(c, "k", 100)
+        client = c.clients[0]
+        assert sum(client.read_retry_causes.values()) == 0
+        c.servers[0].crash()
+        out = []
+        client.get("k", mode="fast",
+                   on_done=lambda ok, size: out.append(ok))
+        c.run(until=c.sim.now + 8.0)
+        assert out == [True]  # rode through the failover
+        stats = client.backoff_stats()
+        assert stats["read_retries"] == client.read_retry_causes
+        assert sum(client.read_retry_causes.values()) > 0
