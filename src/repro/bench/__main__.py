@@ -11,6 +11,7 @@ Usage::
     python -m repro.bench ycsb [--full]
     python -m repro.bench partitions [--full]
     python -m repro.bench readpath [--full]
+    python -m repro.bench selfheal [--full]
 
 ``chaos`` is the correctness gate rather than a paper figure: it runs
 seeded fault-injection episodes and fails (exit 1, repro bundle on
@@ -26,7 +27,10 @@ must be prompt (exit 1 otherwise). ``readpath`` is the availability
 gate: degraded reads must succeed (bounded latency) while shares are
 rotten, read availability must hold through bit-rot + gray-failure
 chaos, and RTT-aware repair-source selection must beat random (exit 1
-otherwise).
+otherwise). ``selfheal`` is the membership gate: sequential permanent
+failures (> F) must be auto-evicted and auto-replaced within a bounded
+time-to-full-redundancy, and benign chaos (gray nodes, partial cuts)
+must cause zero false evictions (exit 1 otherwise).
 """
 
 from __future__ import annotations
@@ -36,7 +40,7 @@ import sys
 
 from .experiments import (
     batching, chaos, cpu_cost, fig5, fig6, fig7, fig8, overload,
-    partitions, readpath, table1, ycsb,
+    partitions, readpath, selfheal, table1, ycsb,
 )
 
 EXPERIMENTS = {
@@ -56,6 +60,8 @@ EXPERIMENTS = {
                    partitions),
     "readpath": ("Read path: degraded reads + read-index availability gate",
                  readpath),
+    "selfheal": ("Self-heal: accrual eviction + replica-replacement gate",
+                 selfheal),
 }
 
 
@@ -111,7 +117,7 @@ def main(argv: list[str] | None = None) -> int:
             status |= module.main(seeds=args.seeds, short=args.short,
                                   wipe_heavy=args.wipe_heavy)
         elif name in ("overload", "batching", "ycsb", "partitions",
-                      "readpath"):
+                      "readpath", "selfheal"):
             status |= module.main(quick=not args.full)
         else:
             module.main(quick=not args.full)

@@ -21,14 +21,17 @@ shapes the paper reports hold in both modes.
   stability (pre-vote, check-quorum) and recovery-time (MTTR) gate.
 - :mod:`.readpath` — not a figure: degraded-read + read-index
   availability gate with RTT-aware repair-source selection.
+- :mod:`.selfheal` — not a figure: self-healing membership gate —
+  accrual-detector eviction + replica-replacement controller, with a
+  zero-false-eviction ladder under benign chaos.
 """
 
 from . import (
     chaos, cpu_cost, fig5, fig6, fig7, fig8, overload, partitions,
-    readpath, table1, ycsb,
+    readpath, selfheal, table1, ycsb,
 )
 
 __all__ = [
     "chaos", "cpu_cost", "fig5", "fig6", "fig7", "fig8", "overload",
-    "partitions", "readpath", "table1", "ycsb",
+    "partitions", "readpath", "selfheal", "table1", "ycsb",
 ]

@@ -96,6 +96,17 @@ def main(
         print(f"   election churn: {elections} elections started, "
               f"{changes} leader changes, {downs} step-downs "
               f"(incl. 1 bootstrap election per episode)")
+        evictions = sum(r.evictions for r in results)
+        false_ev = sum(r.false_evictions for r in results)
+        replacements = sum(r.replacements for r in results)
+        ttrs = sorted(t for r in results for t in r.time_to_restore)
+        ttr_str = (
+            f"{ttrs[len(ttrs) // 2]:.1f}s median time-to-restore"
+            if ttrs else "n/a"
+        )
+        print(f"   membership: {evictions} evictions "
+              f"({false_ev} false), {replacements} replacements, "
+              f"{ttr_str}")
         reads = sum(r.reads_attempted for r in results)
         reads_ok = sum(r.reads_ok for r in results)
         follower = sum(r.follower_reads for r in results)

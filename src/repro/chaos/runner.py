@@ -79,6 +79,13 @@ class ChaosSpec:
     # single-queue pre-QoS episodes.
     tenants: tuple[str, ...] = ()
     tenant_weights: tuple[tuple[str, float], ...] = ()
+    # Self-healing membership (accrual detector + repair controller).
+    # Off by default — byte-for-byte the fixed-membership episodes.
+    # ``auto_reconfigure`` lets leaders evict members the detector holds
+    # suspect past the grace; ``auto_heal`` additionally probes evicted
+    # slots and re-admits rebuilt spares (the provision-spare event).
+    auto_reconfigure: bool = False
+    auto_heal: bool = False
 
     @property
     def horizon(self) -> float:
@@ -98,7 +105,44 @@ class ChaosSpec:
             "batch_max_commands": self.batch_max_commands,
             "tenants": list(self.tenants),
             "tenant_weights": dict(self.tenant_weights),
+            "auto_reconfigure": self.auto_reconfigure,
+            "auto_heal": self.auto_heal,
         }
+
+
+#: Fault kinds that take a host down / bring it back. Used to replay
+#: the fired-fault timeline when attributing evictions: an eviction of
+#: a host with no outstanding down event is a detector false positive.
+_DOWN_KINDS = ("crash", "wipe", "torn-write", "perma-crash")
+_UP_KINDS = ("recover", "rejoin", "provision-spare")
+
+
+def _count_false_evictions(servers, fired) -> int:
+    """Count evictions of hosts that were *up* at eviction time.
+
+    Replays the fault schedule's fired ``(t, kind, arg)`` records up to
+    each eviction's timestamp to decide whether the evicted node's host
+    was down when the leader evicted it. Gray failures (slow-node),
+    partitions and flaps never take a host down, so any eviction they
+    provoke counts as false — exactly what the selfheal gate forbids.
+    """
+    false = 0
+    for srv in servers:
+        for t, nid in srv.eviction_events:
+            host = servers[nid].name
+            down = False
+            for ft, kind, arg in fired:
+                if ft > t:
+                    break
+                if kind in _DOWN_KINDS:
+                    h = arg[0] if isinstance(arg, tuple) else arg
+                    if h == host:
+                        down = True
+                elif kind in _UP_KINDS and arg == host:
+                    down = False
+            if not down:
+                false += 1
+    return false
 
 
 #: A shorter episode for CI smoke runs (``--short``).
@@ -164,6 +208,16 @@ class EpisodeResult:
     degraded_reads: int = 0
     read_retry_causes: dict = field(default_factory=dict)
     rtt_estimates: dict = field(default_factory=dict)
+    # Self-healing membership accounting (accrual detector + repair
+    # controller PR): how many members leaders evicted, how many of
+    # those evictions hit a host that was actually *up* (detector false
+    # positives — the selfheal gate requires zero), how many evicted
+    # slots were re-filled by a rebuilt spare, and how long each
+    # eviction-to-re-admission cycle took.
+    evictions: int = 0
+    false_evictions: int = 0
+    replacements: int = 0
+    time_to_restore: list = field(default_factory=list)
     bundle_path: str | None = None
 
     @property
@@ -206,6 +260,10 @@ class EpisodeResult:
             "degraded_reads": self.degraded_reads,
             "read_retry_causes": self.read_retry_causes,
             "rtt_estimates": self.rtt_estimates,
+            "evictions": self.evictions,
+            "false_evictions": self.false_evictions,
+            "replacements": self.replacements,
+            "time_to_restore": self.time_to_restore,
             "schedule": [e.to_jsonable() for e in self.schedule],
         }
 
@@ -254,6 +312,8 @@ class ChaosRunner:
             checkpoint_interval=spec.checkpoint_interval,
             batch_max_commands=spec.batch_max_commands,
             batch_linger=spec.batch_linger,
+            auto_reconfigure=spec.auto_reconfigure,
+            auto_heal=spec.auto_heal,
             client_tenants=tenants,
             tenant_weights=dict(spec.tenant_weights) or None,
             trace=trace,
@@ -306,6 +366,17 @@ class ChaosRunner:
             elif kind == "fix-node":
                 by_host[arg].disk.slowdown = 1.0
                 cluster.net.set_nic_slowdown(arg, 1.0)
+            elif kind == "perma-crash":
+                # Permanent death: crash + total disk loss. No recover
+                # is scheduled — the paired provision-spare event later
+                # lands a *fresh* node at the same address.
+                srv = by_host[arg]
+                if srv.up:
+                    srv.wipe()
+            elif kind == "provision-spare":
+                srv = by_host[arg]
+                if not srv.up:
+                    srv.rejoin()
 
         cluster.faults.on_fault(on_fault)
 
@@ -386,6 +457,9 @@ class ChaosRunner:
             }
             for srv in cluster.servers
         }
+        replacement_events = [
+            e for srv in cluster.servers for e in srv.replacement_events
+        ]
 
         result = EpisodeResult(
             seed=seed,
@@ -439,6 +513,16 @@ class ChaosRunner:
             degraded_reads=sum(s.degraded_reads for s in cluster.servers),
             read_retry_causes=read_retry_causes,
             rtt_estimates=rtt_estimates,
+            evictions=sum(
+                len(s.eviction_events) for s in cluster.servers
+            ),
+            false_evictions=_count_false_evictions(
+                cluster.servers, cluster.faults.fired
+            ),
+            replacements=len(replacement_events),
+            time_to_restore=sorted(
+                round(ttr, 4) for _, _, ttr in replacement_events
+            ),
         )
         trace_tail = (
             [str(r) for r in cluster.tracer.records[-400:]] if trace else []

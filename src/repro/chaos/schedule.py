@@ -38,7 +38,8 @@ class ChaosEvent:
     t: float
     # crash|recover|partition|partial-partition|asym-partition|flap|
     # heal|loss-burst|slow-disk|fix-disk|torn-write|bit-rot|scrub|
-    # wipe|rejoin|overload|slow-node|fix-node
+    # wipe|rejoin|overload|slow-node|fix-node|perma-crash|
+    # provision-spare
     kind: str
     arg: Any = None
 
@@ -110,6 +111,16 @@ class ScheduleSpec:
     # low by default so the smoke seeds exercise the new kinds without
     # drowning out the established mix.
     partition_mix_weights: tuple[float, float, float] = (1.0, 1.0, 1.0)
+    # Perma-crash (self-healing membership PR): the node dies for good
+    # — crash + total disk loss, like a wipe — and a *fresh spare* is
+    # provisioned at its address only after ``provision_delay``. The
+    # delay is drawn long enough (by default) for the accrual detector
+    # + eviction grace to fire first, so the event exercises the full
+    # evict -> rebuild -> re-admit loop rather than PR 3's plain
+    # wipe/rejoin path. Counts against max_crashed until the spare
+    # arrives. Zero weight disables with exact RNG-draw parity.
+    provision_delay: tuple[float, float] = (6.0, 10.0)
+    perma_weight: float = 0.0
 
     @property
     def end(self) -> float:
@@ -169,6 +180,8 @@ def generate_schedule(
             choices.append(("torn-write", spec.storage_weights[0]))
         if len(servers) - len(up) < max_crashed and up:
             choices.append(("wipe", spec.wipe_weight))
+        if len(servers) - len(up) < max_crashed and up:
+            choices.append(("perma-crash", spec.perma_weight))
         if up and t - last_rot >= spec.rot_gap:
             choices.append(("bit-rot", spec.storage_weights[1]))
         if up:
@@ -279,6 +292,16 @@ def generate_schedule(
             crashed_until[host] = t + d
             events.append(ChaosEvent(t, "wipe", host))
             events.append(ChaosEvent(t + d, "rejoin", host))
+        elif kind == "perma-crash":
+            # Permanent death: wipe with a *delayed* replacement — the
+            # spare lands only after the leader has had time to evict
+            # the dead slot, then rebuilds and is re-admitted by the
+            # repair controller (when auto_heal is on).
+            host = up[int(rng.integers(len(up)))]
+            d = dur(spec.provision_delay, t)
+            crashed_until[host] = t + d
+            events.append(ChaosEvent(t, "perma-crash", host))
+            events.append(ChaosEvent(t + d, "provision-spare", host))
         elif kind == "bit-rot":
             host = up[int(rng.integers(len(up)))]
             last_rot = t
@@ -338,7 +361,8 @@ def arm_schedule(faults: FaultSchedule, events: list[ChaosEvent]) -> None:
             faults.loss_burst_at(ev.t, d, loss, dup)
         elif ev.kind in (
             "slow-disk", "fix-disk", "torn-write", "bit-rot", "scrub",
-            "overload", "slow-node", "fix-node",
+            "overload", "slow-node", "fix-node", "perma-crash",
+            "provision-spare",
         ):
             faults.custom_at(ev.t, ev.kind, ev.arg)
         else:

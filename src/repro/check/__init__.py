@@ -21,6 +21,7 @@ from .invariants import (
     check_no_starvation,
     check_single_lease,
     check_unique_choice,
+    check_view_convergence,
 )
 from .linearize import LinResult, check_history, check_key
 
@@ -39,5 +40,6 @@ __all__ = [
     "check_no_starvation",
     "check_single_lease",
     "check_unique_choice",
+    "check_view_convergence",
     "read_availability",
 ]

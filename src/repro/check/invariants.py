@@ -30,7 +30,8 @@ class Violation:
     """One invariant breach."""
 
     kind: str     # "config" | "unique-choice" | "decodability" |
-                  # "durable-integrity" | "bounded-wal" | "single-lease"
+                  # "durable-integrity" | "bounded-wal" | "single-lease" |
+                  # "view-convergence"
     detail: str
 
     def to_jsonable(self) -> dict:
@@ -92,14 +93,7 @@ def check_decodability(servers) -> list[Violation]:
     up = [srv for srv in servers if srv.up]
     num_groups = len(servers[0].groups) if servers else 0
     for g in range(num_groups):
-        # Union of decided put instances across replicas.
-        instances: dict[int, str] = {}
-        for srv in up:
-            for inst, rec in srv.groups[g].chosen.items():
-                meta = _meta_of(rec)
-                if isinstance(meta, Command) and meta.op == "put":
-                    instances.setdefault(inst, rec.value_id)
-        for inst, value_id in sorted(instances.items()):
+        for inst, value_id in sorted(_live_put_instances(up, g).items()):
             if _decodable(up, g, inst, value_id):
                 continue
             violations.append(Violation(
@@ -108,6 +102,40 @@ def check_decodability(servers) -> list[Violation]:
                 f"reconstructible from the {len(up)} surviving replicas",
             ))
     return violations
+
+
+def _live_put_instances(srvs, group: int) -> dict[int, str]:
+    """Decided put instances whose bytes must still be reconstructible,
+    as ``{instance: value_id}`` unioned across ``srvs``.
+
+    A put that is both *superseded* (a later chosen put overwrote the
+    same key) and *compacted* (below some replica's checkpoint floor)
+    is exempt: snapshot rebuild streams only the latest surviving
+    version per key, so fragments of overwritten pre-floor versions
+    disappear by design as wiped replicas are rebuilt — the state
+    machine no longer needs them, and a probe demanding them would
+    flag healthy clusters after >=2 distinct wipe/rebuild cycles.
+    """
+    instances: dict[int, str] = {}
+    key_of: dict[int, str] = {}
+    for srv in srvs:
+        for inst, rec in srv.groups[group].chosen.items():
+            meta = _meta_of(rec)
+            if isinstance(meta, Command) and meta.op == "put":
+                instances.setdefault(inst, rec.value_id)
+                key_of.setdefault(inst, meta.key)
+    floor = 0
+    for srv in srvs:
+        cf = getattr(srv, "compact_floor", None)  # absent on test fakes
+        if cf:
+            floor = max(floor, cf[group])
+    latest: dict[str, int] = {}
+    for inst in sorted(instances):
+        latest[key_of[inst]] = inst
+    return {
+        inst: vid for inst, vid in instances.items()
+        if inst >= floor or latest[key_of[inst]] == inst
+    }
 
 
 def _decodable(up, group: int, instance: int, value_id: str) -> bool:
@@ -283,6 +311,72 @@ def check_single_lease(servers) -> list[Violation]:
     return []
 
 
+def check_view_convergence(servers) -> list[Violation]:
+    """Every settled replica agrees on the membership view, and the
+    current view's members alone can reconstruct every chosen put.
+
+    Run after heal + settle, like decodability. Two classes of server
+    are exempt from the agreement check: those still mid-rebuild (the
+    snapshot transfer hasn't landed, so they haven't replayed the view
+    log yet) and evicted nodes (a removed replica learns the shrink
+    view and retires — its own id leaves its member set — so it cannot
+    be expected to track later epochs until re-admission).
+
+    The second half is the self-healing PR's durability argument: after
+    an eviction shrinks θ(X, N), the *remaining members* alone must
+    still hold >= X clean shares (or a full copy) of every chosen put —
+    i.e. the placement-confirmation barrier (§4.6 optimization 2)
+    actually ran before the removal was proposed. Plain decodability
+    over all up servers would miss a leader that leaned on the evicted
+    node's shares.
+    """
+    violations = []
+    settled = [
+        srv for srv in servers
+        if srv.up
+        and not getattr(srv, "_rebuild_pending", False)
+        and srv.node_id in srv.member_ids
+    ]
+    if not settled:
+        return violations
+    views: dict[tuple, list[str]] = {}
+    for srv in settled:
+        key = (
+            srv.view_epoch,
+            tuple(sorted(srv.member_ids)),
+            (srv.config.n, srv.config.q_r, srv.config.q_w, srv.config.x),
+        )
+        views.setdefault(key, []).append(srv.name)
+    if len(views) > 1:
+        desc = "; ".join(
+            f"epoch={epoch} members={list(members)} "
+            f"(N={cfg[0]},Qr={cfg[1]},Qw={cfg[2]},X={cfg[3]}): "
+            f"{', '.join(sorted(names))}"
+            for (epoch, members, cfg), names in sorted(views.items())
+        )
+        violations.append(Violation(
+            "view-convergence",
+            f"{len(views)} distinct views among settled replicas: {desc}",
+        ))
+    latest = max(views)
+    members = set(latest[1])
+    member_srvs = [s for s in servers if s.up and s.node_id in members]
+    num_groups = len(servers[0].groups) if servers else 0
+    for g in range(num_groups):
+        for inst, value_id in sorted(
+            _live_put_instances(member_srvs, g).items()
+        ):
+            if _decodable(member_srvs, g, inst, value_id):
+                continue
+            violations.append(Violation(
+                "view-convergence",
+                f"group {g} instance {inst} (value {value_id!r}) is not "
+                f"reconstructible from the current view's "
+                f"{len(member_srvs)} member(s) {sorted(members)}",
+            ))
+    return violations
+
+
 def check_cluster(servers, config) -> list[Violation]:
     """All replicated-state probes in one sweep."""
     return (
@@ -293,4 +387,5 @@ def check_cluster(servers, config) -> list[Violation]:
         + check_bounded_wal(servers)
         + check_no_starvation(servers)
         + check_single_lease(servers)
+        + check_view_convergence(servers)
     )

@@ -644,7 +644,18 @@ class PaxosNode:
         overlap >= old X survivors.
         """
         if self._inflight:
-            raise RuntimeError("cannot change views with proposals in flight")
+            # A committed view landing while this node still has its own
+            # proposals in flight means the proposer lost a leadership
+            # race: the winning leader drained before proposing, so only
+            # a deposed leader (e.g. partitioned mid-view-change) can be
+            # here. Its proposals are superseded — abandon them. This is
+            # Paxos-safe: an accepted-but-unchosen value is either
+            # completed or out-balloted by the next prepare; refusing
+            # instead would wedge this replica on the view it must adopt.
+            for inst in list(self._inflight):
+                self._inflight.pop(inst, None)
+                self._decide_cbs.pop(inst, None)
+                self._votes.pop(inst, None)
         if self.node_id not in peers:
             raise ValueError("apply_view on a non-member; use retire()")
         if len(peers) != config.n:

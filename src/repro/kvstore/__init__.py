@@ -42,16 +42,20 @@ from .messages import (
     NotFound,
     NotReady,
     PlacementGaps,
+    ProbeSpare,
     PutOk,
     Redirect,
     ShareReply,
     SnapshotChunk,
     SnapshotEntry,
+    SpareStatus,
 )
+from .membership import AccrualFailureDetector, RepairController
 from .server import KVServer
 from .shard import ShardMap
 
 __all__ = [
+    "AccrualFailureDetector",
     "BatchItem",
     "BatchMeta",
     "Busy",
@@ -78,12 +82,15 @@ __all__ = [
     "NotFound",
     "NotReady",
     "PlacementGaps",
+    "ProbeSpare",
     "PutOk",
     "Redirect",
+    "RepairController",
     "ShardMap",
     "ShareReply",
     "SnapshotChunk",
     "SnapshotEntry",
+    "SpareStatus",
     "build_cluster",
     "decode_frame",
     "encode_frame",

@@ -83,6 +83,9 @@ def build_cluster(
     codec_bw: float = 2e9,
     initial_leader: int = 0,
     auto_reconfigure: bool = False,
+    auto_heal: bool = False,
+    suspicion_threshold: float = 6.0,
+    evict_grace: float = 2.0,
     scrub_interval: float = 0.0,
     checkpoint_interval: float = 0.0,
     admission_control: bool = True,
@@ -137,6 +140,9 @@ def build_cluster(
             codec_bw=codec_bw,
             initial_leader=initial_leader,
             auto_reconfigure=auto_reconfigure,
+            auto_heal=auto_heal,
+            suspicion_threshold=suspicion_threshold,
+            evict_grace=evict_grace,
             scrub_interval=scrub_interval,
             checkpoint_interval=checkpoint_interval,
             admission_control=admission_control,

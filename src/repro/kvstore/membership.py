@@ -1,0 +1,431 @@
+"""Self-healing membership: accrual failure detection + repair control.
+
+The paper's §6.1 failure-handling strategy — drop a dead member through
+a view change so the shrunken quorum system survives the *next*
+uncorrelated failure — only pays off operationally if the full loop
+runs itself: detect the death without ever mis-firing on a live-but-
+unreachable member, evict, wait for a replacement, let it rebuild, and
+re-admit it so redundancy is restored before failure N+1. This module
+holds the two pieces of that loop that are pure control logic (no
+sockets, no simulator), so they unit-test against a bare clock:
+
+- :class:`AccrualFailureDetector` — per-peer suspicion scores derived
+  from heartbeat-ack inter-arrival history (a deterministic cousin of
+  φ-accrual detection), with hysteresis so a score oscillating around
+  the threshold cannot flap a member in and out of suspicion.
+- :class:`RepairController` — the leader's per-peer replacement state
+  machine::
+
+      HEALTHY -> SUSPECT -> EVICTING -> AWAITING_REPLACEMENT
+              -> REBUILDING -> RESTORING -> HEALTHY
+
+  One membership operation in flight at a time, retry with backoff,
+  and **resumable**: its only durable state is the chosen view
+  instances themselves, so a new leader reconstructs every peer's
+  state from the membership it inherited (a known peer absent from the
+  current view must be mid-replacement; everything else is soft state
+  that rebuilds from live probes within a few heartbeats).
+
+Suspicion is *suppressed* whenever a partition is plausible — the
+leader's own lease lapsed (check-quorum signal), a member recently
+probed with a pre-vote (someone cannot hear the leader), or more than
+F members went quiet simultaneously (independent deaths do not
+correlate; partitions do). Under suppression suspicion timers reset,
+so gray failures, flapping links and partial partitions never evict a
+healthy member: eviction requires *uninterrupted* suspicion for the
+full grace on top of the detector threshold.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable
+
+# Controller states, per tracked peer.
+HEALTHY = "healthy"
+SUSPECT = "suspect"
+EVICTING = "evicting"
+AWAITING_REPLACEMENT = "awaiting-replacement"
+REBUILDING = "rebuilding"
+RESTORING = "restoring"
+
+
+class AccrualFailureDetector:
+    """Suspicion scores from heartbeat-ack inter-arrival history.
+
+    ``score(nid, now)`` is the silence elapsed since the peer's last
+    ack, normalized by its observed mean inter-arrival time (floored at
+    the heartbeat interval so a burst of quick acks cannot make the
+    detector hair-triggered). A peer becomes *suspect* once its score
+    reaches ``threshold`` and stays suspect until the score falls below
+    ``threshold / 2`` — the hysteresis band that keeps a link flapping
+    right at the boundary from toggling suspicion every tick.
+    """
+
+    def __init__(
+        self,
+        *,
+        threshold: float = 6.0,
+        heartbeat_interval: float = 0.5,
+        window: int = 16,
+    ):
+        if threshold <= 0:
+            raise ValueError("suspicion threshold must be > 0")
+        self.threshold = threshold
+        self.heartbeat_interval = heartbeat_interval
+        self.window = window
+        self._last_heard: dict[int, float] = {}
+        self._intervals: dict[int, deque[float]] = {}
+        # nid -> time the score first crossed the threshold (None when
+        # below the hysteresis band).
+        self._suspect_since: dict[int, float] = {}
+
+    def seed(self, peer_ids: Iterable[int], now: float) -> None:
+        """(Re)start observation at leadership acquisition.
+
+        Every peer is treated as heard-from *now*: a freshly elected
+        leader has not given anyone a chance to ack yet, so nobody may
+        start in deficit (the old last-ack code seeded never-heard
+        peers half a timeout in the past and could evict a healthy
+        member it simply had not met). History and suspicions reset —
+        inter-arrival statistics observed under a previous leadership
+        or view do not transfer.
+        """
+        self._last_heard = {nid: now for nid in peer_ids}
+        self._intervals = {nid: deque(maxlen=self.window) for nid in self._last_heard}
+        self._suspect_since.clear()
+
+    def heard(self, nid: int, now: float) -> None:
+        """Record one heartbeat ack (or equivalent proof of life)."""
+        last = self._last_heard.get(nid)
+        if last is not None and now > last:
+            self._intervals.setdefault(
+                nid, deque(maxlen=self.window)
+            ).append(now - last)
+        self._last_heard[nid] = now
+
+    def forget(self, nid: int) -> None:
+        """Stop tracking a peer (evicted from the view)."""
+        self._last_heard.pop(nid, None)
+        self._intervals.pop(nid, None)
+        self._suspect_since.pop(nid, None)
+
+    def reset(self) -> None:
+        self._last_heard.clear()
+        self._intervals.clear()
+        self._suspect_since.clear()
+
+    def expected_interval(self, nid: int) -> float:
+        ivs = self._intervals.get(nid)
+        if not ivs:
+            return self.heartbeat_interval
+        return max(sum(ivs) / len(ivs), self.heartbeat_interval)
+
+    def score(self, nid: int, now: float) -> float:
+        """Silence in units of the peer's expected ack interval."""
+        last = self._last_heard.get(nid)
+        if last is None:
+            return 0.0  # never seeded: no opinion, never suspect
+        return max(0.0, now - last) / self.expected_interval(nid)
+
+    def suspect_since(self, nid: int, now: float) -> float | None:
+        """When ``nid`` entered suspicion, with hysteresis applied.
+
+        Returns the crossing time while the peer stays suspect, else
+        None. The caller's eviction grace runs from this timestamp.
+        """
+        s = self.score(nid, now)
+        since = self._suspect_since.get(nid)
+        if since is None:
+            if s >= self.threshold:
+                self._suspect_since[nid] = now
+                return now
+            return None
+        if s < self.threshold / 2.0:
+            del self._suspect_since[nid]
+            return None
+        return since
+
+    def clear_suspicions(self) -> None:
+        """Drop every suspicion timer (partition-plausible suppression).
+
+        Scores still reflect real silence afterwards, but the eviction
+        grace must restart from scratch once suppression lifts — time
+        spent unreachable behind a plausible partition never counts
+        toward eviction.
+        """
+        self._suspect_since.clear()
+
+    def quiet_peers(self, now: float) -> set[int]:
+        """Peers at or above *half* the threshold — the correlation
+        probe: several peers going quiet together looks like a
+        partition, not like independent deaths."""
+        return {
+            nid for nid in self._last_heard
+            if self.score(nid, now) >= self.threshold / 2.0
+        }
+
+
+class RepairController:
+    """The leader's replica-replacement state machine.
+
+    Pure control logic: the host server supplies the actuators —
+    ``evict(nid)`` / ``restore(nid)`` issue the view changes,
+    ``probe(nid, cb)`` asks a candidate spare whether it is up and
+    fully rebuilt (``cb(True)`` ready, ``cb(False)`` still rebuilding,
+    ``cb(None)`` unreachable). The controller never holds state that
+    cannot be reconstructed: :meth:`resume` rebuilds everything from
+    the current view membership, which *is* replicated (chosen view
+    instances), so a leader crash at any step is survivable — the next
+    leader picks the loop up where the replicated state says it stands.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        detector: AccrualFailureDetector,
+        *,
+        f: int = 1,
+        evict_grace: float = 2.0,
+        auto_evict: bool = True,
+        auto_heal: bool = True,
+        evict: Callable[[int], None] | None = None,
+        restore: Callable[[int], None] | None = None,
+        probe: Callable[[int, Callable], None] | None = None,
+        probe_interval: float = 1.0,
+        backoff_initial: float = 1.0,
+        backoff_max: float = 8.0,
+        min_members: int = 4,
+    ):
+        self.node_id = node_id
+        self.detector = detector
+        self.f = f
+        self.evict_grace = evict_grace
+        self.auto_evict = auto_evict
+        self.auto_heal = auto_heal
+        self._evict = evict or (lambda nid: None)
+        self._restore = restore or (lambda nid: None)
+        self._probe = probe or (lambda nid, cb: cb(None))
+        self.probe_interval = probe_interval
+        self.backoff_initial = backoff_initial
+        self.backoff_max = backoff_max
+        self.min_members = min_members
+
+        self.state: dict[int, str] = {}
+        self._evicted_at: dict[int, float] = {}
+        self._next_attempt: dict[int, float] = {}
+        self._backoff: dict[int, float] = {}
+        self._next_probe: dict[int, float] = {}
+        self._probe_inflight: set[int] = set()
+        self._spare_ready: set[int] = set()
+        self.suppressed_ticks = 0
+        # (t, nid) eviction completions and (t, nid, time_to_restore)
+        # replacement completions observed by THIS controller. A new
+        # leader resuming mid-cycle measures time_to_restore from its
+        # own resume point (the true eviction time died with its
+        # predecessor's soft state; the replicated view carries no
+        # clock) — a documented, conservative under-estimate.
+        self.eviction_events: list[tuple[float, int]] = []
+        self.replacement_events: list[tuple[float, int, float]] = []
+
+    # -- lifecycle --------------------------------------------------------
+
+    def resume(
+        self, now: float, member_ids: set[int], known_ids: set[int],
+    ) -> None:
+        """Reconstruct controller state at leadership acquisition.
+
+        The chosen view instances are the controller's only durable
+        state: a known peer missing from the current membership can
+        only be mid-replacement (evicted by some earlier leader), so it
+        resumes at AWAITING_REPLACEMENT; every current member resumes
+        HEALTHY with fresh suspicion (the detector reseeds separately).
+        Probe results, backoffs and suspicion timers are soft state
+        that live probes rebuild within a few heartbeats.
+        """
+        self.state = {}
+        self._next_attempt.clear()
+        self._backoff.clear()
+        self._next_probe.clear()
+        self._probe_inflight.clear()
+        self._spare_ready.clear()
+        for nid in sorted(known_ids):
+            if nid == self.node_id:
+                continue
+            if nid in member_ids:
+                self.state[nid] = HEALTHY
+                self._evicted_at.pop(nid, None)
+            else:
+                self.state[nid] = AWAITING_REPLACEMENT
+                self._evicted_at.setdefault(nid, now)
+
+    def reset(self) -> None:
+        """Full teardown (server crash): lose everything, including the
+        eviction bookkeeping a resume would rebuild."""
+        self.state = {}
+        self._evicted_at.clear()
+        self._next_attempt.clear()
+        self._backoff.clear()
+        self._next_probe.clear()
+        self._probe_inflight.clear()
+        self._spare_ready.clear()
+
+    # -- the tick ---------------------------------------------------------
+
+    def tick(
+        self,
+        now: float,
+        member_ids: set[int],
+        *,
+        op_in_flight: bool,
+        suppressed: bool,
+    ) -> None:
+        """One heartbeat-cadence pass over every tracked peer.
+
+        ``suppressed`` carries the server-side partition-plausibility
+        signals (lease lapsed / recent pre-vote seen); the correlation
+        signal (more than F members quiet at once) is computed here.
+        At most one membership operation is started per tick, and none
+        while one is already in flight.
+        """
+        if not self.state:
+            return
+        members = member_ids - {self.node_id}
+        # Reconcile against the replicated view first: a peer we track
+        # as (about-to-be-)present but that the chosen views say is
+        # gone was removed — by our own EVICTING op completing, or by
+        # a predecessor/racing leader whose view change we inherited.
+        for nid, st in sorted(self.state.items()):
+            if nid not in members and st in (HEALTHY, SUSPECT, EVICTING):
+                self.note_evicted(now, nid)
+        quiet = self.detector.quiet_peers(now) & members
+        if suppressed or len(quiet) > self.f:
+            # Partition plausible: freeze the whole eviction pipeline.
+            # Replacement probing continues — re-admitting a rebuilt
+            # spare is safe regardless of why the network is messy.
+            self.detector.clear_suspicions()
+            for nid, st in self.state.items():
+                if st == SUSPECT:
+                    self.state[nid] = HEALTHY
+            self.suppressed_ticks += 1
+        else:
+            self._tick_members(now, members, op_in_flight)
+        if self.auto_heal:
+            self._tick_spares(now, member_ids, op_in_flight)
+
+    def _tick_members(
+        self, now: float, members: set[int], op_in_flight: bool,
+    ) -> None:
+        for nid in sorted(members):
+            st = self.state.get(nid)
+            if st is None:
+                # A peer re-admitted behind our back (another leader's
+                # view change we only saw commit): back to tracking.
+                self.state[nid] = HEALTHY
+                st = HEALTHY
+            if st == EVICTING:
+                if not op_in_flight:
+                    # The view change aborted or was preempted while we
+                    # were not looking; retry after backoff.
+                    self.state[nid] = SUSPECT if self.detector.suspect_since(
+                        nid, now) is not None else HEALTHY
+                    self._arm_backoff(nid, now)
+                continue
+            if st in (AWAITING_REPLACEMENT, REBUILDING, RESTORING):
+                # Membership says the peer is back; close the loop.
+                self._complete_restore(nid, now)
+                continue
+            if not self.auto_evict:
+                continue
+            since = self.detector.suspect_since(nid, now)
+            if since is None:
+                if st == SUSPECT:
+                    self.state[nid] = HEALTHY
+                continue
+            self.state[nid] = SUSPECT
+            if now - since < self.evict_grace:
+                continue
+            if op_in_flight or now < self._next_attempt.get(nid, 0.0):
+                continue
+            if len(members) + 1 < self.min_members:
+                continue  # no meaningful smaller quorum system
+            self.state[nid] = EVICTING
+            self._arm_backoff(nid, now)
+            self._evict(nid)
+            return  # at most one membership op per tick
+
+    def _tick_spares(
+        self, now: float, member_ids: set[int], op_in_flight: bool,
+    ) -> None:
+        gone = [
+            nid for nid, st in sorted(self.state.items())
+            if st in (AWAITING_REPLACEMENT, REBUILDING, RESTORING)
+            and nid not in member_ids
+        ]
+        for nid in gone:
+            st = self.state[nid]
+            if st == RESTORING:
+                if not op_in_flight:
+                    # The add view change fell through; re-probe and
+                    # retry after backoff.
+                    self.state[nid] = (
+                        REBUILDING if nid in self._spare_ready
+                        else AWAITING_REPLACEMENT
+                    )
+                    self._arm_backoff(nid, now)
+                continue
+            if nid in self._spare_ready:
+                if op_in_flight or now < self._next_attempt.get(nid, 0.0):
+                    continue
+                self.state[nid] = RESTORING
+                self._arm_backoff(nid, now)
+                self._restore(nid)
+                return  # at most one membership op per tick
+            if nid in self._probe_inflight:
+                continue
+            if now < self._next_probe.get(nid, 0.0):
+                continue
+            self._next_probe[nid] = now + self.probe_interval
+            self._probe_inflight.add(nid)
+            self._probe(nid, lambda rebuilt, nid=nid: self._on_probe(
+                nid, rebuilt))
+
+    # -- transitions ------------------------------------------------------
+
+    def note_evicted(self, now: float, nid: int) -> None:
+        """A removal view change committed (observed by the server)."""
+        if self.state.get(nid) in (None, HEALTHY, SUSPECT, EVICTING):
+            self.eviction_events.append((now, nid))
+        self.state[nid] = AWAITING_REPLACEMENT
+        self._evicted_at[nid] = now
+        self._backoff.pop(nid, None)
+        self._next_attempt.pop(nid, None)
+        self._spare_ready.discard(nid)
+        self.detector.forget(nid)
+
+    def _complete_restore(self, nid: int, now: float) -> None:
+        evicted_at = self._evicted_at.pop(nid, now)
+        self.replacement_events.append((now, nid, now - evicted_at))
+        self.state[nid] = HEALTHY
+        self._backoff.pop(nid, None)
+        self._next_attempt.pop(nid, None)
+        self._next_probe.pop(nid, None)
+        self._spare_ready.discard(nid)
+        self.detector.heard(nid, now)  # fresh grace for the newcomer
+
+    def _on_probe(self, nid: int, rebuilt: bool | None) -> None:
+        self._probe_inflight.discard(nid)
+        if self.state.get(nid) not in (AWAITING_REPLACEMENT, REBUILDING):
+            return
+        if rebuilt is None:
+            self.state[nid] = AWAITING_REPLACEMENT
+        elif rebuilt:
+            self._spare_ready.add(nid)
+            self.state[nid] = REBUILDING
+        else:
+            self.state[nid] = REBUILDING
+
+    def _arm_backoff(self, nid: int, now: float) -> None:
+        delay = self._backoff.get(nid, self.backoff_initial)
+        self._next_attempt[nid] = now + delay
+        self._backoff[nid] = min(delay * 2.0, self.backoff_max)

@@ -152,11 +152,16 @@ class Heartbeat:
     have heard from, so a deposed leader cannot keep its lease alive.
     ``seq`` lets the leader tell which send round an ack answers, which
     is what anchors the lease at that round's send time.
+    ``view_epoch`` piggybacks the leader's membership epoch: a follower
+    that hears a higher epoch than its own missed a view-change commit
+    (e.g. it was re-admitted after its copy of the view log was
+    compacted away) and catches up.
     """
 
     leader_id: int
     seq: int = 0
     ballot: Any = None
+    view_epoch: int = 0
 
     @property
     def wire_bytes(self) -> int:
@@ -379,7 +384,12 @@ class SnapshotChunk:
     client retry spanning the rebuild cannot double-apply) and
     ``max_ballot`` (the server's ballot high-water mark, so the
     rebuilt node's acceptor floor can be raised past every ballot it
-    might have promised before losing its disk).
+    might have promised before losing its disk) and the donor's current
+    membership view (``view_epoch`` / ``view_members`` /
+    ``view_config``) — the view-change instances themselves live in the
+    compacted prefix the snapshot replaces, so the joiner must adopt
+    the view they produced or it would resurrect the static bootstrap
+    membership.
     """
 
     group: int
@@ -388,6 +398,9 @@ class SnapshotChunk:
     floor: int = 0
     applied_ops: tuple = ()
     max_ballot: Any = None
+    view_epoch: int = 0
+    view_members: tuple = ()
+    view_config: Any = None
 
     @property
     def wire_bytes(self) -> int:
@@ -480,3 +493,33 @@ class InstallShare:
     @property
     def wire_bytes(self) -> int:
         return KV_META + self.share.size
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeSpare:
+    """Leader -> replacement candidate: are you up and fully rebuilt?
+
+    Sent while the repair controller sits in AWAITING_REPLACEMENT /
+    REBUILDING for an evicted slot; no reply (the host is still down)
+    keeps the controller waiting, ``rebuilt=False`` means the spare is
+    mid-rebuild, ``rebuilt=True`` makes it eligible for re-admission.
+    """
+
+    sender_id: int
+
+    @property
+    def wire_bytes(self) -> int:
+        return KV_META
+
+
+@dataclass(frozen=True, slots=True)
+class SpareStatus:
+    """Replacement candidate -> leader: liveness + rebuild progress."""
+
+    node_id: int
+    rebuilt: bool
+    view_epoch: int
+
+    @property
+    def wire_bytes(self) -> int:
+        return KV_META

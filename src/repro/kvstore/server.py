@@ -72,6 +72,7 @@ from .messages import (
     PlacementGaps,
     PreVote,
     PreVoteReply,
+    ProbeSpare,
     PutOk,
     ReadIndex,
     ReadIndexReply,
@@ -79,7 +80,9 @@ from .messages import (
     ShareReply,
     SnapshotChunk,
     SnapshotEntry,
+    SpareStatus,
 )
+from .membership import AccrualFailureDetector, RepairController
 from .shard import ShardMap
 
 
@@ -120,6 +123,9 @@ class KVServer:
         codec_bw: float = 2e9,
         initial_leader: int = 0,
         auto_reconfigure: bool = False,
+        auto_heal: bool = False,
+        suspicion_threshold: float = 6.0,
+        evict_grace: float = 2.0,
         scrub_interval: float = 0.0,
         checkpoint_interval: float = 0.0,
         admission_control: bool = True,
@@ -341,14 +347,38 @@ class KVServer:
         self._snap_inflight: dict[int, str] = {}
         self._rebuild_timer = None
 
-        # View / reconfiguration state (§4.6).
+        # View / reconfiguration state (§4.6) and the self-healing
+        # membership subsystem riding on it. ``auto_reconfigure``
+        # enables accrual-detector-driven eviction of silent members
+        # (§6.1's "drop the dead member so the next failure is
+        # survivable"); ``auto_heal`` additionally closes the loop —
+        # probe the evicted slot for a rebuilt spare and re-admit it
+        # via reconfigure_add, restoring full redundancy.
         self.view_epoch = 0
         self.member_ids: set[int] = set(peers)
         self.auto_reconfigure = auto_reconfigure
-        self.dead_after = 3.0  # silence before auto-dropping a member
+        self.auto_heal = auto_heal
         self._view_changing = False
         self._last_ack: dict[int, float] = {}
         self.view_changes_completed = 0
+        self.view_changes_aborted = 0
+        self._last_pre_vote_seen: float | None = None
+        self._last_view_sync = float("-inf")
+        self.detector = AccrualFailureDetector(
+            threshold=suspicion_threshold,
+            heartbeat_interval=self.lease_config.heartbeat_interval,
+        )
+        self.repair = RepairController(
+            node_id,
+            self.detector,
+            f=config.f,
+            evict_grace=evict_grace,
+            auto_evict=auto_reconfigure,
+            auto_heal=auto_heal,
+            evict=self.reconfigure_remove,
+            restore=self.reconfigure_add,
+            probe=self._probe_spare,
+        )
 
         # Client-facing handlers.
         self.endpoint.on_request_async(ClientPut, self._on_put)
@@ -365,6 +395,7 @@ class KVServer:
         self.endpoint.on_request_async(FetchSnapshot, self._on_fetch_snapshot)
         self.endpoint.on_request_async(ConfirmPlacement, self._on_confirm_placement)
         self.endpoint.on(InstallShare, self._on_install_share)
+        self.endpoint.on_request_async(ProbeSpare, self._on_probe_spare)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -392,6 +423,10 @@ class KVServer:
         self._electing = False
         self._view_changing = False
         self._last_ack.clear()
+        self.detector.reset()
+        self.repair.reset()
+        self._last_pre_vote_seen = None
+        self._last_view_sync = float("-inf")
         self._hb_floor = NULL_BALLOT
         self._hb_rounds.clear()
         self._pre_vote_state = None
@@ -568,6 +603,12 @@ class KVServer:
     def _on_pre_vote(self, msg: PreVote, src: str) -> None:
         if not self.up:
             return
+        if msg.candidate_id in self.member_ids:
+            # A member's vacancy timer lapsed — someone cannot hear the
+            # leader. If that is us, connectivity is messy enough that
+            # a partition is plausible: suppress eviction suspicion for
+            # a grace window rather than risk dropping a healthy peer.
+            self._last_pre_vote_seen = self.sim.now
         # Leader stickiness: grant only if our own vacancy timer lapsed
         # too. A rebuilding observer also refuses — it will not vote in
         # the real election, so its opinion would overpromise success.
@@ -651,6 +692,20 @@ class KVServer:
         self.leader_changes += 1
         self.metrics.counter("election.won").inc(1)
         self._lease_lost_since = None
+        # Seed failure detection at leadership-acquisition time: every
+        # member counts as heard-from *now*, so no peer starts its
+        # leadership in silence deficit (the old code defaulted a
+        # never-heard peer's last ack half a timeout into the past and
+        # could evict a healthy member the new leader simply had not
+        # met yet). The repair controller reconstructs its state from
+        # the membership the chosen view instances handed us — a known
+        # peer absent from the view resumes mid-replacement.
+        now = self.sim.now
+        others = self.member_ids - {self.node_id}
+        for nid in others:
+            self._last_ack[nid] = now
+        self.detector.seed(others, now)
+        self.repair.resume(now, set(self.member_ids), set(self.peers))
         # Every instance an earlier leader could have acknowledged was
         # accepted by a write quorum, so the prepare scan saw it and
         # ``next_instance`` is past it. Fast reads must not be served
@@ -677,15 +732,16 @@ class KVServer:
         self._hb_rounds[seq] = (sent_at, set())
         for old in [s for s in self._hb_rounds if s < seq - 8]:
             del self._hb_rounds[old]
-        hb = Heartbeat(leader_id=self.node_id, seq=seq, ballot=ballot)
+        hb = Heartbeat(leader_id=self.node_id, seq=seq, ballot=ballot,
+                       view_epoch=self.view_epoch)
         for nid in self.member_ids:
             if nid != self.node_id:
                 self.endpoint.send(self.peers[nid], hb, hb.wire_bytes)
         # Degenerate single-member group: no follower can contest.
         if self._acks_needed() == 0:
             self.lease.renew_at(sent_at)
-        if self.auto_reconfigure:
-            self._check_dead_members()
+        if self.auto_reconfigure or self.auto_heal:
+            self._membership_tick()
 
     def _acks_needed(self) -> int:
         """Follower acks required before a heartbeat round renews the
@@ -701,21 +757,51 @@ class KVServer:
         """
         return max(0, self.config.n - self.config.q_r)
 
-    def _check_dead_members(self) -> None:
-        """§6.1 failure-handling: a member silent for ``dead_after``
-        seconds is dropped through a view change, restoring the ability
-        to survive the *next* uncorrelated failure."""
-        if self._view_changing or len(self.member_ids) <= 3:
-            return
+    def _membership_tick(self) -> None:
+        """§6.1 failure-handling, run at heartbeat cadence on the
+        leader: the accrual detector turns ack silence into suspicion,
+        the repair controller turns sustained suspicion into an
+        eviction view change and (with ``auto_heal``) later re-admits
+        the rebuilt replacement. Eviction is suppressed whenever a
+        partition is plausible: our own lease lapsed (we cannot hear a
+        renewal quorum — check-quorum fires soon anyway), or a member
+        recently probed us with a pre-vote (it cannot hear us)."""
         now = self.sim.now
-        for nid in sorted(self.member_ids):
-            if nid == self.node_id:
-                continue
-            last = self._last_ack.get(nid, now - self.dead_after * 0.5)
-            self._last_ack.setdefault(nid, last)
-            if now - last > self.dead_after:
-                self.reconfigure_remove(nid)
-                return
+        suppressed = not self.lease.held_by_leader() or (
+            self._last_pre_vote_seen is not None
+            and now - self._last_pre_vote_seen <= self.check_quorum_grace
+        )
+        self.repair.tick(
+            now, set(self.member_ids),
+            op_in_flight=self._view_changing,
+            suppressed=suppressed,
+        )
+
+    def _probe_spare(self, nid: int, cb) -> None:
+        """Ask the replacement candidate for slot ``nid`` whether it is
+        up and fully rebuilt; ``cb(None)`` on silence (still down)."""
+        if not self.up or nid not in self.peers:
+            cb(None)
+            return
+        req = ProbeSpare(sender_id=self.node_id)
+        self.endpoint.request(
+            self.peers[nid], req, req.wire_bytes,
+            on_reply=lambda rep: cb(
+                rep.rebuilt if isinstance(rep, SpareStatus) else None
+            ),
+            timeout=0.5, retries=0,
+            on_timeout=lambda: cb(None),
+        )
+
+    def _on_probe_spare(self, msg: ProbeSpare, src: str, respond) -> None:
+        if not self.up:
+            return
+        reply = SpareStatus(
+            node_id=self.node_id,
+            rebuilt=not self._rebuild_pending,
+            view_epoch=self.view_epoch,
+        )
+        respond(reply, reply.wire_bytes)
 
     def _on_heartbeat(self, msg: Heartbeat, src: str) -> None:
         if not self.up:
@@ -747,11 +833,23 @@ class KVServer:
             self.lease.renew()
             ack = HeartbeatAck(follower_id=self.node_id, seq=msg.seq)
             self.endpoint.send(src, ack, ack.wire_bytes)
+        if msg.view_epoch > self.view_epoch:
+            # The leader is heartbeating us as a member of an epoch we
+            # never learned (our copy of the view log was compacted
+            # away, or we were re-admitted while retired). Pull the
+            # missing decisions — catch-up replays the view-change
+            # commands in log order.
+            now = self.sim.now
+            if now - self._last_view_sync >= 1.0:
+                self._last_view_sync = now
+                for g in range(len(self.groups)):
+                    self._catch_up_group(g)
 
     def _on_heartbeat_ack(self, msg: HeartbeatAck, src: str) -> None:
         if not self.up:
             return
         self._last_ack[msg.follower_id] = self.sim.now
+        self.detector.heard(msg.follower_id, self.sim.now)
         round_ = self._hb_rounds.get(msg.seq)
         if round_ is None or not self.is_leader_server:
             return
@@ -791,6 +889,10 @@ class KVServer:
             self._lease_lost_since = None
         self.is_leader_server = False
         self.current_leader = None
+        # A view change this (now deposed) leader had in flight is dead
+        # — the winner re-runs membership repair itself. Holding the
+        # fence would wedge this node's own controller if re-elected.
+        self._view_changing = False
         self._flush_admissions()
 
     # ------------------------------------------------------------------
@@ -1730,7 +1832,7 @@ class KVServer:
         shares: dict[int, object] = {}
         if seed_share is not None:
             shares[seed_share.index] = seed_share
-        state = {"done": False, "next": 0}
+        state = {"done": False, "next": 0, "pass_timer": False}
 
         def needed() -> int:
             if shares:
@@ -1833,6 +1935,14 @@ class KVServer:
                 issue(host, hedge=True)
             arm_hedge()
 
+        def next_pass() -> None:
+            state["pass_timer"] = False
+            if state["done"] or not self.up:
+                return
+            state["next"] = 0
+            hedged.clear()
+            ensure_fanout()
+
         def ensure_fanout() -> None:
             # Keep (at least) one fetch in flight per still-missing
             # share; replenish from the ranked list as fetches fail.
@@ -1843,9 +1953,13 @@ class KVServer:
                 # not reconstructible. Start another pass: a chosen
                 # value's shares reappear as crashed peers recover, so
                 # cycling is the read-side analogue of unbounded
-                # retransmission (§3.1 liveness).
-                state["next"] = 0
-                hedged.clear()
+                # retransmission (§3.1 liveness) — but paced: without
+                # the pause, a value that is *never* reconstructible
+                # (all live holders below X) re-fans out every RTT.
+                if not state["pass_timer"]:
+                    state["pass_timer"] = True
+                    self.sim.call_after(0.25, next_pass)
+                return
             while (
                 not state["done"]
                 and len(outstanding) < missing()
@@ -2363,6 +2477,19 @@ class KVServer:
             self.member_ids = set(members)
             self.config = config
 
+    @property
+    def eviction_events(self) -> list[tuple[float, int]]:
+        """(t, node_id) for each removal this server's repair
+        controller drove to completion (cumulative across crashes)."""
+        return self.repair.eviction_events
+
+    @property
+    def replacement_events(self) -> list[tuple[float, int, float]]:
+        """(t, node_id, time_to_restore) for each completed
+        re-admission; time_to_restore runs from this controller's own
+        eviction record (or its resume point after a leader change)."""
+        return self.repair.replacement_events
+
     def durable_footprint(self) -> dict[str, int]:
         """Current durable byte usage (WAL + checkpoint) and cumulative
         compaction work; feeds the chaos episode summaries."""
@@ -2413,12 +2540,35 @@ class KVServer:
         )
         self._drain_then(lambda: self._confirm_then_propose(members, new_config))
 
-    def _drain_then(self, cont) -> None:
-        """Wait until no group has a proposal in flight."""
+    #: Drain polls before an in-progress view change gives up (50 x
+    #: 0.02 s = one second of proposals refusing to finish).
+    DRAIN_BUDGET = 50
+
+    def _drain_then(self, cont, budget: int | None = None) -> None:
+        """Wait until no group has a proposal in flight, then ``cont``.
+
+        Bounded: a wedged in-flight proposal (e.g. its write quorum
+        vanished mid-accept) must not spin the view change forever
+        while client writes stay fenced. After ``DRAIN_BUDGET`` polls
+        the change aborts — ``view_changes_aborted`` ticks up, the
+        fence lifts, and the repair controller (or operator) retries
+        with backoff once the pipeline clears.
+        """
         if not self.up:
             return
+        budget = self.DRAIN_BUDGET if budget is None else budget
         if any(node._inflight for node in self.groups):
-            self.sim.call_after(0.02, lambda: self._drain_then(cont))
+            if budget <= 0:
+                self._view_changing = False
+                self.view_changes_aborted += 1
+                self.metrics.counter("view.aborted").inc(1)
+                self.tracer.emit(
+                    self.sim.now, "kv",
+                    f"{self.name} view change aborted (drain budget spent)",
+                )
+                return
+            self.sim.call_after(
+                0.02, lambda: self._drain_then(cont, budget - 1))
             return
         cont()
 
@@ -2438,9 +2588,16 @@ class KVServer:
                 self._propose_view_change(members, new_config)
 
         for g, node in enumerate(self.groups):
+            # Only instances above our compaction floor need placement
+            # confirmation: everything below it is subsumed by the
+            # checkpoint (snapshot transfer streams the latest version
+            # per key, re-coded for the receiver), and superseded
+            # pre-floor versions no longer have enough live shares to
+            # gather once any survivor was rebuilt from a snapshot.
+            floor = self.compact_floor[g]
             need = tuple(
                 inst for inst, rec in sorted(node.chosen.items())
-                if self._put_keys_of(self._meta_of(rec))
+                if inst >= floor and self._put_keys_of(self._meta_of(rec))
             )
             req = ConfirmPlacement(group=g, upto=node.next_instance,
                                    instances=need)
@@ -2528,12 +2685,25 @@ class KVServer:
         nv = NewView(epoch=self.view_epoch + 1, members=members,
                      config=new_config)
         pending = {"n": len(self.groups)}
+        removed = tuple(sorted(self.member_ids - set(members)))
 
         def decided(instance: int, v: Value) -> None:
             pending["n"] -= 1
             if pending["n"] == 0:
                 self._view_changing = False
                 self.view_changes_completed += 1
+                # Commit fan-out switched to the new view's peer set the
+                # moment the instance applied, so a *live* removed
+                # member never hears its own removal and keeps acting
+                # like a member. One farewell heartbeat carries the new
+                # epoch; its view-epoch check pulls the shrink view via
+                # catch-up and retires it.
+                hb = Heartbeat(leader_id=self.node_id, seq=0,
+                               ballot=self._leadership_ballot(),
+                               view_epoch=self.view_epoch)
+                for nid in removed:
+                    if nid in self.peers:
+                        self.endpoint.send(self.peers[nid], hb, hb.wire_bytes)
                 self.tracer.emit(
                     self.sim.now, "kv", f"{self.name} view change complete"
                 )
@@ -2574,9 +2744,14 @@ class KVServer:
         if not self.up:
             return
         node = self.groups[msg.group]
+        floor = self.compact_floor[msg.group]
         missing = tuple(
             inst for inst in msg.instances
-            if node.acceptor.accepted_share(inst) is None
+            # Pre-floor instances are subsumed by our checkpoint; a
+            # fragment for them is dead weight (and may be ungatherable
+            # cluster-wide), so never report them as gaps.
+            if inst >= floor
+            and node.acceptor.accepted_share(inst) is None
             and not (
                 inst in node.chosen and node.chosen[inst].share is not None
             )
@@ -2914,6 +3089,19 @@ class KVServer:
         if reply.max_ballot is not None:
             node._max_ballot_seen = max(node._max_ballot_seen, reply.max_ballot)
         self._applied_ops.update(reply.applied_ops)
+        if reply.view_config is not None and reply.view_epoch >= self.view_epoch:
+            # The view-change instances that produced the donor's
+            # current view sit in the compacted prefix this snapshot
+            # replaces: adopt their net effect (including retiring
+            # ourselves if we were evicted while down — re-admission
+            # un-retires via the grow view, exactly as log replay
+            # would). ``>=``: the first group's install bumps the
+            # server-level epoch, but every group's node still needs
+            # the per-group config/peer switch.
+            self._apply_view_cmd(group, NewView(
+                epoch=reply.view_epoch, members=reply.view_members,
+                config=reply.view_config,
+            ))
         if reply.floor > node.apply_cursor:
             node.apply_cursor = reply.floor
         node.next_instance = max(node.next_instance, reply.floor)
@@ -2989,6 +3177,11 @@ class KVServer:
                 floor=node.apply_cursor if done else 0,
                 applied_ops=applied,
                 max_ballot=node._max_ballot_seen if done else None,
+                view_epoch=self.view_epoch if done else 0,
+                view_members=(
+                    tuple(sorted(self.member_ids)) if done else ()
+                ),
+                view_config=self.config if done else None,
             )
             self.metrics.counter("rebuild.snapshots_served").inc(1)
             respond(chunk, chunk.wire_bytes)

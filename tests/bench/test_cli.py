@@ -37,10 +37,11 @@ class TestCli:
         # + the chaos correctness gate + the overload robustness gate
         # + the batching throughput gate + the ycsb isolation gate
         # + the partition-recovery gate + the read-path availability
-        # gate.
+        # gate + the self-healing membership gate.
         assert set(EXPERIMENTS) == {
             "table1", "fig5", "fig6", "fig7", "fig8", "cpu", "chaos",
             "overload", "batching", "ycsb", "partitions", "readpath",
+            "selfheal",
         }
 
     def test_chaos_gate(self, capsys):

@@ -197,7 +197,8 @@ class TestAutoReconfigure:
         c.start()
         c.run(until=1.0)
         c.crash_server(4)
-        # dead_after (3 s) + heartbeat cadence + change execution.
+        # suspicion threshold (~3 s of silence) + evict grace (2 s) +
+        # heartbeat cadence + change execution.
         c.run(until=12.0)
         leader = c.leader()
         assert leader.view_epoch == 1
