@@ -12,6 +12,7 @@ Usage::
     python -m repro.bench partitions [--full]
     python -m repro.bench readpath [--full]
     python -m repro.bench selfheal [--full]
+    python -m repro.bench shards [--full]
 
 ``chaos`` is the correctness gate rather than a paper figure: it runs
 seeded fault-injection episodes and fails (exit 1, repro bundle on
@@ -30,7 +31,11 @@ chaos, and RTT-aware repair-source selection must beat random (exit 1
 otherwise). ``selfheal`` is the membership gate: sequential permanent
 failures (> F) must be auto-evicted and auto-replaced within a bounded
 time-to-full-redundancy, and benign chaos (gray nodes, partial cuts)
-must cause zero false evictions (exit 1 otherwise).
+must cause zero false evictions (exit 1 otherwise). ``shards`` is the
+dynamic-sharding gate: a hot key range auto-split across spare groups
+must recover most of the balanced cluster's goodput, and chaos-seeded
+migrations must complete without losing or duplicating a key (exit 1
+otherwise).
 """
 
 from __future__ import annotations
@@ -40,7 +45,7 @@ import sys
 
 from .experiments import (
     batching, chaos, cpu_cost, fig5, fig6, fig7, fig8, overload,
-    partitions, readpath, selfheal, table1, ycsb,
+    partitions, readpath, selfheal, shards, table1, ycsb,
 )
 
 EXPERIMENTS = {
@@ -62,6 +67,8 @@ EXPERIMENTS = {
                  readpath),
     "selfheal": ("Self-heal: accrual eviction + replica-replacement gate",
                  selfheal),
+    "shards": ("Shards: hot-shard auto-split goodput + migration safety gate",
+               shards),
 }
 
 
@@ -117,7 +124,7 @@ def main(argv: list[str] | None = None) -> int:
             status |= module.main(seeds=args.seeds, short=args.short,
                                   wipe_heavy=args.wipe_heavy)
         elif name in ("overload", "batching", "ycsb", "partitions",
-                      "readpath", "selfheal"):
+                      "readpath", "selfheal", "shards"):
             status |= module.main(quick=not args.full)
         else:
             module.main(quick=not args.full)

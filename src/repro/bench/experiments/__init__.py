@@ -24,14 +24,17 @@ shapes the paper reports hold in both modes.
 - :mod:`.selfheal` — not a figure: self-healing membership gate —
   accrual-detector eviction + replica-replacement controller, with a
   zero-false-eviction ladder under benign chaos.
+- :mod:`.shards` — not a figure: dynamic-sharding gate — hot-shard
+  auto-split goodput vs a balanced reference, plus chaos-seeded
+  migration safety (no key lost or duplicated).
 """
 
 from . import (
     chaos, cpu_cost, fig5, fig6, fig7, fig8, overload, partitions,
-    readpath, selfheal, table1, ycsb,
+    readpath, selfheal, shards, table1, ycsb,
 )
 
 __all__ = [
     "chaos", "cpu_cost", "fig5", "fig6", "fig7", "fig8", "overload",
-    "partitions", "readpath", "selfheal", "table1", "ycsb",
+    "partitions", "readpath", "selfheal", "shards", "table1", "ycsb",
 ]

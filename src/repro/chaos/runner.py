@@ -86,6 +86,17 @@ class ChaosSpec:
     # slots and re-admits rebuilt spares (the provision-spare event).
     auto_reconfigure: bool = False
     auto_heal: bool = False
+    # Dynamic sharding (hot-shard split/merge PR). Off by default —
+    # byte-for-byte the static-hash-map episodes. When on, the cluster
+    # routes by a replicated versioned range map; ``shard_ranges``
+    # seeds the bootstrap boundaries (empty = one range owning
+    # everything), ``rebalance_interval`` > 0 arms the load-driven
+    # splitter/merger, and the schedule's ``shard_weights`` can inject
+    # split / merge / crash-mid-migration faults.
+    dynamic_shards: bool = False
+    shard_ranges: tuple[str, ...] = ()
+    max_group_pipeline: int = 0
+    rebalance_interval: float = 0.0
 
     @property
     def horizon(self) -> float:
@@ -107,6 +118,9 @@ class ChaosSpec:
             "tenant_weights": dict(self.tenant_weights),
             "auto_reconfigure": self.auto_reconfigure,
             "auto_heal": self.auto_heal,
+            "dynamic_shards": self.dynamic_shards,
+            "shard_ranges": list(self.shard_ranges),
+            "rebalance_interval": self.rebalance_interval,
         }
 
 
@@ -218,6 +232,17 @@ class EpisodeResult:
     false_evictions: int = 0
     replacements: int = 0
     time_to_restore: list = field(default_factory=list)
+    # Dynamic-sharding accounting (hot-shard split/merge PR): map
+    # mutations the episode's leaders started and completed, the copy /
+    # dual-write-fence traffic the cutovers cost, how often stale
+    # routing was caught (WrongShard), and the final map version.
+    shard_splits: int = 0
+    shard_merges: int = 0
+    migrations_completed: int = 0
+    copies_proposed: int = 0
+    fence_writes: int = 0
+    wrong_shard_replies: int = 0
+    map_version: int = 0
     bundle_path: str | None = None
 
     @property
@@ -264,6 +289,13 @@ class EpisodeResult:
             "false_evictions": self.false_evictions,
             "replacements": self.replacements,
             "time_to_restore": self.time_to_restore,
+            "shard_splits": self.shard_splits,
+            "shard_merges": self.shard_merges,
+            "migrations_completed": self.migrations_completed,
+            "copies_proposed": self.copies_proposed,
+            "fence_writes": self.fence_writes,
+            "wrong_shard_replies": self.wrong_shard_replies,
+            "map_version": self.map_version,
             "schedule": [e.to_jsonable() for e in self.schedule],
         }
 
@@ -316,6 +348,10 @@ class ChaosRunner:
             auto_heal=spec.auto_heal,
             client_tenants=tenants,
             tenant_weights=dict(spec.tenant_weights) or None,
+            dynamic_shards=spec.dynamic_shards,
+            shard_ranges=spec.shard_ranges or None,
+            max_group_pipeline=spec.max_group_pipeline,
+            rebalance_interval=spec.rebalance_interval,
             trace=trace,
         )
         sim = cluster.sim
@@ -324,6 +360,39 @@ class ChaosRunner:
         # Filled by _start_workload: lets the "overload" fault reach
         # into the workload and open its loop for a burst.
         workload_ctl: dict = {}
+
+        def shard_op(op: str, attempts: int = 10) -> None:
+            # Split/merge requests are opportunistic: leadership may be
+            # mid-transition or a migration already in flight when the
+            # event fires, so retry briefly and then drop it.
+            ldr = cluster.leader()
+            if ldr is not None and getattr(ldr, op)():
+                return
+            if attempts > 0:
+                sim.call_after(0.25, lambda: shard_op(op, attempts - 1))
+
+        def arm_migration_crash(dur: float) -> None:
+            # Crash whichever server leads the moment a migration is
+            # next observed in flight — inside the copy / dual-write
+            # fence window — then recover it after ``dur``. If no
+            # migration starts before the fault window closes, the
+            # event lapses.
+            def watch() -> None:
+                if sim.now >= spec.schedule.end:
+                    return
+                ldr = cluster.leader()
+                if (
+                    ldr is not None
+                    and getattr(ldr.shard_map, "migrating", None) is not None
+                ):
+                    ldr.crash()
+                    sim.call_after(
+                        dur, lambda: ldr.recover() if not ldr.up else None
+                    )
+                    return
+                sim.call_after(0.05, watch)
+
+            sim.call_soon(watch)
 
         def on_fault(kind: str, arg) -> None:
             if kind in ("crash", "recover") and arg in by_host:
@@ -377,6 +446,12 @@ class ChaosRunner:
                 srv = by_host[arg]
                 if not srv.up:
                     srv.rejoin()
+            elif kind == "shard-split":
+                shard_op("force_split")
+            elif kind == "shard-merge":
+                shard_op("force_merge")
+            elif kind == "crash-migration":
+                arm_migration_crash(float(arg))
 
         cluster.faults.on_fault(on_fault)
 
@@ -523,6 +598,17 @@ class ChaosRunner:
             time_to_restore=sorted(
                 round(ttr, 4) for _, _, ttr in replacement_events
             ),
+            shard_splits=sum(s.splits_started for s in cluster.servers),
+            shard_merges=sum(s.merges_started for s in cluster.servers),
+            migrations_completed=max(
+                s.migrations_completed for s in cluster.servers
+            ),
+            copies_proposed=sum(s.copies_proposed for s in cluster.servers),
+            fence_writes=sum(s.fence_writes for s in cluster.servers),
+            wrong_shard_replies=sum(
+                s.wrong_shard_replies for s in cluster.servers
+            ),
+            map_version=max(s.shard_map.version for s in cluster.servers),
         )
         trace_tail = (
             [str(r) for r in cluster.tracer.records[-400:]] if trace else []

@@ -39,7 +39,7 @@ class ChaosEvent:
     # crash|recover|partition|partial-partition|asym-partition|flap|
     # heal|loss-burst|slow-disk|fix-disk|torn-write|bit-rot|scrub|
     # wipe|rejoin|overload|slow-node|fix-node|perma-crash|
-    # provision-spare
+    # provision-spare|shard-split|shard-merge|crash-migration
     kind: str
     arg: Any = None
 
@@ -121,6 +121,18 @@ class ScheduleSpec:
     # arrives. Zero weight disables with exact RNG-draw parity.
     provision_delay: tuple[float, float] = (6.0, 10.0)
     perma_weight: float = 0.0
+    # Dynamic-sharding faults (split/merge/rebalance PR), meaningful
+    # only on clusters built with ``dynamic_shards``. ``shard-split``
+    # asks the leader to carve its hottest range into a spare group
+    # mid-workload; ``shard-merge`` folds the coldest range back;
+    # ``crash-migration`` arms a watcher that crashes the leader the
+    # moment a migration is in flight — inside the copy/dual-write
+    # fence window — with a paired recover after ``crash_dur``. Zero
+    # weights disable with exact RNG-draw parity. ``shard_gap``
+    # serializes them: migrations are one-at-a-time by design, so
+    # stacking requests only burns events on begin_* refusals.
+    shard_weights: tuple[float, float, float] = (0.0, 0.0, 0.0)
+    shard_gap: float = 2.0
 
     @property
     def end(self) -> float:
@@ -147,6 +159,8 @@ def generate_schedule(
     cut_seq = 0
     burst_until = 0.0
     overload_until = 0.0
+    shard_until = 0.0
+    shard_crash_until = 0.0
     last_rot = -spec.rot_gap
     t = spec.warmup
 
@@ -161,7 +175,11 @@ def generate_schedule(
             break
         choices: list[tuple[str, float]] = []
         up = [s for s in servers if crashed_until.get(s, 0.0) <= t]
-        if len(servers) - len(up) < max_crashed and up:
+        # crash-migration crashes a runtime-determined host (whoever
+        # leads when the next migration starts), so it reserves a crash
+        # slot here rather than naming one in ``crashed_until``.
+        down = len(servers) - len(up) + (1 if shard_crash_until > t else 0)
+        if down < max_crashed and up:
             choices.append(("crash", spec.weights[0]))
         if partition_until <= t and len(servers) >= 2:
             choices.append(("partition", spec.weights[1]))
@@ -176,11 +194,11 @@ def generate_schedule(
         ]
         if healthy_disks:
             choices.append(("slow-disk", spec.weights[3]))
-        if len(servers) - len(up) < max_crashed and up:
+        if down < max_crashed and up:
             choices.append(("torn-write", spec.storage_weights[0]))
-        if len(servers) - len(up) < max_crashed and up:
+        if down < max_crashed and up:
             choices.append(("wipe", spec.wipe_weight))
-        if len(servers) - len(up) < max_crashed and up:
+        if down < max_crashed and up:
             choices.append(("perma-crash", spec.perma_weight))
         if up and t - last_rot >= spec.rot_gap:
             choices.append(("bit-rot", spec.storage_weights[1]))
@@ -200,6 +218,11 @@ def generate_schedule(
         if mesh_until <= t and len(servers) >= 2:
             choices.append(("asym-partition", spec.partition_mix_weights[1]))
             choices.append(("flap", spec.partition_mix_weights[2]))
+        if shard_until <= t:
+            choices.append(("shard-split", spec.shard_weights[0]))
+            choices.append(("shard-merge", spec.shard_weights[1]))
+        if shard_until <= t and down < max_crashed and up:
+            choices.append(("crash-migration", spec.shard_weights[2]))
         choices = [(k, w) for k, w in choices if w > 0]
         if not choices:
             continue
@@ -314,6 +337,21 @@ def generate_schedule(
             overload_until = t + d
             factor = float(rng.uniform(*spec.overload_factor))
             events.append(ChaosEvent(t, "overload", (d, factor)))
+        elif kind == "shard-split":
+            shard_until = t + spec.shard_gap
+            events.append(ChaosEvent(t, "shard-split", None))
+        elif kind == "shard-merge":
+            shard_until = t + spec.shard_gap
+            events.append(ChaosEvent(t, "shard-merge", None))
+        elif kind == "crash-migration":
+            # The watcher crashes whichever server leads when a
+            # migration is next in flight; the recover is relative to
+            # the (runtime-determined) crash moment, so the runner arms
+            # it — the schedule only fixes the crash duration.
+            d = dur(spec.crash_dur, t)
+            shard_until = t + spec.shard_gap + d
+            shard_crash_until = shard_until
+            events.append(ChaosEvent(t, "crash-migration", d))
         elif kind == "slow-node":
             host = healthy_nodes[int(rng.integers(len(healthy_nodes)))]
             d = dur(spec.node_slow_dur, t)
@@ -362,7 +400,8 @@ def arm_schedule(faults: FaultSchedule, events: list[ChaosEvent]) -> None:
         elif ev.kind in (
             "slow-disk", "fix-disk", "torn-write", "bit-rot", "scrub",
             "overload", "slow-node", "fix-node", "perma-crash",
-            "provision-spare",
+            "provision-spare", "shard-split", "shard-merge",
+            "crash-migration",
         ):
             faults.custom_at(ev.t, ev.kind, ev.arg)
         else:

@@ -19,6 +19,7 @@ from .invariants import (
     check_decodability,
     check_durable_integrity,
     check_no_starvation,
+    check_shard_coverage,
     check_single_lease,
     check_unique_choice,
     check_view_convergence,
@@ -38,6 +39,7 @@ __all__ = [
     "check_history",
     "check_key",
     "check_no_starvation",
+    "check_shard_coverage",
     "check_single_lease",
     "check_unique_choice",
     "check_view_convergence",

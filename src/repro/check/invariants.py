@@ -31,7 +31,7 @@ class Violation:
 
     kind: str     # "config" | "unique-choice" | "decodability" |
                   # "durable-integrity" | "bounded-wal" | "single-lease" |
-                  # "view-convergence"
+                  # "view-convergence" | "shard-coverage"
     detail: str
 
     def to_jsonable(self) -> dict:
@@ -104,6 +104,15 @@ def check_decodability(servers) -> list[Violation]:
     return violations
 
 
+def _is_live_put(meta) -> bool:
+    """Put-like decisions whose bytes must stay reconstructible: client
+    puts and migration ``copy`` re-proposals (which carry the full
+    value into a key's new owner group)."""
+    if not isinstance(meta, Command):
+        return False
+    return meta.op == "put" or (meta.op == "copy" and meta.arg != "tombstone")
+
+
 def _live_put_instances(srvs, group: int) -> dict[int, str]:
     """Decided put instances whose bytes must still be reconstructible,
     as ``{instance: value_id}`` unioned across ``srvs``.
@@ -115,26 +124,41 @@ def _live_put_instances(srvs, group: int) -> dict[int, str]:
     disappear by design as wiped replicas are rebuilt — the state
     machine no longer needs them, and a probe demanding them would
     flag healthy clusters after >=2 distinct wipe/rebuild cycles.
+
+    Supersession is *cross-group*: under dynamic sharding a store
+    version encodes the shard-map era above the Paxos instance
+    (``(mapv << 48) | instance``), and a migrated key's later-era
+    ``copy``/put in its new owner group supersedes the old group's
+    instances — which would otherwise stay pinned forever once the key
+    stops being written in the old group. Static mode (era always 0,
+    one owner per key) degenerates to the original per-group rule.
     """
     instances: dict[int, str] = {}
     key_of: dict[int, str] = {}
-    for srv in srvs:
-        for inst, rec in srv.groups[group].chosen.items():
-            meta = _meta_of(rec)
-            if isinstance(meta, Command) and meta.op == "put":
-                instances.setdefault(inst, rec.value_id)
-                key_of.setdefault(inst, meta.key)
+    enc_of: dict[int, int] = {}
+    latest: dict[str, int] = {}  # key -> max encoded version, any group
+    num_groups = len(srvs[0].groups) if srvs else 0
+    for g in range(num_groups):
+        for srv in srvs:
+            for inst, rec in srv.groups[g].chosen.items():
+                meta = _meta_of(rec)
+                if not _is_live_put(meta):
+                    continue
+                enc = (getattr(meta, "mapv", 0) << 48) | inst
+                if g == group:
+                    instances.setdefault(inst, rec.value_id)
+                    key_of.setdefault(inst, meta.key)
+                    enc_of.setdefault(inst, enc)
+                if enc > latest.get(meta.key, -1):
+                    latest[meta.key] = enc
     floor = 0
     for srv in srvs:
         cf = getattr(srv, "compact_floor", None)  # absent on test fakes
         if cf:
             floor = max(floor, cf[group])
-    latest: dict[str, int] = {}
-    for inst in sorted(instances):
-        latest[key_of[inst]] = inst
     return {
         inst: vid for inst, vid in instances.items()
-        if inst >= floor or latest[key_of[inst]] == inst
+        if inst >= floor or latest[key_of[inst]] == enc_of[inst]
     }
 
 
@@ -377,6 +401,60 @@ def check_view_convergence(servers) -> list[Violation]:
     return violations
 
 
+def check_shard_coverage(servers) -> list[Violation]:
+    """Dynamic sharding: every up replica's range map is a *partition*
+    of the keyspace — total (starts at "", ends at +inf), contiguous
+    (each hi equals the next lo), non-overlapping, every range owned by
+    a distinct in-pool group — and any two replicas holding the same
+    map version hold *identical* maps (maps are replicated values;
+    equal version must mean equal content). The structure is
+    re-verified from the raw range tuples, not delegated to ShardMap's
+    own validation. Hash maps (static mode) pass trivially.
+    """
+    violations = []
+    by_version: dict[int, tuple] = {}
+    for srv in servers:
+        if not srv.up:
+            continue
+        m = getattr(srv, "shard_map", None)
+        if m is None or not getattr(m, "is_range_map", False):
+            continue
+        r = m.ranges
+        problems = []
+        if r[0][0] != "":
+            problems.append("first range does not start at the empty key")
+        if r[-1][1] is not None:
+            problems.append("last range does not extend to +inf")
+        owners = [g for _lo, _hi, g in r]
+        if len(set(owners)) != len(owners):
+            problems.append(f"a group owns two ranges ({owners})")
+        for i in range(len(r) - 1):
+            if r[i][1] != r[i + 1][0]:
+                problems.append(
+                    f"gap/overlap between [{r[i][0]!r}, {r[i][1]!r}) and "
+                    f"[{r[i + 1][0]!r}, ...)"
+                )
+        for lo, hi, g in r:
+            if hi is not None and not lo < hi:
+                problems.append(f"empty/inverted range [{lo!r}, {hi!r})")
+            if not 0 <= g < m.num_groups:
+                problems.append(f"owner {g} outside the group pool")
+        for p in problems:
+            violations.append(Violation(
+                "shard-coverage", f"{srv.name} map v{m.version}: {p}",
+            ))
+        prior = by_version.get(m.version)
+        if prior is None:
+            by_version[m.version] = (m, srv.name)
+        elif prior[0] != m:
+            violations.append(Violation(
+                "shard-coverage",
+                f"map version {m.version} differs between {prior[1]} and "
+                f"{srv.name}: {prior[0]!r} vs {m!r}",
+            ))
+    return violations
+
+
 def check_cluster(servers, config) -> list[Violation]:
     """All replicated-state probes in one sweep."""
     return (
@@ -388,4 +466,5 @@ def check_cluster(servers, config) -> list[Violation]:
         + check_no_starvation(servers)
         + check_single_lease(servers)
         + check_view_convergence(servers)
+        + check_shard_coverage(servers)
     )

@@ -7,7 +7,9 @@ Public API:
 - :class:`KVServer` — replica server: Paxos groups, local store, leader
   leases, fast/consistent/recovery reads, crash recovery, election.
 - :class:`KVClient` — leader-caching client with redirect handling.
-- :class:`ShardMap` — static key -> Paxos-group mapping (§4.2).
+- :class:`ShardMap` — key -> Paxos-group mapping (§4.2): static crc32
+  hashing, or versioned key ranges under dynamic sharding (replicated
+  through a distinguished config group, with live split/merge).
 - message types in :mod:`repro.kvstore.messages`.
 """
 
@@ -45,14 +47,16 @@ from .messages import (
     ProbeSpare,
     PutOk,
     Redirect,
+    ShardCmd,
     ShareReply,
     SnapshotChunk,
     SnapshotEntry,
     SpareStatus,
+    WrongShard,
 )
 from .membership import AccrualFailureDetector, RepairController
 from .server import KVServer
-from .shard import ShardMap
+from .shard import ShardMap, encode_version, era_of, instance_of
 
 __all__ = [
     "AccrualFailureDetector",
@@ -86,13 +90,18 @@ __all__ = [
     "PutOk",
     "Redirect",
     "RepairController",
+    "ShardCmd",
     "ShardMap",
     "ShareReply",
     "SnapshotChunk",
     "SnapshotEntry",
     "SpareStatus",
+    "WrongShard",
     "build_cluster",
     "decode_frame",
     "encode_frame",
+    "encode_version",
+    "era_of",
     "frame_size",
+    "instance_of",
 ]

@@ -27,6 +27,7 @@ from .messages import (
     NotReady,
     PutOk,
     Redirect,
+    WrongShard,
 )
 
 class KVClient:
@@ -86,7 +87,13 @@ class KVClient:
         # trigger, not per operation.
         self.read_retry_causes = {
             "not_ready": 0, "not_leader": 0, "busy": 0, "timeout": 0,
+            "wrong_shard": 0,
         }
+        # Highest shard-map version seen in any reply (piggybacked by
+        # the servers under dynamic sharding). Sent with every request
+        # so a lagging follower can detect its routing is stale and
+        # refuse (WrongShard) instead of misrouting the read.
+        self.map_version = 0
         self.history = None  # optional invocation/response recorder
         self._op_ids = itertools.count(1)
         # Client-level cursor for rotating reads: successive follower
@@ -136,7 +143,8 @@ class KVClient:
         """Write ``key``; ``on_done(ok)`` fires at commit or after the
         retry budget is exhausted."""
         msg = ClientPut(key, size, data, client=self.name,
-                        op_id=next(self._op_ids), tenant=self.tenant)
+                        op_id=next(self._op_ids), tenant=self.tenant,
+                        map_version=self.map_version)
         self._issue(msg, msg.wire_bytes, PutOk, on_done, op="put")
 
     def get(
@@ -153,7 +161,8 @@ class KVClient:
         ``server``; an untargeted follower read rotates across the
         whole server list instead of chasing the leader cache.
         """
-        msg = ClientGet(key, mode, tenant=self.tenant)
+        msg = ClientGet(key, mode, tenant=self.tenant,
+                        map_version=self.map_version)
 
         def adapt(ok: bool, reply=None) -> None:
             if on_done is not None:
@@ -168,7 +177,7 @@ class KVClient:
         self, key: str, on_done: Callable[[bool], None] | None = None
     ) -> None:
         msg = ClientDelete(key, client=self.name, op_id=next(self._op_ids),
-                           tenant=self.tenant)
+                           tenant=self.tenant, map_version=self.map_version)
         self._issue(msg, msg.wire_bytes, PutOk, on_done, op="delete")
 
     # -- engine -----------------------------------------------------------
@@ -226,6 +235,9 @@ class KVClient:
             target = pick_target()
 
             def on_reply(reply) -> None:
+                mv = getattr(reply, "map_version", 0)
+                if mv > self.map_version:
+                    self.map_version = mv
                 if isinstance(reply, ok_type):
                     if fixed_target is None and not rotate:
                         self.leader_cache = target
@@ -271,6 +283,20 @@ class KVClient:
                         reply.retry_after
                         + self._retry_delay(attempts["retries"]),
                         attempt,
+                    )
+                elif isinstance(reply, WrongShard):
+                    note_retry("wrong_shard")
+                    self.metrics.counter("client.wrong_shard").inc(1)
+                    # This replica's shard map lags one we have already
+                    # seen: its routing is stale. Back off briefly and
+                    # try elsewhere (rotating reads advance on their
+                    # own; leader-directed ops drop the cache so the
+                    # rotation finds a caught-up replica).
+                    if fixed_target is None and not rotate:
+                        self.leader_cache = None
+                    attempts["retries"] += 1
+                    self.sim.call_after(
+                        self._retry_delay(attempts["retries"]), attempt
                     )
                 elif isinstance(reply, NotReady):
                     note_retry("not_ready")

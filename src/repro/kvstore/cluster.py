@@ -98,6 +98,12 @@ def build_cluster(
     batch_max_commands: int = 1,
     batch_max_bytes: int = 256 * 1024,
     batch_linger: float = 0.001,
+    dynamic_shards: bool = False,
+    shard_ranges: tuple[str, ...] | list[str] | None = None,
+    max_group_pipeline: int = 0,
+    rebalance_interval: float = 0.0,
+    split_threshold: float = 2.0,
+    merge_threshold: float = 0.25,
     trace: bool = False,
 ) -> Cluster:
     """Wire up a complete cluster.
@@ -110,6 +116,16 @@ def build_cluster(
     order as the clients; shorter lists leave the rest untagged);
     ``tenant_weights`` sets the leader's fair-queueing weights (any
     tenant not listed gets weight 1).
+
+    ``dynamic_shards`` switches from the static crc32 hash map to a
+    versioned *range* map replicated through a distinguished config
+    group: ``num_groups`` becomes the size of the data-group pool, and
+    the bootstrap map either gives group 0 the whole keyspace (the
+    default, spares await splits) or is cut at ``shard_ranges``
+    boundaries. ``rebalance_interval`` > 0 arms the leader's
+    load-driven splitter/merger; ``max_group_pipeline`` caps per-group
+    in-flight proposals (0 = uncapped) so a hot shard sheds (Busy)
+    instead of monopolizing the server.
     """
     n = num_servers or config.n
     if n != config.n:
@@ -123,7 +139,14 @@ def build_cluster(
         tracer,
     )
     metrics = MetricSet()
-    shard_map = ShardMap(num_groups)
+    if dynamic_shards:
+        shard_map = (
+            ShardMap.from_boundaries(num_groups, shard_ranges)
+            if shard_ranges
+            else ShardMap.single_range(num_groups)
+        )
+    else:
+        shard_map = ShardMap(num_groups)
     lease_cfg = lease_config or LeaseConfig()
     peers = dict(enumerate(snames))
     drift_rng = sim.rng.stream("clock.drift")
@@ -154,6 +177,11 @@ def build_cluster(
             batch_max_commands=batch_max_commands,
             batch_max_bytes=batch_max_bytes,
             batch_linger=batch_linger,
+            dynamic_shards=dynamic_shards,
+            max_group_pipeline=max_group_pipeline,
+            rebalance_interval=rebalance_interval,
+            split_threshold=split_threshold,
+            merge_threshold=merge_threshold,
             tracer=tracer,
             metrics=metrics,
         )

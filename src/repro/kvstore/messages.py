@@ -33,6 +33,7 @@ class ClientPut:
     client: str = ""
     op_id: int = 0
     tenant: str = ""
+    map_version: int = 0  # highest shard-map version the client has seen
 
     @property
     def wire_bytes(self) -> int:
@@ -51,6 +52,7 @@ class ClientGet:
     key: str
     mode: str = "fast"
     tenant: str = ""
+    map_version: int = 0
 
     @property
     def wire_bytes(self) -> int:
@@ -65,6 +67,7 @@ class ClientDelete:
     client: str = ""
     op_id: int = 0
     tenant: str = ""
+    map_version: int = 0
 
     @property
     def wire_bytes(self) -> int:
@@ -78,6 +81,7 @@ class ClientDelete:
 @dataclass(frozen=True, slots=True)
 class PutOk:
     key: str
+    map_version: int = 0  # piggyback: the server's shard-map version
 
     @property
     def wire_bytes(self) -> int:
@@ -89,6 +93,7 @@ class GetOk:
     key: str
     size: int
     data: bytes | None = None
+    map_version: int = 0
 
     @property
     def wire_bytes(self) -> int:
@@ -98,6 +103,24 @@ class GetOk:
 @dataclass(frozen=True, slots=True)
 class NotFound:
     key: str
+    map_version: int = 0
+
+    @property
+    def wire_bytes(self) -> int:
+        return KV_META
+
+
+@dataclass(frozen=True, slots=True)
+class WrongShard:
+    """The client's piggybacked shard-map version is *newer* than this
+    server's: the server would route the key with a stale map (e.g. a
+    follower that has not yet applied a migration commit a previous
+    reply already told the client about). The client backs off briefly
+    and rotates; ``map_version`` is the server's current version so
+    telemetry can see how far behind it was."""
+
+    key: str
+    map_version: int = 0
 
     @property
     def wire_bytes(self) -> int:
@@ -401,6 +424,11 @@ class SnapshotChunk:
     view_epoch: int = 0
     view_members: tuple = ()
     view_config: Any = None
+    # Donor's shard map (dynamic sharding): shard-map commands write no
+    # KV state, so a joiner whose config-group log was compacted away
+    # would otherwise resurrect the bootstrap routing map. None in
+    # static mode.
+    shard_map: Any = None
 
     @property
     def wire_bytes(self) -> int:
@@ -427,13 +455,55 @@ class Command:
     exactly-once apply of puts and deletes (empty for internal
     commands: noops, read markers, views — and for batches, which carry
     per-command identities in their items instead).
+
+    ``mapv`` is the shard-map version ("era") the leader held when it
+    proposed the command; apply stamps it into the store version
+    (``(mapv << VERSION_BITS) | instance``) so writes routed under a
+    newer map always supersede writes of an older era regardless of
+    which group's log they landed in. Always 0 in static (hash) mode,
+    which makes the store version equal the bare instance — the
+    original scheme.
+
+    Dynamic-sharding ops: ``"shard"`` (``arg`` = :class:`ShardCmd`,
+    config group only) replaces the routing map; ``"copy"`` re-proposes
+    a migrated key's value into its new owner group, applied only while
+    the store entry still predates the migration era (idempotent across
+    leader failovers); ``"fence"`` is the dual-write no-op mirrored
+    into the old owner group during the cutover window.
     """
 
     op: str  # "put" | "delete" | "read" | "view" | "batch"
+              # | "shard" | "copy" | "fence"
     key: str
     arg: Any = None
     client: str = ""
     op_id: int = 0
+    mapv: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class ShardCmd:
+    """Replicated shard-map change (``Command(op="shard", arg=...)``),
+    proposed into the distinguished config group.
+
+    Carries the **full** successor map (not a delta): apply is a pure
+    compare-and-swap on ``version``, so replays, duplicate proposals
+    after a leader failover, and snapshot-skipped prefixes are all
+    trivially idempotent. Maps are a handful of ranges — wire cost is
+    noise next to one data write.
+    """
+
+    version: int
+    num_groups: int
+    ranges: tuple    # ((lo, hi|None, group), ...)
+    migrating: Any = None   # (lo, hi|None, src, dst) during a cutover
+
+    @property
+    def wire_bytes(self) -> int:
+        return KV_META + sum(
+            len(lo) + (len(hi) if hi is not None else 0) + 8
+            for lo, hi, _g in self.ranges
+        )
 
 
 # ---------------------------------------------------------------------------

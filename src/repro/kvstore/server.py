@@ -77,13 +77,15 @@ from .messages import (
     ReadIndex,
     ReadIndexReply,
     Redirect,
+    ShardCmd,
     ShareReply,
     SnapshotChunk,
     SnapshotEntry,
     SpareStatus,
+    WrongShard,
 )
 from .membership import AccrualFailureDetector, RepairController
-from .shard import ShardMap
+from .shard import ShardMap, encode_version, era_of, instance_of
 
 
 class _BatchEntry:
@@ -137,6 +139,11 @@ class KVServer:
         batch_max_commands: int = 1,
         batch_max_bytes: int = 256 * 1024,
         batch_linger: float = 0.001,
+        dynamic_shards: bool = False,
+        max_group_pipeline: int = 0,
+        rebalance_interval: float = 0.0,
+        split_threshold: float = 2.0,
+        merge_threshold: float = 0.25,
         tracer: Tracer = NULL_TRACER,
         metrics: MetricSet | None = None,
     ):
@@ -162,8 +169,20 @@ class KVServer:
         self.clock = LocalClock(sim, clock_offset)
         self.lease = Lease(self.clock, self.lease_config)
 
+        # Dynamic sharding: the full group pool (``shard_map.num_groups``
+        # data groups, active or spare) plus one distinguished *config*
+        # group at the last index are all built up front — the channel
+        # mux drops messages for unregistered channels and checkpoint
+        # install zips fixed-length group lists, so groups can never be
+        # created on the fly. Static mode builds exactly the data
+        # groups, byte-for-byte the original layout.
+        self.dynamic_shards = dynamic_shards
+        self.cfg_group: int | None = (
+            shard_map.num_groups if dynamic_shards else None
+        )
+        total_groups = shard_map.num_groups + (1 if dynamic_shards else 0)
         self.groups: list[PaxosNode] = []
-        for g in range(shard_map.num_groups):
+        for g in range(total_groups):
             node = PaxosNode(
                 sim, self.mux.channel(g), WalView(self.wal, g), config,
                 node_id=node_id, peers=peers,
@@ -217,6 +236,11 @@ class KVServer:
         # a per-client high-water mark, because clients may issue many
         # concurrent ops whose retries commit out of id order.
         self._applied_ops: set[tuple[int, str, int]] = set()
+        # Group-agnostic projection of the same identities: under
+        # dynamic sharding a retry may route to a *different* group
+        # than the original commit (the key migrated in between), so
+        # the leader's duplicate check must ignore the group.
+        self._applied_ids: set[tuple[str, int]] = set()
         # Client responses parked until the decided instance is applied
         # locally (read-your-writes: PutOk must imply visibility).
         self._apply_waiters: dict[tuple[int, int], list[Callable[[], None]]] = {}
@@ -347,6 +371,35 @@ class KVServer:
         self._snap_inflight: dict[int, str] = {}
         self._rebuild_timer = None
 
+        # Dynamic sharding: leader-resident rebalancer + migration
+        # driver. ``max_group_pipeline`` caps how many proposals one
+        # data group may have in flight (0 = uncapped, the original
+        # behaviour) — it is what makes a hot shard *leader-bound* in a
+        # measurable, per-group way so splitting it demonstrably helps.
+        # ``_group_load`` counts admitted mutations per group in the
+        # current rebalance window; ``_load_ewma`` smooths them across
+        # windows; ``_key_freq`` holds bounded per-key write counts used
+        # to pick a weighted-median split boundary. ``_migration_task``
+        # is the map version a local copy driver is running for (None =
+        # idle); the authoritative in-flight marker lives in the
+        # replicated map itself, so a new leader resumes from it.
+        self.max_group_pipeline = max_group_pipeline
+        self.rebalance_interval = rebalance_interval
+        self.split_threshold = split_threshold
+        self.merge_threshold = merge_threshold
+        self._rebalance_timer = None
+        self._group_load: list[float] = [0.0] * len(self.groups)
+        self._load_ewma: list[float] = [0.0] * len(self.groups)
+        self._key_freq: dict[str, int] = {}
+        self._key_freq_cap = 512
+        self._migration_task: int | None = None
+        self.splits_started = 0
+        self.merges_started = 0
+        self.migrations_completed = 0
+        self.copies_proposed = 0
+        self.fence_writes = 0
+        self.wrong_shard_replies = 0
+
         # View / reconfiguration state (§4.6) and the self-healing
         # membership subsystem riding on it. ``auto_reconfigure``
         # enables accrual-detector-driven eviction of silent members
@@ -410,6 +463,7 @@ class KVServer:
         self._arm_monitor()
         self._arm_scrubber()
         self._arm_checkpointer()
+        self._arm_rebalancer()
 
     def crash(self) -> None:
         """Fail-stop: volatile state gone, host unreachable."""
@@ -432,6 +486,7 @@ class KVServer:
         self._pre_vote_state = None
         self._lease_lost_since = None
         self._applied_ops.clear()
+        self._applied_ids.clear()
         self._apply_waiters.clear()
         self._read_barrier = [-1] * len(self.groups)
         self._fetching.clear()
@@ -458,6 +513,17 @@ class KVServer:
         if self._rebuild_timer is not None:
             self._rebuild_timer.cancel()
             self._rebuild_timer = None
+        if self._rebalance_timer is not None:
+            self._rebalance_timer.cancel()
+            self._rebalance_timer = None
+        # NOTE: ``shard_map`` survives a crash on purpose — applied map
+        # versions were chosen by a quorum, so the in-memory map is
+        # correct cluster state even if the local WAL tail was lost;
+        # replay and catch-up re-apply older versions as no-ops.
+        self._migration_task = None
+        self._group_load = [0.0] * len(self.groups)
+        self._load_ewma = [0.0] * len(self.groups)
+        self._key_freq.clear()
 
     def wipe(self) -> None:
         """Catastrophic failure: the host goes down AND its disk is lost
@@ -513,6 +579,7 @@ class KVServer:
         self._arm_monitor()
         self._arm_scrubber()
         self._arm_checkpointer()
+        self._arm_rebalancer()
         if self._rebuild_pending:
             self._rebuild_timer = self.sim.call_after(1.0, self._rebuild_tick)
         self._request_catch_up()
@@ -658,6 +725,7 @@ class KVServer:
         self.metrics.counter("election.step_down").inc(1)
         self._lease_lost_since = None
         self.lease.invalidate()
+        self._migration_task = None  # copy driver aborts; successor resumes
         self._flush_admissions()
 
     def _start_election(self) -> None:
@@ -718,6 +786,9 @@ class KVServer:
         self.lease.invalidate()
         self.tracer.emit(self.sim.now, "kv", f"{self.name} is leader")
         self._send_heartbeats()
+        # A predecessor may have died mid-migration: the replicated map
+        # still carries the migrating marker, so finish its copy.
+        self._maybe_resume_migration()
 
     def _leadership_ballot(self) -> Ballot | None:
         return self.groups[0].leader_ballot if self.groups else None
@@ -932,37 +1003,64 @@ class KVServer:
             if ident in self._applied_ops:
                 return
             self._applied_ops.add(ident)
-        version = instance
-        if meta.op == "put":
+            self._applied_ids.add((meta.client, meta.op_id))
+        # The store version encodes the shard-map era the *proposer*
+        # stamped into the command — deterministic across replicas
+        # (it rides inside the replicated value, never read from local
+        # map state). Static mode always stamps 0, so version ==
+        # instance exactly as before.
+        version = encode_version(meta.mapv, instance)
+        if meta.op in ("put", "copy"):
+            if meta.op == "copy":
+                # Migration copy: mutates the store only while the
+                # existing entry still predates this migration's era.
+                # The condition depends only on earlier entries of this
+                # same log, so every replica decides it identically,
+                # and a re-copy after a leader failover is a no-op for
+                # keys a newer-era write (or earlier copy) already
+                # reached.
+                existing = self.store.get_entry(meta.key)
+                if existing is not None and (
+                    era_of(existing.version) >= meta.mapv
+                ):
+                    return
+                if meta.arg == "tombstone":
+                    self.store.delete(meta.key, version, group=group)
+                    return
             if rec.value is not None:
                 # Full value available (leader, or decoded earlier).
                 self.store.put(
                     meta.key, rec.value.data, rec.value.size, version,
-                    complete=True,
+                    complete=True, group=group,
                 )
             elif rec.share is not None and rec.share.config.x == 1:
                 # Classic Paxos (θ(1, N)): the "share" is the full
                 # value — followers hold complete copies.
                 self.store.put(
                     meta.key, rec.share.data, rec.share.value_size,
-                    version, complete=True,
+                    version, complete=True, group=group,
                 )
             elif rec.share is not None:
                 # Follower path: only the coded share is stored,
                 # tagged incomplete (§4.4).
                 self.store.put(
                     meta.key, rec.share, rec.share.size, version,
-                    complete=False,
+                    complete=False, group=group,
                 )
             else:
                 # Chosen but no local payload at all (missed accept):
                 # record an empty incomplete entry for catch-up.
-                self.store.put(meta.key, None, 0, version, complete=False)
+                self.store.put(meta.key, None, 0, version,
+                               complete=False, group=group)
         elif meta.op == "delete":
-            self.store.delete(meta.key, version)
+            self.store.delete(meta.key, version, group=group)
         elif meta.op == "view":
             self._apply_view_cmd(group, meta.arg)
-        # op == "read": consistency marker, no state change.
+        elif meta.op == "shard":
+            self._apply_shard_cmd(group, meta.arg)
+        # op == "read"/"fence": consistency/cutover marker, no state
+        # change (the fence only occupies a src-group log slot so the
+        # old owner's log frontier covers the cutover window).
 
     def _apply_batch(self, group: int, instance: int, rec: ChosenRecord,
                      bmeta) -> None:
@@ -973,18 +1071,20 @@ class KVServer:
         overwrites at equal version."""
         items = bmeta.items if isinstance(bmeta, BatchMeta) else ()
         have_full, datas = self._batch_payloads(rec, items)
-        version = instance
+        meta = rec.value.meta if rec.value is not None else rec.share.meta
+        version = encode_version(meta.mapv, instance)
         for idx, item in enumerate(items):
             if item.op in ("put", "delete") and item.client:
                 ident = (group, item.client, item.op_id)
                 if ident in self._applied_ops:
                     continue
                 self._applied_ops.add(ident)
+                self._applied_ids.add((item.client, item.op_id))
             if item.op == "put":
                 if have_full:
                     self.store.put(
                         item.key, datas[idx], item.size, version,
-                        complete=True,
+                        complete=True, group=group,
                     )
                 elif rec.share is not None:
                     # Follower: the whole batch's coded share stands in
@@ -992,12 +1092,13 @@ class KVServer:
                     # batch and extracts the key's payload.
                     self.store.put(
                         item.key, rec.share, rec.share.size, version,
-                        complete=False,
+                        complete=False, group=group,
                     )
                 else:
-                    self.store.put(item.key, None, 0, version, complete=False)
+                    self.store.put(item.key, None, 0, version,
+                                   complete=False, group=group)
             elif item.op == "delete":
-                self.store.delete(item.key, version)
+                self.store.delete(item.key, version, group=group)
             # "read": consistency marker, no state change.
 
     def _batch_payloads(self, rec: ChosenRecord, items):
@@ -1385,7 +1486,8 @@ class KVServer:
             size = frame_size(items)
         value = Value(
             fresh_value_id(self.node_id), size, payload,
-            meta=Command("batch", "", arg=BatchMeta(items)),
+            meta=Command("batch", "", arg=BatchMeta(items),
+                         mapv=self.shard_map.version),
         )
 
         def decided(instance: int, v: Value) -> None:
@@ -1417,11 +1519,20 @@ class KVServer:
     def _on_put(self, msg: ClientPut, src: str, respond) -> None:
         if not self._leader_guard(respond):
             return
+        if not self._shard_write_ok(msg, respond):
+            return
         group = self.shard_map.group_of(msg.key)
-        if self._already_applied(group, msg.client, msg.op_id):
+        if self._already_applied(group, msg.client, msg.op_id) or (
+            self.dynamic_shards
+            and bool(msg.client)
+            and (msg.client, msg.op_id) in self._applied_ids
+        ):
             # Retry of a write that already committed (the first reply
             # was lost): acknowledge without burning a new instance.
-            reply = PutOk(msg.key)
+            # Under dynamic sharding the identity check is group-
+            # agnostic — a migration may have moved the key since the
+            # original commit landed in the old owner's log.
+            reply = PutOk(msg.key, map_version=self.shard_map.version)
             respond(reply, reply.wire_bytes)
             return
         self._admit(respond, lambda r: self._put_admitted(msg, r),
@@ -1431,17 +1542,18 @@ class KVServer:
         group = self.shard_map.group_of(msg.key)
         if self._already_applied(group, msg.client, msg.op_id):
             # Committed while this retry sat in the admission queue.
-            reply = PutOk(msg.key)
+            reply = PutOk(msg.key, map_version=self.shard_map.version)
             respond(reply, reply.wire_bytes)
             return
         start = self.sim.now
+        self._account_write(group, msg.key)
 
         def reply_now() -> None:
             if not self.up:
                 return
             self.metrics.latency("write").record(self.sim.now - start)
             self.metrics.throughput("write").record(self.sim.now, msg.size)
-            reply = PutOk(msg.key)
+            reply = PutOk(msg.key, map_version=self.shard_map.version)
             respond(reply, reply.wire_bytes)
 
         if self.batch_max_commands > 1:
@@ -1451,9 +1563,12 @@ class KVServer:
             ))
             return
         node = self.groups[group]
+        if not self._group_slot_ok(group, msg.tenant, respond):
+            return
         value = Value(
             fresh_value_id(self.node_id), msg.size, msg.data,
-            meta=Command("put", msg.key, client=msg.client, op_id=msg.op_id),
+            meta=Command("put", msg.key, client=msg.client, op_id=msg.op_id,
+                         mapv=self.shard_map.version),
         )
 
         def decided(instance: int, v: Value) -> None:
@@ -1467,13 +1582,21 @@ class KVServer:
         except RuntimeError:
             r = NotReady()
             respond(r, r.wire_bytes)
+            return
+        self._maybe_fence_write(msg.key, group)
 
     def _on_delete(self, msg: ClientDelete, src: str, respond) -> None:
         if not self._leader_guard(respond):
             return
+        if not self._shard_write_ok(msg, respond):
+            return
         group = self.shard_map.group_of(msg.key)
-        if self._already_applied(group, msg.client, msg.op_id):
-            reply = PutOk(msg.key)
+        if self._already_applied(group, msg.client, msg.op_id) or (
+            self.dynamic_shards
+            and bool(msg.client)
+            and (msg.client, msg.op_id) in self._applied_ids
+        ):
+            reply = PutOk(msg.key, map_version=self.shard_map.version)
             respond(reply, reply.wire_bytes)
             return
         self._admit(respond, lambda r: self._delete_admitted(msg, r),
@@ -1482,13 +1605,14 @@ class KVServer:
     def _delete_admitted(self, msg: ClientDelete, respond) -> None:
         group = self.shard_map.group_of(msg.key)
         if self._already_applied(group, msg.client, msg.op_id):
-            reply = PutOk(msg.key)
+            reply = PutOk(msg.key, map_version=self.shard_map.version)
             respond(reply, reply.wire_bytes)
             return
+        self._account_write(group, msg.key)
 
         def reply_now() -> None:
             if self.up:
-                reply = PutOk(msg.key)
+                reply = PutOk(msg.key, map_version=self.shard_map.version)
                 respond(reply, reply.wire_bytes)
 
         if self.batch_max_commands > 1:
@@ -1498,9 +1622,12 @@ class KVServer:
             ))
             return
         node = self.groups[group]
+        if not self._group_slot_ok(group, msg.tenant, respond):
+            return
         value = Value(
             fresh_value_id(self.node_id), 0, None,
-            meta=Command("delete", msg.key, client=msg.client, op_id=msg.op_id),
+            meta=Command("delete", msg.key, client=msg.client,
+                         op_id=msg.op_id, mapv=self.shard_map.version),
         )
 
         def decided(instance: int, v: Value) -> None:
@@ -1514,8 +1641,22 @@ class KVServer:
         except RuntimeError:
             r = NotReady()
             respond(r, r.wire_bytes)
+            return
+        self._maybe_fence_write(msg.key, group)
 
     def _on_get(self, msg: ClientGet, src: str, respond) -> None:
+        if self.up and self.dynamic_shards and (
+            msg.map_version > self.shard_map.version
+        ):
+            # The client has seen a newer shard map than this replica
+            # has applied: our routing (read-index group, ownership) may
+            # be stale. Refuse rather than serve under the old map; the
+            # client rotates while we catch up on the config log.
+            self.wrong_shard_replies += 1
+            self.metrics.counter("shard.wrong_shard").inc(1)
+            r = WrongShard(msg.key, map_version=self.shard_map.version)
+            respond(r, r.wire_bytes)
+            return
         if msg.mode == "snapshot":
             # Snapshot read (§4.4): served by ANY replica from its local
             # (possibly stale) state — "recovery read can also function
@@ -1701,14 +1842,16 @@ class KVServer:
     def _serve_read(self, key: str, start: float, respond) -> None:
         entry = self.store.get(key)
         if entry is None:
-            r = NotFound(key)
+            r = NotFound(key, map_version=self.shard_map.version)
             respond(r, r.wire_bytes)
             return
         if entry.complete:
             self.metrics.latency("read").record(self.sim.now - start)
             self.metrics.throughput("read").record(self.sim.now, entry.size)
             value_size = entry.size
-            r = GetOk(key, value_size, entry.value if isinstance(entry.value, bytes) else None)
+            r = GetOk(key, value_size,
+                      entry.value if isinstance(entry.value, bytes) else None,
+                      map_version=self.shard_map.version)
             respond(r, r.wire_bytes)
             return
         # Recovery read (§4.4): this (new) leader only holds a coded
@@ -1721,9 +1864,12 @@ class KVServer:
 
     def _recovery_read(self, key: str, entry, start: float, respond) -> None:
         self.recovery_reads += 1
-        group = self.shard_map.group_of(key)
+        # The write that produced this entry may predate a migration:
+        # its log record lives in the group that *chose* it (tagged on
+        # the entry), not necessarily the key's current owner.
+        group = entry.group if entry.group >= 0 else self.shard_map.group_of(key)
         node = self.groups[group]
-        instance = entry.version
+        instance = instance_of(entry.version)
         share = entry.value  # this node's coded share (may be None)
         value_id = share.value_id if share is not None else None
         if isinstance(share, CodedShare) and share.corrupt:
@@ -1737,7 +1883,7 @@ class KVServer:
             rec = node.chosen.get(instance)
             value_id = rec.value_id if rec is not None else None
         if value_id is None:
-            r = NotFound(key)
+            r = NotFound(key, map_version=self.shard_map.version)
             respond(r, r.wire_bytes)
             return
         if share is None:
@@ -1750,13 +1896,14 @@ class KVServer:
             # For a batched value the decoded payload is the whole
             # frame; the entry materializes only this key's slice.
             data, size = self._payload_for_key(value, key)
-            self.store.put(key, data, size, instance, complete=True)
+            self.store.put(key, data, size, entry.version, complete=True,
+                           group=group)
             rec = node.chosen.get(instance)
             if rec is not None and rec.value is None:
                 rec.value = value  # cache the decode (batch or plain)
             self.metrics.latency("read").record(self.sim.now - start)
             self.metrics.throughput("read").record(self.sim.now, size)
-            r = GetOk(key, size, data)
+            r = GetOk(key, size, data, map_version=self.shard_map.version)
             respond(r, r.wire_bytes)
 
         self._gather_shares(group, instance, value_id, share, on_value)
@@ -2096,7 +2243,8 @@ class KVServer:
                 entry = self.store.get(key)
                 if (
                     entry is not None
-                    and entry.version == instance
+                    and instance_of(entry.version) == instance
+                    and entry.group in (-1, group)
                     and not entry.complete
                     and isinstance(entry.value, CodedShare)
                 ):
@@ -2356,7 +2504,8 @@ class KVServer:
                 entry = self.store.get(key)
                 if (
                     entry is not None
-                    and entry.version == instance
+                    and instance_of(entry.version) == instance
+                    and entry.group in (-1, group)
                     and not entry.complete
                 ):
                     entry.value = fixed
@@ -2419,6 +2568,7 @@ class KVServer:
                      self.config),
             "floor_lsn": floor_lsn,
             "group_floors": group_floors,
+            "shard_map": self.shard_map,
         }
         size = self._checkpoint_size(payload)
 
@@ -2470,7 +2620,13 @@ class KVServer:
             node.install_snapshot(snap)
         self.store.install_state(payload["store"])
         self._applied_ops = set(payload["applied_ops"])
+        self._applied_ids = {
+            (c, o) for (_g, c, o) in self._applied_ops
+        } if self.dynamic_shards else set()
         self.compact_floor = list(payload["group_floors"])
+        ckpt_map = payload.get("shard_map")
+        if ckpt_map is not None and ckpt_map.version > self.shard_map.version:
+            self.shard_map = ckpt_map
         epoch, members, config = payload["view"]
         if epoch > self.view_epoch:
             self.view_epoch = epoch
@@ -2625,7 +2781,7 @@ class KVServer:
         scrubber's store-mirror bookkeeping, batch-aware."""
         if not isinstance(meta, Command):
             return ()
-        if meta.op == "put":
+        if meta.op == "put" or (meta.op == "copy" and meta.arg != "tombstone"):
             return (meta.key,)
         if meta.op == "batch" and isinstance(meta.arg, BatchMeta):
             return tuple(i.key for i in meta.arg.items if i.op == "put")
@@ -3040,8 +3196,12 @@ class KVServer:
         self.metrics.counter("rebuild.snapshot_bytes").inc(reply.wire_bytes)
         ballot = node.acceptor.state.floor
         for e in reply.entries:
+            # Store versions carry the shard-map era in their high bits;
+            # log indexing (chosen records, acceptor state) uses the
+            # bare Paxos instance.
+            inst = instance_of(e.version)
             if e.tombstone:
-                self.store.delete(e.key, e.version)
+                self.store.delete(e.key, e.version, group=group)
                 continue
             if e.share is not None and e.share.config.x == 1:
                 # Classic Paxos: the "share" is the full value. For a
@@ -3054,30 +3214,33 @@ class KVServer:
                               meta=e.meta),
                         e.key,
                     )
-                self.store.put(e.key, data, vsize, e.version, complete=True)
+                self.store.put(e.key, data, vsize, e.version, complete=True,
+                               group=group)
             elif e.share is not None:
                 self.store.put(
                     e.key, e.share, e.share.size, e.version, complete=False,
+                    group=group,
                 )
             else:
-                self.store.put(e.key, None, 0, e.version, complete=False)
+                self.store.put(e.key, None, 0, e.version, complete=False,
+                               group=group)
             rec = ChosenRecord(
                 value_id=e.value_id, ballot=ballot, value=None, share=e.share,
             )
-            node.install_chosen(e.version, rec)
+            node.install_chosen(inst, rec)
             # Durably hold the fragment like an accepted share (§4.5),
             # so this node counts toward decodability again.
             if e.share is not None:
-                st = node.acceptor.state.instances.get(e.version)
+                st = node.acceptor.state.instances.get(inst)
                 if st is None or st.accepted_share is None:
                     from ..core.acceptor import AcceptorInstance
 
-                    node.acceptor.state.instances[e.version] = AcceptorInstance(
+                    node.acceptor.state.instances[inst] = AcceptorInstance(
                         promised=ballot, accepted_ballot=ballot,
                         accepted_share=e.share,
                     )
                     node.wal.append(
-                        ("accept", e.version, ballot, e.share),
+                        ("accept", inst, ballot, e.share),
                         e.share.size, lambda: None,
                     )
         if reply.next_cursor is not None:
@@ -3089,6 +3252,15 @@ class KVServer:
         if reply.max_ballot is not None:
             node._max_ballot_seen = max(node._max_ballot_seen, reply.max_ballot)
         self._applied_ops.update(reply.applied_ops)
+        if self.dynamic_shards:
+            self._applied_ids.update(
+                (c, o) for (_g, c, o) in reply.applied_ops
+            )
+        snap_map = getattr(reply, "shard_map", None)
+        if snap_map is not None and snap_map.version > self.shard_map.version:
+            # Shard commands write no KV state, so a joiner rebuilt from
+            # a compacted donor would otherwise never learn the map.
+            self.shard_map = snap_map
         if reply.view_config is not None and reply.view_epoch >= self.view_epoch:
             # The view-change instances that produced the donor's
             # current view sit in the compacted prefix this snapshot
@@ -3157,7 +3329,7 @@ class KVServer:
         )
         keys = [
             k for k in self.store.keys()
-            if self.shard_map.group_of(k) == group and k > msg.cursor
+            if self._entry_group_of(k) == group and k > msg.cursor
         ]
         entries: list[SnapshotEntry] = []
         state = {"bytes": 0}
@@ -3182,6 +3354,7 @@ class KVServer:
                     tuple(sorted(self.member_ids)) if done else ()
                 ),
                 view_config=self.config if done else None,
+                shard_map=self.shard_map if done else None,
             )
             self.metrics.counter("rebuild.snapshots_served").inc(1)
             respond(chunk, chunk.wire_bytes)
@@ -3251,7 +3424,7 @@ class KVServer:
         Calls ``cont(share, meta, value_id, value_size)``; share may be
         None (metadata-only entry) and value_id "" on failure."""
         node = self.groups[group]
-        instance = entry.version
+        instance = instance_of(entry.version)
         rec = node.chosen.get(instance)
         own_share = entry.value if isinstance(entry.value, CodedShare) else None
         if own_share is None and rec is not None and rec.share is not None:
@@ -3375,3 +3548,491 @@ class KVServer:
             f"N={new_config.n} Q={new_config.q_w} X={new_config.x}",
         )
         self._drain_then(lambda: self._propose_view_change(members, new_config))
+
+    # ------------------------------------------------------------------
+    # dynamic sharding: routing guards, rebalancer, migration driver
+    # ------------------------------------------------------------------
+
+    def _entry_group_of(self, key: str) -> int:
+        """The Paxos group whose log *owns the stored entry* for a key:
+        the group recorded at apply time when known, else the current
+        map's route (static mode and pre-sharding entries)."""
+        entry = self.store.get_entry(key)
+        if entry is not None and entry.group >= 0:
+            return entry.group
+        return self.shard_map.group_of(key)
+
+    def _account_write(self, group: int, key: str) -> None:
+        """Per-group load window + bounded per-key write frequencies
+        (the weighted-median sample for split boundaries)."""
+        if not self.dynamic_shards:
+            return
+        self._group_load[group] += 1.0
+        if key in self._key_freq or len(self._key_freq) < self._key_freq_cap:
+            self._key_freq[key] = self._key_freq.get(key, 0) + 1
+
+    def _shard_write_ok(self, msg, respond) -> bool:
+        """Dynamic-sharding write admission, after the leader guard.
+
+        Two refusals: the client piggybacked a *newer* map version than
+        we have applied (our routing is stale — WrongShard, the client
+        rotates while we catch up on the config log), and the fresh-
+        leader config fence (NotReady until this leader has applied its
+        whole config-group election barrier; accepting a write under a
+        predecessor's newer map would stamp it with a stale era and a
+        later copy could silently supersede the acknowledged value).
+        """
+        if not self.dynamic_shards:
+            return True
+        if msg.map_version > self.shard_map.version:
+            self.wrong_shard_replies += 1
+            self.metrics.counter("shard.wrong_shard").inc(1)
+            r = WrongShard(msg.key, map_version=self.shard_map.version)
+            respond(r, r.wire_bytes)
+            return False
+        cfg = self.cfg_group
+        if self.groups[cfg].apply_cursor <= self._read_barrier[cfg]:
+            r = NotReady()
+            respond(r, r.wire_bytes)
+            return False
+        return True
+
+    def _group_slot_ok(self, group: int, tenant: str, respond) -> bool:
+        """Per-group pipeline cap: a hot shard saturating one group's
+        proposal pipeline sheds (Busy) instead of queueing the whole
+        server into collapse — this is what makes a hot range *leader-
+        bound per group* and splitting it measurably help."""
+        if self.max_group_pipeline <= 0:
+            return True
+        node = self.groups[group]
+        if len(node._inflight) < self.max_group_pipeline:
+            return True
+        self.metrics.counter("shard.group_shed").inc(1)
+        if tenant:
+            self.metrics.counter(f"admission.shed.{tenant}").inc(1)
+        r = Busy(retry_after=self._retry_after(tenant))
+        respond(r, r.wire_bytes)
+        return False
+
+    def _maybe_fence_write(self, key: str, group: int) -> None:
+        """Dual-write fence: while a migration is in flight, a write
+        routed to the new owner of a migrating key also appends a no-op
+        marker to the old owner's log. The old log therefore observes
+        every cutover-window mutation's ordering, and any straggler
+        state derived from it (catch-up of a lagging replica) cannot
+        present the window as write-free."""
+        if not self.dynamic_shards:
+            return
+        mig = self.shard_map.migrating
+        if mig is None:
+            return
+        lo, hi, src, dst = mig
+        if group != dst or src == dst:
+            return
+        if not (lo <= key and (hi is None or key < hi)):
+            return
+        value = Value(
+            fresh_value_id(self.node_id), 0, None,
+            meta=Command("fence", key, mapv=self.shard_map.version),
+        )
+        try:
+            self.groups[src].propose(value, lambda inst, v: None)
+        except RuntimeError:
+            return  # lost src-group leadership; successor re-drives
+        self.fence_writes += 1
+        self.metrics.counter("shard.fence_writes").inc(1)
+
+    def _apply_shard_cmd(self, group: int, cmd) -> None:
+        """Runs at every replica when a shard instance commits on the
+        config group: a pure CAS on the map version, so replays and
+        duplicate proposals after failovers are no-ops."""
+        if not isinstance(cmd, ShardCmd) or group != self.cfg_group:
+            return
+        if cmd.version <= self.shard_map.version:
+            return
+        was_migrating = self.shard_map.migrating
+        self.shard_map = ShardMap(
+            cmd.num_groups, version=cmd.version, ranges=cmd.ranges,
+            migrating=cmd.migrating,
+        )
+        self.metrics.counter("shard.map_changes").inc(1)
+        if was_migrating is not None and cmd.migrating is None:
+            self.migrations_completed += 1
+            self._migration_task = None
+            self._key_freq.clear()  # stale medians for the moved range
+        self.tracer.emit(
+            self.sim.now, "shard",
+            f"{self.name} shard map v{cmd.version} "
+            f"({len(cmd.ranges)} ranges"
+            + (f", migrating {cmd.migrating}" if cmd.migrating else "")
+            + ")",
+        )
+        if cmd.migrating is not None and self.is_leader_server:
+            # Deferred: we are inside the apply loop and the driver
+            # proposes into other groups.
+            self.sim.call_after(0.0, self._maybe_resume_migration)
+
+    # -- migration driver (leader-resident, crash-resumable) -----------
+
+    def _maybe_resume_migration(self) -> None:
+        """Start/resume the copy phase if the replicated map says a
+        migration is in flight and no local driver is running. Called
+        on map apply and on winning an election — the authoritative
+        in-flight marker is the map itself, so a successor leader picks
+        up exactly where a crashed predecessor left off (the copy is
+        idempotent: applies are era-guarded)."""
+        if (
+            not self.up
+            or not self.dynamic_shards
+            or not self.is_leader_server
+            or self.shard_map.migrating is None
+            or self._migration_task is not None
+        ):
+            return
+        mapv = self.shard_map.version
+        self._migration_task = mapv
+        mig = self.shard_map.migrating
+        self.tracer.emit(
+            self.sim.now, "shard",
+            f"{self.name} migration driver v{mapv}: copy "
+            f"[{mig[0]!r}, {'+inf' if mig[1] is None else repr(mig[1])}) "
+            f"g{mig[2]} -> g{mig[3]}",
+        )
+        src = mig[2]
+        # Scan-wait: every write the *previous* map's owner could have
+        # acknowledged is chosen at an instance below our election
+        # barrier, hence below next_instance now. Wait until the source
+        # group has applied that whole prefix locally, so the store
+        # scan below observes every acked value.
+        target = self.groups[src].next_instance
+        self._await_src_applied(mapv, src, target, budget=500)
+
+    def _migration_live(self, mapv: int) -> bool:
+        return (
+            self.up
+            and self.is_leader_server
+            and self._migration_task == mapv
+            and self.shard_map.version == mapv
+            and self.shard_map.migrating is not None
+        )
+
+    def _abort_migration(self, mapv: int, retry: float = 0.0) -> None:
+        if self._migration_task == mapv:
+            self._migration_task = None
+            if retry > 0 and self.up:
+                self.sim.call_after(retry, self._maybe_resume_migration)
+
+    def _await_src_applied(
+        self, mapv: int, src: int, target: int, budget: int,
+    ) -> None:
+        if not self._migration_live(mapv):
+            return
+        if self.groups[src].apply_cursor < target:
+            if budget <= 0:
+                # A wedged source instance: give up this attempt; the
+                # retry re-captures the target and tries again.
+                self._abort_migration(mapv, retry=0.5)
+                return
+            self.sim.call_after(
+                0.02,
+                lambda: self._await_src_applied(mapv, src, target, budget - 1),
+            )
+            return
+        self._copy_range(mapv)
+
+    def _copy_range(self, mapv: int) -> None:
+        """Stream every stored key of the migrating range into the new
+        owner group as era-stamped ``copy`` commands, a bounded window
+        at a time, then propose the migration commit."""
+        if not self._migration_live(mapv):
+            return
+        lo, hi, src, dst = self.shard_map.migrating
+        keys = [
+            k for k in self.store.keys()
+            if lo <= k and (hi is None or k < hi)
+        ]
+        state = {"i": 0, "pending": 0, "failed": 0, "committed": False}
+
+        def step() -> None:
+            if not self._migration_live(mapv) or state["committed"]:
+                return
+            while state["i"] < len(keys) and state["pending"] < 8:
+                key = keys[state["i"]]
+                state["i"] += 1
+                entry = self.store.get_entry(key)
+                if entry is None or era_of(entry.version) >= mapv:
+                    # Already copied this era, or rewritten through the
+                    # new owner since the cutover — never regress it.
+                    continue
+                state["pending"] += 1
+                if entry.tombstone:
+                    propose_copy(key, 0, None, tombstone=True)
+                else:
+                    g = entry.group if entry.group >= 0 else src
+                    self._materialize_for_copy(
+                        g, key, entry,
+                        lambda size, data, key=key: (
+                            fail_one() if size is None
+                            else propose_copy(key, size, data)
+                        ),
+                    )
+            if state["i"] >= len(keys) and state["pending"] == 0:
+                finish()
+
+        def propose_copy(key, size, data, tombstone=False) -> None:
+            if not self._migration_live(mapv):
+                return
+            value = Value(
+                fresh_value_id(self.node_id), size, data,
+                meta=Command(
+                    "copy", key, arg="tombstone" if tombstone else None,
+                    mapv=mapv,
+                ),
+            )
+            try:
+                self.groups[dst].propose(
+                    value,
+                    lambda inst, v: self._respond_after_apply(
+                        dst, inst, done_one),
+                )
+            except RuntimeError:
+                self._abort_migration(mapv)
+                return
+            self.copies_proposed += 1
+            self.metrics.counter("shard.copies").inc(1)
+
+        def fail_one() -> None:
+            state["failed"] += 1
+            done_one()
+
+        def done_one() -> None:
+            state["pending"] -= 1
+            self.sim.call_after(0.0, step)
+
+        def finish() -> None:
+            if state["committed"] or not self._migration_live(mapv):
+                return
+            state["committed"] = True
+            if state["failed"]:
+                # Some values were unreconstructible right now (e.g.
+                # too many peers down): retry the idempotent copy soon.
+                self.metrics.counter("shard.copy_retries").inc(1)
+                self._abort_migration(mapv, retry=0.5)
+                return
+            committed = self.shard_map.commit_migration()
+            if not self._propose_shard_cmd(committed):
+                self._abort_migration(mapv)
+                return
+            self.tracer.emit(
+                self.sim.now, "shard",
+                f"{self.name} migration v{mapv} copies done "
+                f"({state['i']} scanned), committing v{committed.version}",
+            )
+
+        step()
+
+    def _materialize_for_copy(self, group: int, key: str, entry, cont) -> None:
+        """``cont(size, data)`` with the full current value of a stored
+        entry (decode-and-gather when only a fragment is local), or
+        ``cont(None, None)`` when unreconstructible right now."""
+        if entry.complete:
+            data = entry.value if isinstance(entry.value, bytes) else None
+            cont(entry.size, data)
+            return
+        node = self.groups[group]
+        inst = instance_of(entry.version)
+        fired = {"done": False}
+
+        def once(value) -> None:
+            if fired["done"]:
+                return
+            fired["done"] = True
+            if value is None:
+                cont(None, None)
+            elif self._is_batch(value.meta):
+                data, size = self._payload_for_key(value, key)
+                cont(size, data)
+            else:
+                cont(value.size, value.data)
+
+        # Watchdog: one unreconstructible value must not wedge the
+        # whole migration; the retry pass picks it up.
+        self.sim.call_after(3.0, lambda: once(None))
+        rec = node.chosen.get(inst)
+        if rec is not None:
+            if rec.value is not None:
+                once(rec.value)
+            else:
+                self._with_value(group, inst, rec,
+                                 lambda ok: once(rec.value))
+            return
+        share = node.acceptor.accepted_share(inst)
+        if share is None or share.corrupt:
+            once(None)
+            return
+        self._gather_shares(group, inst, share.value_id, share, once)
+
+    def _propose_shard_cmd(self, new_map: ShardMap) -> bool:
+        """Replicate a successor map through the config group."""
+        cmd = ShardCmd(
+            version=new_map.version, num_groups=new_map.num_groups,
+            ranges=new_map.ranges, migrating=new_map.migrating,
+        )
+        value = Value(
+            fresh_value_id(self.node_id), 0, None,
+            meta=Command("shard", "", cmd),
+        )
+        try:
+            self.groups[self.cfg_group].propose(value, lambda inst, v: None)
+        except RuntimeError:
+            return False
+        self.metrics.counter("shard.cmds_proposed").inc(1)
+        return True
+
+    # -- load-driven rebalancer ----------------------------------------
+
+    def _arm_rebalancer(self) -> None:
+        if (
+            not self.up or not self.dynamic_shards
+            or self.rebalance_interval <= 0
+        ):
+            return
+        # Stagger per server like the scrubber, so follower windows do
+        # not tick in lockstep with the leader's.
+        delay = self.rebalance_interval * (1.0 + 0.1 * self.node_id)
+        self._rebalance_timer = self.sim.call_after(
+            delay, self._rebalance_tick)
+
+    def _rebalance_tick(self) -> None:
+        if not self.up:
+            return
+        self._rebalance_timer = self.sim.call_after(
+            self.rebalance_interval, self._rebalance_tick)
+        window = list(self._group_load)
+        self._group_load = [0.0] * len(self.groups)
+        for g, n in enumerate(window):
+            self._load_ewma[g] = 0.7 * self._load_ewma[g] + 0.3 * n
+        if not (self.is_leader_server and self.shard_map.is_range_map):
+            self._key_freq.clear()  # follower samples go stale fast
+            return
+        hist = self.metrics.histogram("shard.group_load")
+        for g in self.shard_map.active_groups():
+            hist.record(self._load_ewma[g])
+        if self.shard_map.migrating is not None:
+            return  # one migration at a time
+        active = self.shard_map.active_groups()
+        loads = {g: self._load_ewma[g] for g in active}
+        total = sum(loads.values())
+        if total < 1.0:
+            return  # idle window: nothing to learn
+        # Compare against the *pool* mean, not the active mean: a
+        # single group carrying the whole keyspace must look hot even
+        # though it is also the average of the active set.
+        mean = total / self.shard_map.num_groups
+        hot = max(active, key=lambda g: loads[g])
+        cold = min(active, key=lambda g: loads[g])
+        if (
+            loads[hot] > self.split_threshold * mean
+            and self.shard_map.spare_groups()
+        ):
+            boundary = self._split_boundary(hot)
+            if boundary is not None and self.force_split(boundary=boundary):
+                return
+        if len(active) >= 2 and loads[cold] < self.merge_threshold * mean:
+            self.force_merge(group=cold)
+
+    def _split_boundary(self, group: int) -> str | None:
+        """Weighted-median key of a range: half the observed write
+        traffic lands on each side. Falls back to the middle stored
+        key when the frequency sample is empty."""
+        span = self.shard_map.range_of(group)
+        if span is None:
+            return None
+        lo, hi = span
+
+        def in_range(k: str) -> bool:
+            return lo <= k and (hi is None or k < hi)
+
+        freq = sorted(
+            (k, n) for k, n in self._key_freq.items()
+            if in_range(k) and k > lo
+        )
+        if freq:
+            total = sum(n for _k, n in freq)
+            acc = 0
+            for k, n in freq:
+                acc += n
+                if acc * 2 >= total:
+                    return k
+        keys = [k for k in self.store.keys() if in_range(k) and k > lo]
+        return keys[len(keys) // 2] if keys else None
+
+    def force_split(
+        self, boundary: str | None = None, dst: int | None = None,
+    ) -> bool:
+        """Begin splitting the range containing ``boundary`` (default:
+        the weighted median of the hottest range) into a spare group.
+        Leader-only; True when the prepare ShardCmd was proposed."""
+        if (
+            not self.up or not self.dynamic_shards
+            or not self.is_leader_server
+            or not self.shard_map.is_range_map
+            or self.shard_map.migrating is not None
+        ):
+            return False
+        spares = self.shard_map.spare_groups()
+        if not spares:
+            return False
+        if boundary is None:
+            active = self.shard_map.active_groups()
+            hot = max(active, key=lambda g: self._load_ewma[g])
+            boundary = self._split_boundary(hot)
+        if not boundary:
+            return False
+        if dst is None:
+            dst = spares[0]
+        try:
+            new_map = self.shard_map.begin_split(boundary, dst)
+        except ValueError:
+            return False
+        if not self._propose_shard_cmd(new_map):
+            return False
+        self.splits_started += 1
+        self.metrics.counter("shard.splits").inc(1)
+        self.tracer.emit(
+            self.sim.now, "shard",
+            f"{self.name} split at {boundary!r} -> g{dst} "
+            f"(v{new_map.version})",
+        )
+        return True
+
+    def force_merge(self, group: int | None = None) -> bool:
+        """Begin merging a (default: the coldest) range into its
+        neighbour; the emptied group returns to the spare pool.
+        Leader-only; True when the prepare ShardCmd was proposed."""
+        if (
+            not self.up or not self.dynamic_shards
+            or not self.is_leader_server
+            or not self.shard_map.is_range_map
+            or self.shard_map.migrating is not None
+        ):
+            return False
+        active = self.shard_map.active_groups()
+        if len(active) < 2:
+            return False
+        if group is None:
+            group = min(active, key=lambda g: self._load_ewma[g])
+        try:
+            new_map = self.shard_map.begin_merge(group)
+        except ValueError:
+            return False
+        if not self._propose_shard_cmd(new_map):
+            return False
+        self.merges_started += 1
+        self.metrics.counter("shard.merges").inc(1)
+        self.tracer.emit(
+            self.sim.now, "shard",
+            f"{self.name} merge g{group} -> g{new_map.migrating[3]} "
+            f"(v{new_map.version})",
+        )
+        return True

@@ -31,10 +31,19 @@ class StoredValue:
     complete:
         True when ``value`` is the full client value.
     version:
-        Paxos instance id of the write that produced this entry; lets
-        recovery find "the most recent write to that key" (§4.4).
+        Version of the write that produced this entry; lets recovery
+        find "the most recent write to that key" (§4.4). Under static
+        sharding this is the bare Paxos instance id; under dynamic
+        sharding it is ``(map_version << VERSION_BITS) | instance``
+        (see :mod:`repro.kvstore.shard`), so writes routed under a
+        newer shard map supersede older-era writes numerically.
     tombstone:
         True when the entry represents a delete.
+    group:
+        Paxos group whose log chose the write (-1 = unknown, the
+        pre-dynamic-sharding default). Recovery and share serving must
+        use this rather than re-deriving the owner from the current
+        shard map, which may have moved the key since.
     """
 
     value: Any
@@ -42,6 +51,7 @@ class StoredValue:
     complete: bool
     version: int
     tombstone: bool = False
+    group: int = -1
 
 
 class LocalStore:
@@ -59,6 +69,7 @@ class LocalStore:
         version: int,
         complete: bool = True,
         tombstone: bool = False,
+        group: int = -1,
     ) -> None:
         """Insert/overwrite ``key`` unless a newer version is present.
 
@@ -71,12 +82,13 @@ class LocalStore:
             return
         self._data[key] = StoredValue(
             value=value, size=size, complete=complete,
-            version=version, tombstone=tombstone,
+            version=version, tombstone=tombstone, group=group,
         )
 
-    def delete(self, key: str, version: int) -> None:
+    def delete(self, key: str, version: int, group: int = -1) -> None:
         """Record a tombstone (delete = write(key, NULL), §4.4)."""
-        self.put(key, None, 0, version, complete=True, tombstone=True)
+        self.put(key, None, 0, version, complete=True, tombstone=True,
+                 group=group)
 
     def get(self, key: str) -> StoredValue | None:
         """The current entry, or None if never written or deleted."""
@@ -111,7 +123,8 @@ class LocalStore:
         copied (StoredValue is mutated in place by scrub repair), so
         the checkpoint blob stays frozen while serving continues."""
         return {
-            k: StoredValue(v.value, v.size, v.complete, v.version, v.tombstone)
+            k: StoredValue(v.value, v.size, v.complete, v.version,
+                           v.tombstone, v.group)
             for k, v in self._data.items()
         }
 
@@ -119,7 +132,8 @@ class LocalStore:
         """Inverse of :meth:`export_state` (recovery): install copies
         so a later crash can reload the same blob uncorrupted."""
         self._data = {
-            k: StoredValue(v.value, v.size, v.complete, v.version, v.tombstone)
+            k: StoredValue(v.value, v.size, v.complete, v.version,
+                           v.tombstone, getattr(v, "group", -1))
             for k, v in data.items()
         }
 

@@ -37,11 +37,12 @@ class TestCli:
         # + the chaos correctness gate + the overload robustness gate
         # + the batching throughput gate + the ycsb isolation gate
         # + the partition-recovery gate + the read-path availability
-        # gate + the self-healing membership gate.
+        # gate + the self-healing membership gate + the dynamic-
+        # sharding gate.
         assert set(EXPERIMENTS) == {
             "table1", "fig5", "fig6", "fig7", "fig8", "cpu", "chaos",
             "overload", "batching", "ycsb", "partitions", "readpath",
-            "selfheal",
+            "selfheal", "shards",
         }
 
     def test_chaos_gate(self, capsys):

@@ -197,7 +197,8 @@ class TestClientBackoffStats:
             assert set(s) == {"tenant", "busy_count", "busy_wait_total",
                               "busy_wait_max", "read_retries"}
             assert set(s["read_retries"]) == {"not_ready", "not_leader",
-                                              "busy", "timeout"}
+                                              "busy", "timeout",
+                                              "wrong_shard"}
             if s["busy_count"]:
                 assert s["busy_wait_total"] > 0
                 assert 0 < s["busy_wait_max"] <= s["busy_wait_total"]
@@ -225,4 +226,5 @@ class TestClientBackoffStats:
         assert s == {"tenant": "", "busy_count": 0,
                      "busy_wait_total": 0.0, "busy_wait_max": 0.0,
                      "read_retries": {"not_ready": 0, "not_leader": 0,
-                                      "busy": 0, "timeout": 0}}
+                                      "busy": 0, "timeout": 0,
+                                      "wrong_shard": 0}}

@@ -1,0 +1,173 @@
+"""Property tests for the versioned range ShardMap (dynamic sharding).
+
+Hypothesis drives arbitrary split/merge sequences against the range-map
+value type and checks the structural invariants every replicated map
+must satisfy: total non-overlapping coverage of the keyspace, strictly
+increasing versions, split∘merge identity, and hashability consistent
+with equality (the ``__eq__``-without-``__hash__`` regression).
+"""
+
+import pytest
+
+from repro.kvstore.shard import (
+    ShardMap,
+    encode_version,
+    era_of,
+    instance_of,
+)
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+KEYS = st.text(alphabet="abcdef", min_size=1, max_size=4)
+
+
+def assert_partition(m: ShardMap) -> None:
+    """Ranges form a total, non-overlapping partition of the keyspace."""
+    r = m.ranges
+    assert r[0][0] == ""
+    assert r[-1][1] is None
+    owners = [g for _lo, _hi, g in r]
+    assert len(owners) == len(set(owners))
+    for (lo, hi, _g), (nlo, _nhi, _ng) in zip(r, r[1:]):
+        assert hi == nlo
+        assert lo < hi
+    # Routing agrees with a linear scan of the ranges.
+    probes = [lo for lo, _hi, _g in r] + ["", "a", "cz", "f" * 5]
+    for key in probes:
+        linear = next(
+            g for lo, hi, g in r if lo <= key and (hi is None or key < hi)
+        )
+        assert m.group_of(key) == linear
+
+
+@st.composite
+def mutation_sequences(draw):
+    num_groups = draw(st.integers(min_value=2, max_value=6))
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["split", "merge"]),
+                KEYS,
+                st.integers(min_value=0, max_value=7),
+            ),
+            max_size=12,
+        )
+    )
+    return num_groups, ops
+
+
+def apply_ops(num_groups: int, ops) -> list[ShardMap]:
+    """Apply a mutation sequence, skipping structurally invalid steps
+    (no spare to split into, boundary on an existing edge, ...) the way
+    the rebalancer's guard chain does.  Returns the chain of maps."""
+    chain = [ShardMap.single_range(num_groups)]
+    for op, key, pick in ops:
+        m = chain[-1]
+        try:
+            if op == "split":
+                spares = m.spare_groups()
+                if not spares:
+                    continue
+                nxt = m.begin_split(key, spares[pick % len(spares)])
+            else:
+                active = m.active_groups()
+                if len(active) < 2:
+                    continue
+                nxt = m.begin_merge(active[pick % len(active)])
+        except ValueError:
+            continue
+        chain.append(nxt)
+        chain.append(nxt.commit_migration())
+    return chain
+
+
+@settings(max_examples=60, deadline=None)
+@given(mutation_sequences())
+def test_split_merge_sequences_keep_total_partition(seq):
+    num_groups, ops = seq
+    for m in apply_ops(num_groups, ops):
+        assert_partition(m)
+        if m.migrating is not None:
+            _lo, _hi, src, dst = m.migrating
+            assert 0 <= src < num_groups
+            assert 0 <= dst < num_groups
+
+
+@settings(max_examples=60, deadline=None)
+@given(mutation_sequences())
+def test_map_version_ordering_is_total(seq):
+    num_groups, ops = seq
+    chain = apply_ops(num_groups, ops)
+    versions = [m.version for m in chain]
+    assert versions == sorted(versions)
+    assert len(set(versions)) == len(versions)  # strictly increasing
+    # Equal version ⟺ equal map along any replicated chain.
+    for a in chain:
+        for b in chain:
+            assert (a.version == b.version) == (a == b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(mutation_sequences(), KEYS)
+def test_split_then_merge_is_identity_on_ranges(seq, boundary):
+    """Splitting a range and merging the new group straight back yields
+    the original partition (versions keep moving forward)."""
+    num_groups, ops = seq
+    m = apply_ops(num_groups, ops)[-1]
+    spares = m.spare_groups()
+    if not spares:
+        return
+    try:
+        split = m.begin_split(boundary, spares[0]).commit_migration()
+    except ValueError:
+        return  # boundary fell on an existing edge
+    merged = split.begin_merge(spares[0]).commit_migration()
+    assert merged.ranges == m.ranges
+    assert merged.version == m.version + 4
+    assert merged.spare_groups() == m.spare_groups()
+
+
+# -- __hash__ regression (satellite: __eq__ without __hash__) ------------
+
+
+def test_equal_maps_hash_equal_and_work_in_sets():
+    hash_a, hash_b = ShardMap(4), ShardMap(4)
+    assert hash_a == hash_b and hash(hash_a) == hash(hash_b)
+    rng_a = ShardMap.from_boundaries(3, ("m",))
+    rng_b = ShardMap.from_boundaries(3, ("m",))
+    assert rng_a == rng_b and hash(rng_a) == hash(rng_b)
+    assert len({hash_a, hash_b, rng_a, rng_b}) == 2
+    lookup = {rng_a: "x"}
+    assert lookup[rng_b] == "x"
+    split = rng_a.begin_split("c", 2)
+    assert split != rng_a and split not in {rng_a}
+
+
+@settings(max_examples=40, deadline=None)
+@given(mutation_sequences())
+def test_hash_consistent_with_eq_over_sequences(seq):
+    num_groups, ops = seq
+    chain = apply_ops(num_groups, ops)
+    rebuilt = [ShardMap.from_wire(m.to_wire()) for m in chain]
+    for a, b in zip(chain, rebuilt):
+        assert a == b
+        assert hash(a) == hash(b)
+    assert len(set(chain)) == len(chain)
+
+
+# -- version encoding ----------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2**15),
+    st.integers(min_value=0, max_value=2**47),
+)
+def test_version_encoding_roundtrip_and_order(mapv, inst):
+    v = encode_version(mapv, inst)
+    assert era_of(v) == mapv
+    assert instance_of(v) == inst
+    # Numeric order == (era, instance) lexicographic order.
+    assert encode_version(mapv + 1, 0) > v
+    assert (v > encode_version(mapv, 0)) == (inst > 0)
